@@ -1,0 +1,42 @@
+// Shared helpers for the figure-reproduction benches: workload setup,
+// error norms, and formatting. Each bench binary reproduces one paper
+// table/figure; see DESIGN.md for the experiment index.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "ode/vspace.hpp"
+#include "support/cli.hpp"
+#include "support/table.hpp"
+#include "vortex/setup.hpp"
+#include "vortex/state.hpp"
+
+namespace stnb::bench {
+
+/// Relative maximum error of particle *positions* between two packed
+/// states — the paper's Fig. 7 metric ("relative maximum error of the
+/// particle positions").
+inline double rel_max_position_error(const ode::State& u,
+                                     const ode::State& ref) {
+  double worst = 0.0;
+  double scale = 0.0;
+  const std::size_t n = vortex::num_particles(ref);
+  for (std::size_t p = 0; p < n; ++p)
+    scale = std::max(scale, norm(vortex::position(ref, p)));
+  for (std::size_t p = 0; p < n; ++p)
+    worst =
+        std::max(worst, norm(vortex::position(u, p) - vortex::position(ref, p)));
+  return worst / std::max(scale, 1e-300);
+}
+
+inline void print_banner(const char* figure, const char* description) {
+  std::printf("\n################################################################\n"
+              "# %s\n# %s\n"
+              "################################################################\n",
+              figure, description);
+  std::fflush(stdout);
+}
+
+}  // namespace stnb::bench

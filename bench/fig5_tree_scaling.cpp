@@ -1,0 +1,145 @@
+// Fig. 5: strong scaling of the space-parallel Barnes-Hut tree code for a
+// homogeneous neutral Coulomb system — total time, tree traversal, and
+// branch exchange vs core count for three problem sizes.
+//
+// Two parts:
+//  (1) measured: real runs of the full distributed pipeline on the
+//      simulated machine (virtual clock), bench-scale N, P up to
+//      --max-ranks simulated ranks;
+//  (2) model: the calibrated analytic scaling model evaluated at the
+//      paper's N = {0.125, 8, 2048} x 1e6 across 1 ... 262,144 cores,
+//      reproducing the saturation/crossover shape of Fig. 5.
+#include <cmath>
+#include <vector>
+
+#include "common.hpp"
+#include "mpsim/comm.hpp"
+#include "perf/speedup.hpp"
+#include "support/rng.hpp"
+#include "tree/parallel.hpp"
+
+using namespace stnb;
+
+int main(int argc, char** argv) {
+  Cli cli;
+  cli.add("n", "20000", "particles for the measured runs");
+  cli.add("max-ranks", "16", "largest simulated rank count (measured part)");
+  cli.add("theta", "0.6", "multipole acceptance parameter");
+  if (!cli.parse(argc, argv)) return 1;
+
+  bench::print_banner(
+      "Fig. 5 — PEPC strong scaling (homogeneous neutral Coulomb system)",
+      "total / traversal / branch-exchange virtual time vs cores; measured "
+      "runs + calibrated model at JUGENE scale");
+
+  const auto n = static_cast<std::size_t>(cli.integer("n"));
+  const double theta = cli.num("theta");
+
+  // Homogeneous neutral Coulomb cube.
+  std::vector<tree::TreeParticle> all(n);
+  {
+    Rng rng(7);
+    for (std::size_t i = 0; i < n; ++i) {
+      all[i].x = rng.uniform_in_box({0, 0, 0}, {1, 1, 1});
+      all[i].q = (i % 2 == 0) ? 1.0 : -1.0;  // neutral system
+      all[i].id = static_cast<std::uint32_t>(i);
+    }
+  }
+  const kernels::CoulombKernel kernel(1e-4);
+
+  // ---- measured part ------------------------------------------------------
+  Table measured({"ranks", "particles/rank", "total[s]", "traversal[s]",
+                  "branch_ex[s]", "let_ex[s]", "branches/rank",
+                  "interactions/particle"});
+  double fit_interactions = 0.0;
+  double fit_branches_at_max = 0.0;
+  int max_ranks = static_cast<int>(cli.integer("max-ranks"));
+  for (int p = 1; p <= max_ranks; p *= 2) {
+    double total = 0, traversal = 0, branch = 0, let = 0;
+    double branches = 0, interactions = 0;
+    mpsim::Runtime rt;
+    rt.run(p, [&](mpsim::Comm& comm) {
+      const std::size_t begin = n * comm.rank() / p;
+      const std::size_t end = n * (comm.rank() + 1) / p;
+      std::vector<tree::TreeParticle> local(all.begin() + begin,
+                                            all.begin() + end);
+      tree::ParallelConfig config;
+      config.theta = theta;
+      tree::ParallelTree solver(comm, config);
+      const auto forces = solver.solve_coulomb(local, kernel);
+      const auto& t = forces.timings;
+      // Reduce the slowest-rank phase times (what a wall clock would see).
+      const double tot = comm.allreduce_max(t.total());
+      const double tra = comm.allreduce_max(t.traversal);
+      const double bra = comm.allreduce_max(t.branch_exchange);
+      const double le = comm.allreduce_max(t.let_exchange);
+      const double br = comm.allreduce_sum(static_cast<double>(t.branch_count));
+      const double ints = comm.allreduce_sum(
+          static_cast<double>(t.counters.near + t.counters.far));
+      if (comm.rank() == 0) {
+        total = tot;
+        traversal = tra;
+        branch = bra;
+        let = le;
+        branches = br / p;
+        interactions = ints / static_cast<double>(n);
+      }
+    });
+    measured.begin_row()
+        .cell(static_cast<long long>(p))
+        .cell(static_cast<long long>(n / p))
+        .cell_sci(total)
+        .cell_sci(traversal)
+        .cell_sci(branch)
+        .cell_sci(let)
+        .cell(branches, 1)
+        .cell(interactions, 1);
+    // Calibrate traversal work from the single-rank run: multi-rank
+    // counts include the receiver-side *linear* evaluation of imported
+    // LET entries (a conservative simplification of PEPC's hierarchical
+    // request-driven traversal; see DESIGN.md) which would bias the fit.
+    if (p == 1) fit_interactions = interactions;
+    fit_branches_at_max = branches;
+  }
+  measured.print("Fig. 5 (measured) — simulated-machine runs, N = " +
+                 std::to_string(n));
+  std::printf("note: multi-rank traversal above includes the linear LET "
+              "import-list evaluation near rank boundaries — PEPC resolves "
+              "imports hierarchically instead (DESIGN.md, substitutions)\n");
+
+  // ---- calibrate + extrapolate -------------------------------------------
+  perf::TreeScalingModel model;
+  // interactions/particle ~ a + b log2 N: anchor the fit at the measured N.
+  model.interactions_b = 18.0;
+  model.interactions_a =
+      fit_interactions - model.interactions_b * std::log2(double(n));
+  model.branches_d = 6.0;
+  model.branches_a = std::max(
+      1.0, fit_branches_at_max - model.branches_d * std::log2(double(max_ranks)));
+  std::printf("\ncalibration: interactions/particle = %.1f + %.1f log2(N), "
+              "branches/rank = %.1f + %.1f log2(P)\n",
+              model.interactions_a, model.interactions_b, model.branches_a,
+              model.branches_d);
+
+  for (double big_n : {0.125e6, 8e6, 2048e6}) {
+    Table t({"cores", "total[s]", "traversal[s]", "branch_ex[s]"});
+    for (double p = 1; p <= 262144; p *= 4) {
+      if (big_n / p < 1.0) break;  // fewer than 1 particle per core
+      const auto times = model.evaluate(big_n, p);
+      t.begin_row()
+          .cell(static_cast<long long>(p))
+          .cell_sci(times.total())
+          .cell_sci(times.traversal)
+          .cell_sci(times.branch_exchange);
+    }
+    char title[128];
+    std::snprintf(title, sizeof(title),
+                  "Fig. 5 (model) — N = %.3g x 1e6 particles",
+                  big_n / 1e6);
+    t.print(title);
+  }
+  std::printf("expected shape: traversal falls ~1/P; branch exchange grows "
+              "with P and dominates once N/P is small — strong scaling "
+              "saturates (paper Fig. 5)\n");
+  return 0;
+}

@@ -1,0 +1,54 @@
+// MAC validity sweep (context for Figs. 4 and the Sec. IV-B coarsening):
+// force error and interaction counts of the tree code vs theta, against
+// direct summation. This is the knob that trades coarse-propagator speed
+// against accuracy in PFASST.
+#include <cmath>
+
+#include "common.hpp"
+#include "vortex/rhs_direct.hpp"
+#include "vortex/rhs_tree.hpp"
+#include "vortex/setup.hpp"
+
+using namespace stnb;
+
+int main(int argc, char** argv) {
+  Cli cli;
+  cli.add("n", "3000", "number of vortex particles");
+  if (!cli.parse(argc, argv)) return 1;
+
+  bench::print_banner(
+      "MAC sweep — force error and cost vs theta",
+      "tree code vs direct summation, spherical vortex sheet, 6th-order "
+      "kernel");
+
+  vortex::SheetConfig config;
+  config.n_particles = static_cast<std::size_t>(cli.integer("n"));
+  const ode::State u = vortex::spherical_vortex_sheet(config);
+  const kernels::AlgebraicKernel kernel(config.kernel_order, config.sigma());
+
+  ode::State f_ref(u.size());
+  vortex::DirectRhs direct(kernel);
+  direct(0.0, u, f_ref);
+
+  Table table({"theta", "rel.max.err(u)", "near/particle", "far/particle",
+               "work vs direct"});
+  const double n = static_cast<double>(config.n_particles);
+  for (double theta : {0.2, 0.3, 0.45, 0.6, 0.8, 1.0}) {
+    vortex::TreeRhs rhs(kernel, {.theta = theta});
+    ode::State f(u.size());
+    rhs(0.0, u, f);
+    const double err = stnb::bench::rel_max_position_error(f, f_ref);
+    const auto& c = rhs.counters();
+    table.begin_row()
+        .cell(theta, 2)
+        .cell_sci(err)
+        .cell(static_cast<double>(c.near) / n, 1)
+        .cell(static_cast<double>(c.far) / n, 1)
+        .cell(static_cast<double>(c.near + 3 * c.far) / (n * (n - 1)), 4);
+  }
+  table.print("force error and interaction counts vs theta");
+  std::printf("expected: error ~ theta^3 (quadrupole truncation); work "
+              "drops steeply with theta — theta = 0.6 is several times "
+              "cheaper than theta = 0.3 at ~1e-3 force error\n");
+  return 0;
+}

@@ -1,0 +1,107 @@
+// Google-benchmark microbenchmarks of the hot paths: pairwise kernels,
+// multipole evaluation, tree construction, and MAC traversal. These are
+// the quantities the virtual-time cost model abstracts (t_near, t_far,
+// t_tree_node) — measure them on your host to recalibrate CostModel.
+#include <benchmark/benchmark.h>
+
+#include "kernels/algebraic.hpp"
+#include "support/rng.hpp"
+#include "tree/evaluate.hpp"
+#include "tree/octree.hpp"
+#include "vortex/setup.hpp"
+#include "vortex/state.hpp"
+
+namespace {
+
+using namespace stnb;
+
+void BM_AlgebraicKernel(benchmark::State& state) {
+  const kernels::AlgebraicKernel kernel(
+      static_cast<kernels::AlgebraicOrder>(state.range(0)), 0.1);
+  Rng rng(1);
+  const Vec3 alpha = rng.uniform_on_sphere();
+  Vec3 r{0.5, -0.3, 0.2}, u{};
+  Mat3 grad{};
+  for (auto _ : state) {
+    kernel.accumulate_velocity_and_gradient(r, alpha, u, grad);
+    benchmark::DoNotOptimize(u);
+    benchmark::DoNotOptimize(grad);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AlgebraicKernel)->Arg(2)->Arg(4)->Arg(6);
+
+void BM_CoulombKernel(benchmark::State& state) {
+  const kernels::CoulombKernel kernel(1e-3);
+  Vec3 r{0.5, -0.3, 0.2}, e{};
+  double phi = 0.0;
+  for (auto _ : state) {
+    kernel.accumulate_field(r, 1.0, phi, e);
+    benchmark::DoNotOptimize(phi);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CoulombKernel);
+
+std::vector<tree::TreeParticle> cloud(std::size_t n) {
+  Rng rng(2);
+  std::vector<tree::TreeParticle> ps(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    ps[i].x = rng.uniform_in_box({0, 0, 0}, {1, 1, 1});
+    ps[i].q = rng.uniform(-1, 1);
+    ps[i].a = rng.uniform_on_sphere();
+    ps[i].id = static_cast<std::uint32_t>(i);
+  }
+  return ps;
+}
+
+void BM_TreeBuild(benchmark::State& state) {
+  const auto ps = cloud(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    tree::Octree octree(ps, {{0, 0, 0}, 1.0});
+    benchmark::DoNotOptimize(octree.nodes().data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_TreeBuild)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_MultipoleEvaluate(benchmark::State& state) {
+  const kernels::AlgebraicKernel kernel(kernels::AlgebraicOrder::k6, 0.1);
+  tree::Multipole mp;
+  mp.center = {0.5, 0.5, 0.5};
+  Rng rng(3);
+  for (int i = 0; i < 32; ++i)
+    mp.add_particle(rng.uniform_in_box({0.4, 0.4, 0.4}, {0.6, 0.6, 0.6}),
+                    0.0, rng.uniform_on_sphere());
+  Vec3 u{};
+  Mat3 grad{};
+  for (auto _ : state) {
+    mp.evaluate_biot_savart({2.0, 1.5, -0.3}, u, grad, &kernel);
+    benchmark::DoNotOptimize(u);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MultipoleEvaluate);
+
+void BM_MacTraversalPerParticle(benchmark::State& state) {
+  const double theta = state.range(0) / 10.0;
+  const auto ps = cloud(20000);
+  tree::Octree octree(ps, {{0, 0, 0}, 1.0});
+  const kernels::AlgebraicKernel kernel(kernels::AlgebraicOrder::k6, 0.01);
+  tree::EvalCounters counters;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto& target = octree.particles()[i++ % 20000];
+    auto s = tree::sample_vortex(octree, target.x, target.id, theta, kernel,
+                                 counters);
+    benchmark::DoNotOptimize(s);
+  }
+  state.counters["interactions/particle"] = benchmark::Counter(
+      static_cast<double>(counters.near + counters.far) /
+      static_cast<double>(state.iterations()));
+}
+BENCHMARK(BM_MacTraversalPerParticle)->Arg(3)->Arg(6)->Arg(9);
+
+}  // namespace
+
+BENCHMARK_MAIN();

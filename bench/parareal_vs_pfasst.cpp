@@ -1,0 +1,115 @@
+// Efficiency-bound ablation (Secs. I and III-B4): parareal's parallel
+// efficiency is bounded by 1/K, while PFASST's is bounded by K_s/K_p —
+// the reason the paper uses PFASST. Measured part: iterations each method
+// needs to reach a target accuracy on the vortex model problem; analytic
+// part: the resulting efficiency ceilings.
+#include <cmath>
+
+#include "common.hpp"
+#include "mpsim/comm.hpp"
+#include "ode/nodes.hpp"
+#include "ode/sdc.hpp"
+#include "perf/speedup.hpp"
+#include "pfasst/controller.hpp"
+#include "pfasst/parareal.hpp"
+#include "vortex/rhs_direct.hpp"
+#include "vortex/setup.hpp"
+
+using namespace stnb;
+
+int main(int argc, char** argv) {
+  Cli cli;
+  cli.add("n", "150", "number of vortex particles");
+  cli.add("pt", "8", "time ranks");
+  cli.add("tol", "1e-11", "target rel. accuracy vs fine serial solution");
+  if (!cli.parse(argc, argv)) return 1;
+
+  bench::print_banner(
+      "Parareal vs PFASST — iterations to tolerance and efficiency bounds",
+      "the ablation behind the paper's choice of PFASST (Sec. III-B4)");
+
+  vortex::SheetConfig config;
+  config.n_particles = static_cast<std::size_t>(cli.integer("n"));
+  // Pin sigma to the paper's physical core radius so the bench-scale
+  // problem has nontrivial dynamics (see bench/fig7a_sdc_accuracy.cpp).
+  config.sigma_over_h =
+      18.53 * std::sqrt(static_cast<double>(config.n_particles) / 1e4);
+  const ode::State u0 = vortex::spherical_vortex_sheet(config);
+  const kernels::AlgebraicKernel kernel(config.kernel_order, config.sigma());
+  const int pt = static_cast<int>(cli.integer("pt"));
+  const double tol = cli.num("tol");
+  const double dt = 0.5;
+
+  // Serial fine reference: converged SDC on 3 Lobatto nodes.
+  vortex::DirectRhs rhs(kernel);
+  ode::SdcSweeper ref_sweeper(
+      ode::collocation_nodes(ode::NodeType::kGaussLobatto, 3), u0.size());
+  const ode::State u_ref =
+      ode::sdc_integrate(ref_sweeper, rhs.as_fn(), u0, 0.0, dt, pt, 12);
+
+  // Iterations PFASST needs.
+  int k_pfasst = 0;
+  for (int k = 1; k <= pt && k_pfasst == 0; ++k) {
+    double err = 0.0;
+    mpsim::Runtime rt;
+    rt.run(pt, [&](mpsim::Comm& comm) {
+      vortex::DirectRhs fine(kernel), coarse(kernel);
+      std::vector<pfasst::Level> levels = {
+          {ode::collocation_nodes(ode::NodeType::kGaussLobatto, 3),
+           fine.as_fn(), 1},
+          {ode::collocation_nodes(ode::NodeType::kGaussLobatto, 2),
+           coarse.as_fn(), 2},
+      };
+      pfasst::Pfasst controller(comm, levels, {k, true});
+      const auto result = controller.run(u0, 0.0, dt, pt);
+      if (comm.rank() == 0)
+        err = stnb::bench::rel_max_position_error(result.u_end, u_ref);
+    });
+    if (err < tol) k_pfasst = k;
+  }
+
+  // Iterations parareal needs with comparable propagators.
+  auto propagator = [&](int sweeps, int nodes) {
+    return pfasst::Propagator(
+        [&kernel, sweeps, nodes](double t, double step, const ode::State& u) {
+          vortex::DirectRhs prop_rhs(kernel);
+          ode::SdcSweeper sweeper(
+              ode::collocation_nodes(ode::NodeType::kGaussLobatto, nodes),
+              u.size());
+          return ode::sdc_integrate(sweeper, prop_rhs.as_fn(), u, t, step, 1,
+                                    sweeps);
+        });
+  };
+  int k_parareal = 0;
+  for (int k = 1; k <= pt && k_parareal == 0; ++k) {
+    double err = 0.0;
+    mpsim::Runtime rt;
+    rt.run(pt, [&](mpsim::Comm& comm) {
+      pfasst::Parareal parareal(comm, propagator(1, 2), propagator(6, 3), k);
+      const auto result = parareal.run(u0, 0.0, dt, pt);
+      if (comm.rank() == 0)
+        err = stnb::bench::rel_max_position_error(result.u_end, u_ref);
+    });
+    if (err < tol) k_parareal = k;
+  }
+
+  Table table({"method", "iterations K", "efficiency bound", "bound value"});
+  perf::PfasstCosts costs;
+  costs.k_serial = 4;
+  costs.k_parallel = std::max(1, k_pfasst);
+  table.begin_row()
+      .cell(std::string("parareal"))
+      .cell(static_cast<long long>(k_parareal))
+      .cell(std::string("1/K"))
+      .cell(perf::parareal_efficiency_bound(k_parareal), 3);
+  table.begin_row()
+      .cell(std::string("PFASST"))
+      .cell(static_cast<long long>(k_pfasst))
+      .cell(std::string("K_s/K_p"))
+      .cell(static_cast<double>(costs.k_serial) / costs.k_parallel / 1.0, 3);
+  table.print("iterations to tol and parallel-efficiency ceilings");
+  std::printf("expected: PFASST's K_s/K_p ceiling is far above parareal's "
+              "1/K — the paper's motivation for intertwining SDC sweeps "
+              "with the parareal iteration\n");
+  return 0;
+}

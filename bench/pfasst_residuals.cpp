@@ -1,0 +1,87 @@
+// Sec. IV-B residual check: PFASST(2, 2, P_T) iteration residuals per time
+// slice, with theta = 0.3 on both levels vs theta = 0.6 on the coarse
+// level. The paper reports ~1.9e-5 on both slices for P_T = 2, and
+// 6.6e-7 / 1.1e-6 on the first/last slice for P_T = 32 — i.e. the MAC
+// coarsening does not inhibit convergence.
+#include <vector>
+
+#include "common.hpp"
+#include "mpsim/comm.hpp"
+#include "ode/nodes.hpp"
+#include "pfasst/controller.hpp"
+#include "vortex/rhs_tree.hpp"
+#include "vortex/setup.hpp"
+
+using namespace stnb;
+
+namespace {
+
+std::vector<double> run_residuals(const ode::State& u0,
+                                  const kernels::AlgebraicKernel& kernel,
+                                  int pt, double theta_coarse, double dt,
+                                  int nsteps) {
+  std::vector<double> per_slice(pt, 0.0);
+  mpsim::Runtime rt;
+  rt.run(pt, [&](mpsim::Comm& comm) {
+    vortex::TreeRhs fine(kernel, {.theta = 0.3});
+    vortex::TreeRhs coarse(kernel, {.theta = theta_coarse});
+    std::vector<pfasst::Level> levels = {
+        {ode::collocation_nodes(ode::NodeType::kGaussLobatto, 3),
+         fine.as_fn(), 1},
+        {ode::collocation_nodes(ode::NodeType::kGaussLobatto, 2),
+         coarse.as_fn(), 2},
+    };
+    pfasst::Pfasst controller(comm, levels, {2, true});
+    const auto result = controller.run(u0, 0.0, dt, nsteps);
+    // Residual = difference between the solutions of the final two
+    // iterations on the last block (the paper's monitor).
+    const double mine = result.stats.back().back().delta;
+    std::vector<double> one = {mine};
+    const auto all = comm.allgatherv(one);
+    if (comm.rank() == 0)
+      for (int r = 0; r < pt; ++r) per_slice[r] = all[r];
+  });
+  return per_slice;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli;
+  cli.add("n", "800", "particles (paper: 125k with PEPC)");
+  cli.add("dt", "0.5", "time step");
+  cli.add("max-pt", "8", "largest time-parallel width (paper: 32)");
+  if (!cli.parse(argc, argv)) return 1;
+
+  bench::print_banner(
+      "Sec. IV-B — PFASST residuals per time slice",
+      "PFASST(2,2,P_T): theta_coarse = 0.3 (no spatial coarsening) vs 0.6 "
+      "(MAC coarsening); convergence must be preserved");
+
+  vortex::SheetConfig config;
+  config.n_particles = static_cast<std::size_t>(cli.integer("n"));
+  const ode::State u0 = vortex::spherical_vortex_sheet(config);
+  const kernels::AlgebraicKernel kernel(config.kernel_order, config.sigma());
+  const double dt = cli.num("dt");
+  const int max_pt = static_cast<int>(cli.integer("max-pt"));
+
+  for (int pt = 2; pt <= max_pt; pt *= 4) {
+    const auto same = run_residuals(u0, kernel, pt, 0.3, dt, pt);
+    const auto coarse = run_residuals(u0, kernel, pt, 0.6, dt, pt);
+    Table table({"slice", "residual th_c=0.3", "residual th_c=0.6"});
+    for (int r = 0; r < pt; ++r) {
+      table.begin_row()
+          .cell(static_cast<long long>(r + 1))
+          .cell_sci(same[r])
+          .cell_sci(coarse[r]);
+    }
+    char title[96];
+    std::snprintf(title, sizeof(title),
+                  "PFASST(2,2,%d) last-iteration residual per slice", pt);
+    table.print(title);
+  }
+  std::printf("expected: residuals of similar magnitude in both columns — "
+              "MAC-based coarsening does not inhibit PFASST convergence "
+              "(paper Sec. IV-B)\n");
+  return 0;
+}

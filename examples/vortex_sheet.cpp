@@ -1,0 +1,82 @@
+// Fig. 1 reproduction: time evolution of the spherical vortex sheet. The
+// sheet translates in -z, collapses from the top, and rolls up into a
+// traveling vortex ring. Integrates with second-order Runge-Kutta
+// (dt = 1, as in the paper's figure) and writes CSV snapshots
+// (x, y, z, |velocity|) that can be rendered with any plotting tool —
+// coloring by |velocity| reproduces the paper's visualization.
+//
+//   ./examples/vortex_sheet [--n 2000] [--tend 25] [--snapshots 1,25]
+#include <cstdio>
+#include <string>
+
+#include "ode/rk.hpp"
+#include "support/cli.hpp"
+#include "vortex/diagnostics.hpp"
+#include "vortex/rhs_tree.hpp"
+#include "vortex/setup.hpp"
+#include "vortex/state.hpp"
+
+using namespace stnb;
+
+namespace {
+
+void write_snapshot(const ode::State& u, const ode::State& f, double t,
+                    const std::string& prefix) {
+  char name[256];
+  std::snprintf(name, sizeof(name), "%s_t%04.0f.csv", prefix.c_str(), t);
+  FILE* out = std::fopen(name, "w");
+  if (out == nullptr) {
+    std::perror("fopen");
+    return;
+  }
+  std::fprintf(out, "x,y,z,speed\n");
+  for (std::size_t p = 0; p < vortex::num_particles(u); ++p) {
+    const Vec3 x = vortex::position(u, p);
+    const double speed = norm(vortex::position(f, p));  // dx/dt slot
+    std::fprintf(out, "%.6f,%.6f,%.6f,%.6e\n", x.x, x.y, x.z, speed);
+  }
+  std::fclose(out);
+  std::printf("wrote %s\n", name);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli;
+  cli.add("n", "2000", "number of particles (paper figure: 20000)");
+  cli.add("dt", "1", "time step (paper: 1)");
+  cli.add("tend", "25", "final time (paper shows t = 1 and t = 25)");
+  cli.add("theta", "0.4", "MAC parameter for the tree evaluation");
+  cli.add("prefix", "vortex_sheet", "output file prefix");
+  if (!cli.parse(argc, argv)) return 1;
+
+  vortex::SheetConfig config;
+  config.n_particles = static_cast<std::size_t>(cli.integer("n"));
+  ode::State u = vortex::spherical_vortex_sheet(config);
+  const kernels::AlgebraicKernel kernel(config.kernel_order, config.sigma());
+  vortex::TreeRhs rhs(kernel, {.theta = cli.num("theta")});
+
+  const double dt = cli.num("dt");
+  const int steps = static_cast<int>(cli.num("tend") / dt);
+  ode::RungeKutta rk(ode::ButcherTableau::heun2(), u.size());
+  ode::State f(u.size());
+
+  std::printf("spherical vortex sheet, N = %zu, RK2, dt = %g, T = %g, "
+              "6th-order kernel, sigma = %.4f (= 18.53 h)\n",
+              config.n_particles, dt, cli.num("tend"), config.sigma());
+
+  for (int step = 0; step <= steps; ++step) {
+    const double t = step * dt;
+    if (step == 1 || step == steps || step == 0) {
+      rhs(t, u, f);
+      write_snapshot(u, f, t, cli.str("prefix"));
+      const auto inv = vortex::compute_invariants(u);
+      std::printf("  t = %5.1f: I_z = %.5f, mean roll-up speed <= %.4f\n", t,
+                  inv.linear_impulse.z, vortex::max_speed(f));
+    }
+    if (step < steps) rk.step(rhs.as_fn(), t, dt, u);
+  }
+  std::printf("done: the sheet moves in -z and wraps into a traveling "
+              "vortex ring (compare paper Fig. 1)\n");
+  return 0;
+}

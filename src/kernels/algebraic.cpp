@@ -1,0 +1,153 @@
+#include "kernels/algebraic.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace stnb::kernels {
+
+namespace {
+constexpr double kFourPi = 4.0 * std::numbers::pi;
+}
+
+AlgebraicKernel::AlgebraicKernel(AlgebraicOrder order, double sigma)
+    : order_(order), sigma_(sigma) {
+  if (sigma <= 0.0) throw std::invalid_argument("sigma must be positive");
+  inv_sigma_ = 1.0 / sigma;
+  inv_sigma3_over_4pi_ = 1.0 / (kFourPi * sigma * sigma * sigma);
+}
+
+double AlgebraicKernel::q(double rho) const {
+  const double r2 = rho * rho;
+  const double d = r2 + 1.0;
+  switch (order_) {
+    case AlgebraicOrder::k2:
+      return rho * rho * rho / (d * std::sqrt(d));
+    case AlgebraicOrder::k4:
+      return rho * rho * rho * (r2 + 2.5) / (d * d * std::sqrt(d));
+    case AlgebraicOrder::k6:
+      return rho * rho * rho * (r2 * r2 + 3.5 * r2 + 4.375) /
+             (d * d * d * std::sqrt(d));
+  }
+  return 0.0;
+}
+
+double AlgebraicKernel::zeta(double rho) const {
+  const double d = rho * rho + 1.0;
+  switch (order_) {
+    case AlgebraicOrder::k2:
+      return 3.0 / kFourPi * std::pow(d, -2.5);
+    case AlgebraicOrder::k4:
+      return 7.5 / kFourPi * std::pow(d, -3.5);
+    case AlgebraicOrder::k6:
+      return 13.125 / kFourPi * std::pow(d, -4.5);
+  }
+  return 0.0;
+}
+
+double AlgebraicKernel::g(double rho) const {
+  const double r2 = rho * rho;
+  const double d = r2 + 1.0;
+  switch (order_) {
+    case AlgebraicOrder::k2:
+      return 1.0 / (d * std::sqrt(d));
+    case AlgebraicOrder::k4:
+      return (r2 + 2.5) / (d * d * std::sqrt(d));
+    case AlgebraicOrder::k6:
+      return (r2 * r2 + 3.5 * r2 + 4.375) / (d * d * d * std::sqrt(d));
+  }
+  return 0.0;
+}
+
+double AlgebraicKernel::h(double rho) const {
+  const double r2 = rho * rho;
+  const double d = r2 + 1.0;
+  // h = g'(rho)/rho, derived analytically per order (see header comment
+  // and tests/test_kernels.cpp which checks against finite differences).
+  switch (order_) {
+    case AlgebraicOrder::k2:
+      return -3.0 / (d * d * std::sqrt(d));
+    case AlgebraicOrder::k4:
+      return -(3.0 * r2 + 10.5) / (d * d * d * std::sqrt(d));
+    case AlgebraicOrder::k6:
+      return -(3.0 * r2 * r2 + 13.5 * r2 + 23.625) /
+             (d * d * d * d * std::sqrt(d));
+  }
+  return 0.0;
+}
+
+double AlgebraicKernel::h2(double rho) const {
+  const double r2 = rho * rho;
+  const double d = r2 + 1.0;
+  // h2 = h'(rho)/rho, derived analytically per order; all three limit to
+  // 15/rho^7 * sigma factors in the far field (the singular T tensor).
+  switch (order_) {
+    case AlgebraicOrder::k2:
+      return 15.0 / (d * d * d * std::sqrt(d));
+    case AlgebraicOrder::k4:
+      return (15.0 * r2 + 67.5) / (d * d * d * d * std::sqrt(d));
+    case AlgebraicOrder::k6:
+      return (15.0 * r2 * r2 + 82.5 * r2 + 185.625) /
+             (d * d * d * d * d * std::sqrt(d));
+  }
+  return 0.0;
+}
+
+void AlgebraicKernel::accumulate_velocity(const Vec3& r, const Vec3& alpha,
+                                          Vec3& u) const {
+  const double rho = norm(r) * inv_sigma_;
+  u += (inv_sigma3_over_4pi_ * g(rho)) * cross(alpha, r);
+}
+
+void AlgebraicKernel::accumulate_velocity_and_gradient(const Vec3& r,
+                                                       const Vec3& alpha,
+                                                       Vec3& u,
+                                                       Mat3& grad) const {
+  const double rho = norm(r) * inv_sigma_;
+  const double gv = g(rho);
+  const double hv = h(rho);
+  const Vec3 axr = cross(alpha, r);
+  u += (inv_sigma3_over_4pi_ * gv) * axr;
+
+  const double c1 = inv_sigma3_over_4pi_ * hv * inv_sigma_ * inv_sigma_;
+  // (alpha x r) r^T term
+  grad += c1 * outer(axr, r);
+  // g * [alpha]_x term: d(alpha x r)_i / dr_j
+  const double c2 = inv_sigma3_over_4pi_ * gv;
+  grad(0, 1) += -c2 * alpha.z;
+  grad(0, 2) += c2 * alpha.y;
+  grad(1, 0) += c2 * alpha.z;
+  grad(1, 2) += -c2 * alpha.x;
+  grad(2, 0) += -c2 * alpha.y;
+  grad(2, 1) += c2 * alpha.x;
+}
+
+void singular_biot_savart(const Vec3& r, const Vec3& alpha, Vec3& u) {
+  const double r2 = norm2(r);
+  if (r2 == 0.0) return;
+  const double inv_r3 = 1.0 / (r2 * std::sqrt(r2));
+  u += (inv_r3 / kFourPi) * cross(alpha, r);
+}
+
+void singular_biot_savart_with_gradient(const Vec3& r, const Vec3& alpha,
+                                        Vec3& u, Mat3& grad) {
+  const double r2 = norm2(r);
+  if (r2 == 0.0) return;
+  const double inv_r = 1.0 / std::sqrt(r2);
+  const double inv_r3 = inv_r * inv_r * inv_r;
+  const Vec3 axr = cross(alpha, r);
+  u += (inv_r3 / kFourPi) * axr;
+  // d/dx_j [ (alpha x r)_i / r^3 ] =
+  //   [alpha]_x_{ij}/r^3 - 3 (alpha x r)_i r_j / r^5
+  const double c3 = inv_r3 / kFourPi;
+  const double c5 = 3.0 * inv_r3 * inv_r * inv_r / kFourPi;
+  grad -= c5 * outer(axr, r);
+  grad(0, 1) += -c3 * alpha.z;
+  grad(0, 2) += c3 * alpha.y;
+  grad(1, 0) += c3 * alpha.z;
+  grad(1, 2) += -c3 * alpha.x;
+  grad(2, 0) += -c3 * alpha.y;
+  grad(2, 1) += c3 * alpha.x;
+}
+
+}  // namespace stnb::kernels

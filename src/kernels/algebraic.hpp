@@ -1,0 +1,80 @@
+// Generalized algebraic smoothing kernels for the vortex particle method
+// (paper Sec. II and ref. [23], Speck's thesis). The regularized
+// Biot-Savart kernel is
+//
+//   u(x) = 1/(4 pi) sum_p q(rho_p) / r_p^3 * (alpha_p x r_p),
+//   r_p = x - x_p,  rho = |r|/sigma,
+//
+// where q(rho) = 4 pi int_0^rho zeta(s) s^2 ds is the fraction of smoothed
+// vorticity inside radius rho. The family of order-2k algebraic kernels is
+// defined by q(rho) = 1 + O(rho^{-2k}) as rho -> inf:
+//
+//   order 2:  q(rho) = rho^3 / (rho^2+1)^{3/2}                (Rosenhead-Moore)
+//   order 4:  q(rho) = rho^3 (rho^2 + 5/2) / (rho^2+1)^{5/2}  (Winckelmans-Leonard)
+//   order 6:  q(rho) = rho^3 (rho^4 + 7/2 rho^2 + 35/8) / (rho^2+1)^{7/2}
+//
+// with smoothing functions zeta_2 = 3/(4pi) (rho^2+1)^{-5/2},
+// zeta_4 = 15/(8pi) (rho^2+1)^{-7/2}, zeta_6 = 105/(32pi) (rho^2+1)^{-9/2}.
+// The order-6 member is the paper's "sixth-order algebraic kernel". The
+// far-field coefficients are unit-tested against the moment conditions.
+//
+// For numerical robustness near r = 0 we evaluate via the *smooth* scaled
+// profile g(rho) = q(rho)/rho^3 (finite at rho = 0) so the pairwise force
+// never divides by a small r^3.
+#pragma once
+
+#include "support/vec3.hpp"
+
+namespace stnb::kernels {
+
+enum class AlgebraicOrder { k2 = 2, k4 = 4, k6 = 6 };
+
+/// Regularized vortex interaction kernel of a given algebraic order and
+/// core size sigma. Stateless apart from parameters; safe to share across
+/// threads.
+class AlgebraicKernel {
+ public:
+  AlgebraicKernel(AlgebraicOrder order, double sigma);
+
+  AlgebraicOrder order() const { return order_; }
+  double sigma() const { return sigma_; }
+
+  /// q(rho): smoothed fraction of circulation within rho core radii.
+  double q(double rho) const;
+  /// zeta(rho): radial smoothing profile (so that 4pi \int zeta s^2 ds = q).
+  double zeta(double rho) const;
+  /// g(rho) = q(rho)/rho^3, smooth at 0; g(0) > 0.
+  double g(double rho) const;
+  /// h(rho) = g'(rho)/rho, smooth at 0 (needed for velocity gradients).
+  double h(double rho) const;
+  /// h2(rho) = h'(rho)/rho, smooth at 0 (needed for the second-derivative
+  /// tensors of the regularized multipole expansion; see tree/multipole).
+  double h2(double rho) const;
+
+  /// Accumulates the velocity induced at displacement r = x_target - x_src
+  /// by a vortex particle of strength alpha:
+  ///   u += 1/(4 pi sigma^3) g(rho) (alpha x r).
+  void accumulate_velocity(const Vec3& r, const Vec3& alpha, Vec3& u) const;
+
+  /// Accumulates velocity and its spatial gradient J_ij = du_i/dx_j:
+  ///   J += 1/(4 pi sigma^3) [ h(rho)/sigma^2 * (alpha x r) r^T + g(rho) [alpha]_x ]
+  /// where [alpha]_x is the cross-product matrix. The gradient feeds the
+  /// vortex stretching term, Eq. (6).
+  void accumulate_velocity_and_gradient(const Vec3& r, const Vec3& alpha,
+                                        Vec3& u, Mat3& grad) const;
+
+ private:
+  AlgebraicOrder order_;
+  double sigma_;
+  double inv_sigma_;
+  double inv_sigma3_over_4pi_;
+};
+
+/// Singular Biot-Savart kernel (the sigma -> 0 limit): used by the far
+/// field of the multipole expansion, where the MAC guarantees r >> sigma
+/// and q(rho) ~ 1. u += 1/(4 pi) (alpha x r)/r^3; optionally the gradient.
+void singular_biot_savart(const Vec3& r, const Vec3& alpha, Vec3& u);
+void singular_biot_savart_with_gradient(const Vec3& r, const Vec3& alpha,
+                                        Vec3& u, Mat3& grad);
+
+}  // namespace stnb::kernels

@@ -1,0 +1,24 @@
+#include "kernels/coulomb.hpp"
+
+#include <cmath>
+
+namespace stnb::kernels {
+
+void CoulombKernel::accumulate_potential(const Vec3& r, double q,
+                                         double& phi) const {
+  const double d2 = norm2(r) + eps2_;
+  if (d2 == 0.0) return;
+  phi += q / std::sqrt(d2);
+}
+
+void CoulombKernel::accumulate_field(const Vec3& r, double q, double& phi,
+                                     Vec3& e) const {
+  const double d2 = norm2(r) + eps2_;
+  if (d2 == 0.0) return;
+  const double inv_d = 1.0 / std::sqrt(d2);
+  const double inv_d3 = inv_d * inv_d * inv_d;
+  phi += q * inv_d;
+  e += (q * inv_d3) * r;
+}
+
+}  // namespace stnb::kernels

@@ -1,0 +1,30 @@
+// Coulomb/gravity monopole kernel with Plummer softening. This is PEPC's
+// original application domain (the code "has undergone a transition from a
+// pure gravitation/Coulomb solver to a multi-purpose N-body suite",
+// Sec. III-A) and the workload behind the paper's Fig. 5 scaling study
+// ("homogeneous neutral Coulomb system").
+#pragma once
+
+#include "support/vec3.hpp"
+
+namespace stnb::kernels {
+
+class CoulombKernel {
+ public:
+  /// `softening` is the Plummer parameter eps; 0 gives the singular kernel
+  /// (self-interactions must then be excluded by the caller).
+  explicit CoulombKernel(double softening = 0.0) : eps2_(softening * softening) {}
+
+  double softening2() const { return eps2_; }
+
+  /// Potential phi += q / sqrt(r^2 + eps^2).
+  void accumulate_potential(const Vec3& r, double q, double& phi) const;
+
+  /// Field E += q r / (r^2 + eps^2)^{3/2} and potential.
+  void accumulate_field(const Vec3& r, double q, double& phi, Vec3& e) const;
+
+ private:
+  double eps2_;
+};
+
+}  // namespace stnb::kernels

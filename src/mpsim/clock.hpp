@@ -1,0 +1,27 @@
+// Per-rank virtual clock. Computation advances it explicitly (cost model x
+// counted work); communication merges it with sender timestamps. Clocks
+// are deterministic: two runs of the same program yield identical times.
+#pragma once
+
+#include <algorithm>
+
+namespace stnb::mpsim {
+
+class VirtualClock {
+ public:
+  double now() const { return now_; }
+
+  /// Advances by `seconds` of modeled computation (must be >= 0).
+  void advance(double seconds) { now_ += seconds; }
+
+  /// Synchronizes with an event that completed at `time` (e.g. message
+  /// arrival): the clock can only move forward.
+  void merge(double time) { now_ = std::max(now_, time); }
+
+  void reset() { now_ = 0.0; }
+
+ private:
+  double now_ = 0.0;
+};
+
+}  // namespace stnb::mpsim

@@ -1,0 +1,384 @@
+#include "mpsim/comm.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <stdexcept>
+#include <thread>
+
+namespace stnb::mpsim {
+
+namespace {
+
+struct Message {
+  std::vector<std::byte> payload;
+  double send_time = 0.0;
+};
+
+struct Mailbox {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::map<std::pair<int, int>, std::deque<Message>> queues;  // (src, tag)
+};
+
+}  // namespace
+
+/// Shared state of one communicator. Rank threads synchronize through the
+/// mailboxes (point-to-point) and the single collective slot (all
+/// collectives are synchronizing, like their MPI counterparts here).
+struct CommImpl {
+  int size = 0;
+  CostModel model;
+  std::vector<VirtualClock*> clocks;  // per local rank, owned by Runtime
+  std::vector<std::unique_ptr<Mailbox>> mailboxes;
+
+  // Collective rendezvous (reusable two-phase barrier).
+  std::mutex mu;
+  std::condition_variable cv;
+  int arrived = 0;
+  int departed = 0;
+  std::uint64_t generation = 0;
+  std::vector<std::vector<std::byte>> inputs;
+  std::vector<std::vector<std::byte>> outputs;
+  double done_time = 0.0;
+
+  // split() publication: (generation, color) -> child communicator.
+  std::mutex split_mu;
+  std::condition_variable split_cv;
+  std::map<std::pair<std::uint64_t, int>, std::shared_ptr<CommImpl>>
+      split_published;
+
+  explicit CommImpl(int n, CostModel m) : size(n), model(m) {
+    mailboxes.reserve(n);
+    for (int i = 0; i < n; ++i) mailboxes.push_back(std::make_unique<Mailbox>());
+    inputs.resize(n);
+    outputs.resize(n);
+  }
+
+  /// Runs one synchronizing collective. `reduce` is executed exactly once
+  /// (by the last arriving rank) with all inputs populated; it must fill
+  /// `outputs` and return the modeled payload byte count. Returns the
+  /// collective's generation number (same value on every rank).
+  std::uint64_t collective(
+      int rank, std::vector<std::byte> input,
+      const std::function<std::size_t(std::vector<std::vector<std::byte>>&,
+                                      std::vector<std::vector<std::byte>>&)>&
+          reduce,
+      std::vector<std::byte>& output) {
+    std::unique_lock lock(mu);
+    cv.wait(lock, [&] { return arrived < size; });  // previous round drained
+    inputs[rank] = std::move(input);
+    clocks[rank]->merge(0.0);
+    const double my_time = clocks[rank]->now();
+    ++arrived;
+    std::uint64_t gen;
+    if (arrived == size) {
+      double t_max = 0.0;
+      for (int r = 0; r < size; ++r) t_max = std::max(t_max, clocks[r]->now());
+      // NOTE: reading other ranks' clocks is safe: they are all blocked in
+      // this collective (arrived == size) and clocks are only mutated by
+      // their owner rank.
+      const std::size_t bytes = reduce(inputs, outputs);
+      done_time = t_max + model.collective(size, bytes);
+      ++generation;
+      gen = generation;
+      cv.notify_all();
+    } else {
+      const std::uint64_t expected = generation + 1;
+      cv.wait(lock, [&] { return generation >= expected; });
+      gen = expected;
+    }
+    (void)my_time;
+    output = outputs[rank];
+    clocks[rank]->merge(done_time);
+    if (++departed == size) {
+      arrived = 0;
+      departed = 0;
+      for (auto& in : inputs) in.clear();
+      cv.notify_all();
+    }
+    return gen;
+  }
+};
+
+int Comm::size() const { return impl_->size; }
+
+VirtualClock& Comm::clock() { return *impl_->clocks[rank_]; }
+
+const CostModel& Comm::cost() const { return impl_->model; }
+
+void Comm::send_bytes(int dest, int tag, const void* data,
+                      std::size_t bytes) {
+  if (dest < 0 || dest >= impl_->size)
+    throw std::out_of_range("send: bad destination rank");
+  Message msg;
+  msg.payload.resize(bytes);
+  if (bytes > 0) std::memcpy(msg.payload.data(), data, bytes);
+  msg.send_time = clock().now();
+  Mailbox& box = *impl_->mailboxes[dest];
+  {
+    std::lock_guard lock(box.mu);
+    box.queues[{rank_, tag}].push_back(std::move(msg));
+  }
+  box.cv.notify_all();
+  // Sender-side overhead of posting the message.
+  clock().advance(impl_->model.t_latency);
+}
+
+std::vector<std::byte> Comm::recv_bytes(int source, int tag) {
+  if (source < 0 || source >= impl_->size)
+    throw std::out_of_range("recv: bad source rank");
+  Mailbox& box = *impl_->mailboxes[rank_];
+  std::unique_lock lock(box.mu);
+  auto& queue = box.queues[{source, tag}];
+  box.cv.wait(lock, [&] { return !queue.empty(); });
+  Message msg = std::move(queue.front());
+  queue.pop_front();
+  lock.unlock();
+  clock().merge(msg.send_time + impl_->model.p2p(msg.payload.size()));
+  return std::move(msg.payload);
+}
+
+void Comm::barrier() {
+  std::vector<std::byte> out;
+  impl_->collective(
+      rank_, {},
+      [](auto& /*in*/, auto& /*out*/) -> std::size_t { return 0; }, out);
+}
+
+std::vector<std::byte> Comm::allgatherv_bytes(
+    const std::vector<std::byte>& mine, std::vector<std::size_t>& counts) {
+  const int n = impl_->size;
+  std::vector<std::byte> out;
+  impl_->collective(
+      rank_, mine,
+      [n](std::vector<std::vector<std::byte>>& in,
+          std::vector<std::vector<std::byte>>& outputs) -> std::size_t {
+        std::vector<std::byte> concat;
+        std::size_t total = 0;
+        for (auto& i : in) total += i.size();
+        concat.reserve(total + n * sizeof(std::size_t));
+        // Header: per-rank byte counts, then concatenated payloads.
+        for (auto& i : in) {
+          const std::size_t c = i.size();
+          const auto* p = reinterpret_cast<const std::byte*>(&c);
+          concat.insert(concat.end(), p, p + sizeof(std::size_t));
+        }
+        for (auto& i : in) concat.insert(concat.end(), i.begin(), i.end());
+        for (auto& o : outputs) o = concat;
+        return total;
+      },
+      out);
+  counts.assign(n, 0);
+  std::memcpy(counts.data(), out.data(), n * sizeof(std::size_t));
+  std::vector<std::byte> data(out.begin() + n * sizeof(std::size_t),
+                              out.end());
+  return data;
+}
+
+namespace {
+
+double reduce_collective(CommImpl& impl, int rank, double value,
+                         double (*op)(double, double)) {
+  std::vector<std::byte> in(sizeof(double));
+  std::memcpy(in.data(), &value, sizeof(double));
+  std::vector<std::byte> out;
+  impl.collective(
+      rank, std::move(in),
+      [op](std::vector<std::vector<std::byte>>& inputs,
+           std::vector<std::vector<std::byte>>& outputs) -> std::size_t {
+        double acc = 0.0;
+        bool first = true;
+        for (auto& i : inputs) {
+          double v;
+          std::memcpy(&v, i.data(), sizeof(double));
+          acc = first ? v : op(acc, v);
+          first = false;
+        }
+        std::vector<std::byte> bytes(sizeof(double));
+        std::memcpy(bytes.data(), &acc, sizeof(double));
+        for (auto& o : outputs) o = bytes;
+        return sizeof(double) * inputs.size();
+      },
+      out);
+  double result;
+  std::memcpy(&result, out.data(), sizeof(double));
+  return result;
+}
+
+}  // namespace
+
+double Comm::allreduce_sum(double value) {
+  return reduce_collective(*impl_, rank_, value,
+                           [](double a, double b) { return a + b; });
+}
+
+double Comm::allreduce_max(double value) {
+  return reduce_collective(*impl_, rank_, value,
+                           [](double a, double b) { return std::max(a, b); });
+}
+
+double Comm::allreduce_min(double value) {
+  return reduce_collective(*impl_, rank_, value,
+                           [](double a, double b) { return std::min(a, b); });
+}
+
+void Comm::broadcast_bytes(std::vector<std::byte>& bytes, int root) {
+  std::vector<std::byte> out;
+  impl_->collective(
+      rank_, bytes,
+      [root](std::vector<std::vector<std::byte>>& inputs,
+             std::vector<std::vector<std::byte>>& outputs) -> std::size_t {
+        for (auto& o : outputs) o = inputs[root];
+        return inputs[root].size();
+      },
+      out);
+  bytes = std::move(out);
+}
+
+std::vector<std::vector<std::byte>> Comm::alltoallv_bytes(
+    const std::vector<std::vector<std::byte>>& to_each) {
+  if (static_cast<int>(to_each.size()) != impl_->size)
+    throw std::invalid_argument("alltoallv: need one payload per rank");
+  // Flatten with a (count per destination) header.
+  std::vector<std::byte> flat;
+  for (const auto& payload : to_each) {
+    const std::size_t c = payload.size();
+    const auto* p = reinterpret_cast<const std::byte*>(&c);
+    flat.insert(flat.end(), p, p + sizeof(std::size_t));
+    flat.insert(flat.end(), payload.begin(), payload.end());
+  }
+  const int n = impl_->size;
+  std::vector<std::byte> out;
+  impl_->collective(
+      rank_, std::move(flat),
+      [n](std::vector<std::vector<std::byte>>& inputs,
+          std::vector<std::vector<std::byte>>& outputs) -> std::size_t {
+        std::size_t total = 0;
+        // Parse each source's flattened buffer into per-dest segments.
+        std::vector<std::vector<std::pair<std::size_t, std::size_t>>> seg(
+            n);  // seg[src][dst] = (offset, count)
+        for (int src = 0; src < n; ++src) {
+          std::size_t off = 0;
+          seg[src].resize(n);
+          for (int dst = 0; dst < n; ++dst) {
+            std::size_t c;
+            std::memcpy(&c, inputs[src].data() + off, sizeof(std::size_t));
+            off += sizeof(std::size_t);
+            seg[src][dst] = {off, c};
+            off += c;
+            total += c;
+          }
+        }
+        for (int dst = 0; dst < n; ++dst) {
+          std::vector<std::byte> mine;
+          for (int src = 0; src < n; ++src) {
+            const auto [off, c] = seg[src][dst];
+            const std::size_t cc = c;
+            const auto* p = reinterpret_cast<const std::byte*>(&cc);
+            mine.insert(mine.end(), p, p + sizeof(std::size_t));
+            mine.insert(mine.end(), inputs[src].begin() + off,
+                        inputs[src].begin() + off + c);
+          }
+          outputs[dst] = std::move(mine);
+        }
+        return total;
+      },
+      out);
+  // Unpack per-source segments.
+  std::vector<std::vector<std::byte>> result(n);
+  std::size_t off = 0;
+  for (int src = 0; src < n; ++src) {
+    std::size_t c;
+    std::memcpy(&c, out.data() + off, sizeof(std::size_t));
+    off += sizeof(std::size_t);
+    result[src].assign(out.begin() + off, out.begin() + off + c);
+    off += c;
+  }
+  return result;
+}
+
+Comm Comm::split(int color, int key) {
+  // Gather (color, key, old rank) from everyone.
+  struct Entry {
+    int color, key, old_rank;
+  };
+  std::vector<std::byte> in(sizeof(Entry));
+  const Entry mine{color, key, rank_};
+  std::memcpy(in.data(), &mine, sizeof(Entry));
+  std::vector<std::byte> out;
+  const std::uint64_t gen = impl_->collective(
+      rank_, std::move(in),
+      [](std::vector<std::vector<std::byte>>& inputs,
+         std::vector<std::vector<std::byte>>& outputs) -> std::size_t {
+        std::vector<std::byte> concat;
+        for (auto& i : inputs)
+          concat.insert(concat.end(), i.begin(), i.end());
+        for (auto& o : outputs) o = concat;
+        return concat.size();
+      },
+      out);
+
+  std::vector<Entry> entries(impl_->size);
+  std::memcpy(entries.data(), out.data(), out.size());
+  std::vector<Entry> group;
+  for (const auto& e : entries)
+    if (e.color == color) group.push_back(e);
+  std::sort(group.begin(), group.end(), [](const Entry& a, const Entry& b) {
+    return std::tie(a.key, a.old_rank) < std::tie(b.key, b.old_rank);
+  });
+  int my_new_rank = -1;
+  for (std::size_t i = 0; i < group.size(); ++i)
+    if (group[i].old_rank == rank_) my_new_rank = static_cast<int>(i);
+
+  // The group leader (new rank 0) builds and publishes the child impl.
+  const auto map_key = std::make_pair(gen, color);
+  std::shared_ptr<CommImpl> child;
+  if (my_new_rank == 0) {
+    child = std::make_shared<CommImpl>(static_cast<int>(group.size()),
+                                       impl_->model);
+    for (std::size_t i = 0; i < group.size(); ++i)
+      child->clocks.push_back(impl_->clocks[group[i].old_rank]);
+    {
+      std::lock_guard lock(impl_->split_mu);
+      impl_->split_published[map_key] = child;
+    }
+    impl_->split_cv.notify_all();
+  } else {
+    std::unique_lock lock(impl_->split_mu);
+    impl_->split_cv.wait(
+        lock, [&] { return impl_->split_published.count(map_key) > 0; });
+    child = impl_->split_published[map_key];
+  }
+  return Comm(std::move(child), my_new_rank);
+}
+
+std::vector<double> Runtime::run(
+    int n_ranks, const std::function<void(Comm&)>& rank_main) {
+  if (n_ranks < 1) throw std::invalid_argument("need at least one rank");
+  std::vector<VirtualClock> clocks(n_ranks);
+  auto world = std::make_shared<CommImpl>(n_ranks, model_);
+  for (auto& c : clocks) world->clocks.push_back(&c);
+
+  std::vector<std::thread> threads;
+  std::vector<std::exception_ptr> errors(n_ranks);
+  threads.reserve(n_ranks);
+  for (int r = 0; r < n_ranks; ++r) {
+    threads.emplace_back([&, r] {
+      Comm comm(world, r);
+      try {
+        rank_main(comm);
+      } catch (...) {
+        errors[r] = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (auto& e : errors)
+    if (e) std::rethrow_exception(e);
+
+  std::vector<double> times(n_ranks);
+  for (int r = 0; r < n_ranks; ++r) times[r] = clocks[r].now();
+  return times;
+}
+
+}  // namespace stnb::mpsim

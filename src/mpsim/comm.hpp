@@ -1,0 +1,138 @@
+// Simulated MPI: communicators, point-to-point messaging, and collectives
+// over in-process rank threads. The API is a deliberately small subset of
+// MPI shaped like the paper's usage (Fig. 2): world -> split into PEPC
+// (space) and PFASST (time) communicators; sends are buffered/non-blocking,
+// receives match on (source, tag) and block.
+//
+// Every operation also advances the rank's VirtualClock per the CostModel,
+// so "wall clock" measurements of the simulated machine come out of
+// Comm::clock().now().
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstring>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "mpsim/clock.hpp"
+#include "mpsim/costmodel.hpp"
+
+namespace stnb::mpsim {
+
+class Runtime;
+struct CommImpl;
+
+/// Lightweight value handle to a communicator; copyable, thread-compatible
+/// (each rank uses its own local-rank view via the owning thread).
+class Comm {
+ public:
+  Comm() = default;
+
+  int rank() const { return rank_; }
+  int size() const;
+
+  VirtualClock& clock();
+  const CostModel& cost() const;
+
+  /// Advances this rank's clock by modeled compute time.
+  void compute(double seconds) { clock().advance(seconds); }
+
+  // -- point-to-point ------------------------------------------------------
+  void send_bytes(int dest, int tag, const void* data, std::size_t bytes);
+  std::vector<std::byte> recv_bytes(int source, int tag);
+
+  template <typename T>
+  void send(int dest, int tag, const std::vector<T>& values) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    send_bytes(dest, tag, values.data(), values.size() * sizeof(T));
+  }
+
+  template <typename T>
+  std::vector<T> recv(int source, int tag) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const auto raw = recv_bytes(source, tag);
+    std::vector<T> values(raw.size() / sizeof(T));
+    std::memcpy(values.data(), raw.data(), raw.size());
+    return values;
+  }
+
+  // -- collectives ---------------------------------------------------------
+  void barrier();
+
+  /// Concatenation allgather: returns all ranks' contributions in rank
+  /// order, plus (via `counts`) each rank's element count.
+  template <typename T>
+  std::vector<T> allgatherv(const std::vector<T>& mine,
+                            std::vector<std::size_t>* counts = nullptr) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    std::vector<std::byte> bytes(mine.size() * sizeof(T));
+    std::memcpy(bytes.data(), mine.data(), bytes.size());
+    std::vector<std::size_t> byte_counts;
+    const auto all = allgatherv_bytes(bytes, byte_counts);
+    std::vector<T> out(all.size() / sizeof(T));
+    std::memcpy(out.data(), all.data(), all.size());
+    if (counts != nullptr) {
+      counts->clear();
+      for (auto b : byte_counts) counts->push_back(b / sizeof(T));
+    }
+    return out;
+  }
+
+  double allreduce_sum(double value);
+  double allreduce_max(double value);
+  double allreduce_min(double value);
+
+  template <typename T>
+  void broadcast(std::vector<T>& data, int root) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    std::vector<std::byte> bytes;
+    if (rank_ == root) {
+      bytes.resize(data.size() * sizeof(T));
+      std::memcpy(bytes.data(), data.data(), bytes.size());
+    }
+    broadcast_bytes(bytes, root);
+    data.assign(bytes.size() / sizeof(T), T{});
+    std::memcpy(data.data(), bytes.data(), bytes.size());
+  }
+
+  /// All-to-all with per-destination payloads; returns per-source payloads.
+  std::vector<std::vector<std::byte>> alltoallv_bytes(
+      const std::vector<std::vector<std::byte>>& to_each);
+
+  /// MPI_Comm_split: ranks with the same color form a new communicator,
+  /// ordered by (key, old rank).
+  Comm split(int color, int key);
+
+ private:
+  friend class Runtime;
+  Comm(std::shared_ptr<CommImpl> impl, int rank)
+      : impl_(std::move(impl)), rank_(rank) {}
+
+  std::vector<std::byte> allgatherv_bytes(const std::vector<std::byte>& mine,
+                                          std::vector<std::size_t>& counts);
+  void broadcast_bytes(std::vector<std::byte>& bytes, int root);
+
+  std::shared_ptr<CommImpl> impl_;
+  int rank_ = 0;
+};
+
+/// Runs `rank_main` on `n_ranks` threads connected by a world communicator.
+/// Returns the final virtual time of each rank. Exceptions from rank
+/// bodies are rethrown (first one wins) after all threads join.
+class Runtime {
+ public:
+  explicit Runtime(CostModel model = {}) : model_(model) {}
+
+  std::vector<double> run(int n_ranks,
+                          const std::function<void(Comm&)>& rank_main);
+
+ private:
+  CostModel model_;
+};
+
+}  // namespace stnb::mpsim

@@ -1,0 +1,49 @@
+// Performance model for the simulated message-passing machine. The
+// simulated runtime executes the *real* algorithm (actual messages between
+// rank threads) but advances per-rank virtual clocks using counted work
+// and a LogP-style communication model, so scaling results are
+// deterministic and independent of the host machine.
+//
+// Default constants approximate a Blue Gene/P node (850 MHz PowerPC 450,
+// 3D-torus network, ~375 MB/s per link, few-microsecond latency) — the
+// paper's JUGENE. They are deliberately round numbers: the reproduction
+// targets the *shape* of the scaling curves, not absolute seconds.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+
+namespace stnb::mpsim {
+
+struct CostModel {
+  // -- computation ---------------------------------------------------------
+  /// One near-field particle-particle kernel evaluation (~100 flops on a
+  /// ~100 Mflop/s effective core).
+  double t_near_interaction = 1.0e-6;
+  /// One particle-multipole evaluation (quadrupole tensors, ~3x near).
+  double t_far_interaction = 3.0e-6;
+  /// Per-particle cost of key generation + one merge/sort pass level.
+  double t_sort_per_particle = 0.2e-6;
+  /// Per-node cost of building/aggregating one tree node (moments, M2M).
+  double t_tree_node = 1.5e-6;
+
+  // -- communication (LogP-ish) -------------------------------------------
+  /// Per-message latency (software + network).
+  double t_latency = 5.0e-6;
+  /// Per-byte transfer time (~375 MB/s per BG/P link).
+  double t_per_byte = 1.0 / 375.0e6;
+
+  /// Point-to-point message cost.
+  double p2p(std::size_t bytes) const {
+    return t_latency + static_cast<double>(bytes) * t_per_byte;
+  }
+
+  /// Synchronizing collective over `ranks` ranks moving `bytes` total
+  /// through the bottleneck rank: log2(P) latency tree + serialization.
+  double collective(int ranks, std::size_t bytes) const {
+    const double hops = ranks > 1 ? std::ceil(std::log2(ranks)) : 0.0;
+    return hops * t_latency + static_cast<double>(bytes) * t_per_byte;
+  }
+};
+
+}  // namespace stnb::mpsim

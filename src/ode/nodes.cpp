@@ -1,0 +1,126 @@
+#include "ode/nodes.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace stnb::ode {
+
+std::string to_string(NodeType type) {
+  switch (type) {
+    case NodeType::kGaussLobatto:
+      return "gauss-lobatto";
+    case NodeType::kGaussLegendre:
+      return "gauss-legendre";
+    case NodeType::kUniform:
+      return "uniform";
+  }
+  return "?";
+}
+
+LegendreEval legendre(int n, double x) {
+  if (n == 0) return {1.0, 0.0};
+  double p_prev = 1.0;  // P_0
+  double p = x;         // P_1
+  for (int k = 2; k <= n; ++k) {
+    const double p_next = ((2 * k - 1) * x * p - (k - 1) * p_prev) / k;
+    p_prev = p;
+    p = p_next;
+  }
+  // P_n'(x) = n (x P_n - P_{n-1}) / (x^2 - 1); guard the endpoints where
+  // the closed form is singular: P_n'(±1) = ±^{n+1} n(n+1)/2.
+  double dp;
+  if (std::abs(x * x - 1.0) < 1e-14) {
+    dp = 0.5 * n * (n + 1);
+    if (x < 0.0 && n % 2 == 0) dp = -dp;
+  } else {
+    dp = n * (x * p - p_prev) / (x * x - 1.0);
+  }
+  return {p, dp};
+}
+
+namespace {
+
+// Roots of P_n on (-1, 1), ascending.
+std::vector<double> legendre_roots(int n) {
+  std::vector<double> roots(n);
+  for (int i = 0; i < n; ++i) {
+    // Tricomi-style initial guess, then Newton.
+    double x = -std::cos(std::numbers::pi * (i + 0.75) / (n + 0.5));
+    for (int it = 0; it < 100; ++it) {
+      const auto [p, dp] = legendre(n, x);
+      const double step = p / dp;
+      x -= step;
+      if (std::abs(step) < 1e-15) break;
+    }
+    roots[i] = x;
+  }
+  return roots;
+}
+
+// Roots of P_n' on (-1, 1) — interior Gauss-Lobatto nodes for n+2 points.
+std::vector<double> legendre_derivative_roots(int n) {
+  std::vector<double> roots(n > 0 ? n - 1 : 0);
+  for (int i = 1; i < n; ++i) {
+    // Interior extrema of P_n interlace its roots; a cosine grid guess
+    // converges reliably under Newton on P_n'.
+    double x = -std::cos(std::numbers::pi * i / n);
+    for (int it = 0; it < 100; ++it) {
+      const auto [p, dp] = legendre(n, x);
+      // d/dx P_n' from the Legendre ODE: (1-x^2) P_n'' = 2x P_n' - n(n+1) P_n
+      const double ddp = (2.0 * x * dp - n * (n + 1) * p) / (1.0 - x * x);
+      const double step = dp / ddp;
+      x -= step;
+      if (std::abs(step) < 1e-15) break;
+    }
+    roots[i - 1] = x;
+  }
+  return roots;
+}
+
+}  // namespace
+
+std::vector<double> collocation_nodes(NodeType type, int count) {
+  if (count < 1) throw std::invalid_argument("need at least one node");
+  std::vector<double> nodes;
+  switch (type) {
+    case NodeType::kGaussLegendre: {
+      for (double r : legendre_roots(count)) nodes.push_back(0.5 * (r + 1.0));
+      break;
+    }
+    case NodeType::kGaussLobatto: {
+      if (count < 2)
+        throw std::invalid_argument("Gauss-Lobatto needs >= 2 nodes");
+      nodes.push_back(0.0);
+      for (double r : legendre_derivative_roots(count - 1))
+        nodes.push_back(0.5 * (r + 1.0));
+      nodes.push_back(1.0);
+      break;
+    }
+    case NodeType::kUniform: {
+      if (count < 2) throw std::invalid_argument("uniform needs >= 2 nodes");
+      for (int i = 0; i < count; ++i)
+        nodes.push_back(static_cast<double>(i) / (count - 1));
+      break;
+    }
+  }
+  return nodes;
+}
+
+QuadratureRule gauss_legendre_rule(int count, double a, double b) {
+  QuadratureRule rule;
+  rule.points.reserve(count);
+  rule.weights.reserve(count);
+  const double mid = 0.5 * (a + b);
+  const double half = 0.5 * (b - a);
+  for (double r : legendre_roots(count)) {
+    const auto [p, dp] = legendre(count, r);
+    (void)p;
+    const double w = 2.0 / ((1.0 - r * r) * dp * dp);
+    rule.points.push_back(mid + half * r);
+    rule.weights.push_back(half * w);
+  }
+  return rule;
+}
+
+}  // namespace stnb::ode

@@ -1,0 +1,42 @@
+// Collocation node families on [0, 1] for spectral deferred corrections.
+// The paper uses Gauss-Lobatto nodes (3 fine / 2 coarse); we also provide
+// Gauss-Legendre (interior-only, for quadrature of Lagrange polynomials)
+// and equidistant nodes. Nodes are computed by Newton iteration on
+// Legendre polynomials to machine precision — no tables.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace stnb::ode {
+
+enum class NodeType {
+  kGaussLobatto,   // includes both endpoints; degree of exactness 2M-3
+  kGaussLegendre,  // interior nodes only; degree of exactness 2M-1
+  kUniform,        // equidistant incl. endpoints
+};
+
+std::string to_string(NodeType type);
+
+/// Legendre polynomial P_n(x) and derivative P_n'(x) by recurrence.
+struct LegendreEval {
+  double value;
+  double derivative;
+};
+LegendreEval legendre(int n, double x);
+
+/// Returns `count` collocation nodes of the given family, ascending, on
+/// [0, 1]. Throws std::invalid_argument for count < 1 (or < 2 for
+/// endpoint-including families).
+std::vector<double> collocation_nodes(NodeType type, int count);
+
+/// Gauss-Legendre quadrature rule on [a, b] (nodes and weights), exact for
+/// polynomials of degree <= 2*count - 1. Used to integrate Lagrange basis
+/// polynomials exactly when assembling spectral integration matrices.
+struct QuadratureRule {
+  std::vector<double> points;
+  std::vector<double> weights;
+};
+QuadratureRule gauss_legendre_rule(int count, double a, double b);
+
+}  // namespace stnb::ode

@@ -1,0 +1,67 @@
+#include "ode/quadrature.hpp"
+
+#include <stdexcept>
+
+namespace stnb::ode {
+
+double lagrange_basis(const std::vector<double>& nodes, int j, double x) {
+  double value = 1.0;
+  for (int k = 0; k < static_cast<int>(nodes.size()); ++k) {
+    if (k == j) continue;
+    value *= (x - nodes[k]) / (nodes[j] - nodes[k]);
+  }
+  return value;
+}
+
+namespace {
+
+// \int_a^b l_j(s) ds, exact: the basis has degree M, and a rule with
+// ceil((M+1)/2) points suffices; we use M+2 points for headroom.
+double integrate_basis(const std::vector<double>& nodes, int j, double a,
+                       double b) {
+  const int n_quad = static_cast<int>(nodes.size()) + 2;
+  const QuadratureRule rule = gauss_legendre_rule(n_quad, a, b);
+  double sum = 0.0;
+  for (int q = 0; q < n_quad; ++q)
+    sum += rule.weights[q] * lagrange_basis(nodes, j, rule.points[q]);
+  return sum;
+}
+
+}  // namespace
+
+Matrix q_matrix(const std::vector<double>& nodes) {
+  const int n = static_cast<int>(nodes.size());
+  Matrix q(n, n);
+  for (int m = 1; m < n; ++m)
+    for (int j = 0; j < n; ++j)
+      q(m, j) = q(m - 1, j) + integrate_basis(nodes, j, nodes[m - 1], nodes[m]);
+  return q;
+}
+
+Matrix s_matrix(const std::vector<double>& nodes) {
+  const int n = static_cast<int>(nodes.size());
+  if (n < 2) throw std::invalid_argument("need >= 2 nodes");
+  Matrix s(n - 1, n);
+  for (int m = 0; m + 1 < n; ++m)
+    for (int j = 0; j < n; ++j)
+      s(m, j) = integrate_basis(nodes, j, nodes[m], nodes[m + 1]);
+  return s;
+}
+
+Matrix interpolation_matrix(const std::vector<double>& from,
+                            const std::vector<double>& to) {
+  Matrix p(static_cast<int>(to.size()), static_cast<int>(from.size()));
+  for (int i = 0; i < p.rows; ++i)
+    for (int j = 0; j < p.cols; ++j)
+      p(i, j) = lagrange_basis(from, j, to[i]);
+  return p;
+}
+
+std::vector<double> end_weights(const std::vector<double>& nodes) {
+  const int n = static_cast<int>(nodes.size());
+  std::vector<double> w(n);
+  for (int j = 0; j < n; ++j) w[j] = integrate_basis(nodes, j, 0.0, 1.0);
+  return w;
+}
+
+}  // namespace stnb::ode

@@ -1,0 +1,54 @@
+// Spectral integration matrices for collocation/SDC. Following the paper's
+// notation (Sec. III-B1): for nodes t_0 < ... < t_M spanning one time step,
+//   Q  is the M x (M+1) matrix with  q_{m,j} = \int_{t_0}^{t_m} l_j(s) ds
+//   S  is the node-to-node form      s_{m,j} = \int_{t_m}^{t_{m+1}} l_j(s) ds
+// where l_j are the Lagrange basis polynomials of the node set. All entries
+// are computed by Gauss-Legendre quadrature of sufficient order, i.e. they
+// are exact (to roundoff) for the polynomial integrands.
+#pragma once
+
+#include <vector>
+
+#include "ode/nodes.hpp"
+
+namespace stnb::ode {
+
+/// Dense row-major matrix, minimal interface (this module only needs
+/// construction and application to node-value arrays).
+struct Matrix {
+  int rows = 0;
+  int cols = 0;
+  std::vector<double> a;  // row-major, rows*cols
+
+  Matrix() = default;
+  Matrix(int r, int c) : rows(r), cols(c), a(static_cast<size_t>(r) * c) {}
+  double& operator()(int r, int c) { return a[static_cast<size_t>(r) * cols + c]; }
+  double operator()(int r, int c) const {
+    return a[static_cast<size_t>(r) * cols + c];
+  }
+};
+
+/// Evaluates the j-th Lagrange basis polynomial of `nodes` at x.
+double lagrange_basis(const std::vector<double>& nodes, int j, double x);
+
+/// Cumulative integration matrix: (M+1) x (M+1), row m holds
+/// \int_{t_0}^{t_m} l_j. Row 0 is zero; rows 1..M match the paper's Q.
+Matrix q_matrix(const std::vector<double>& nodes);
+
+/// Node-to-node integration matrix: M x (M+1), row m holds
+/// \int_{t_m}^{t_{m+1}} l_j.
+Matrix s_matrix(const std::vector<double>& nodes);
+
+/// Interpolation matrix P with P(i, j) = l_j^{from}(to_i): maps values on
+/// `from` nodes to values on `to` nodes by polynomial interpolation. Used
+/// for PFASST time coarsening/refinement between nested Lobatto sets.
+Matrix interpolation_matrix(const std::vector<double>& from,
+                            const std::vector<double>& to);
+
+/// End-of-step quadrature weights w_j = \int_0^1 l_j over the full step.
+/// For endpoint-including node sets this equals the last row of the
+/// cumulative matrix; for interior node sets (Gauss-Legendre) these are
+/// the classical quadrature weights.
+std::vector<double> end_weights(const std::vector<double>& nodes);
+
+}  // namespace stnb::ode

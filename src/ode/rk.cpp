@@ -1,0 +1,52 @@
+#include "ode/rk.hpp"
+
+namespace stnb::ode {
+
+ButcherTableau ButcherTableau::forward_euler() {
+  return {{{}}, {1.0}, {0.0}};
+}
+
+ButcherTableau ButcherTableau::heun2() {
+  return {{{}, {1.0}}, {0.5, 0.5}, {0.0, 1.0}};
+}
+
+ButcherTableau ButcherTableau::ssp_rk3() {
+  return {{{}, {1.0}, {0.25, 0.25}},
+          {1.0 / 6.0, 1.0 / 6.0, 2.0 / 3.0},
+          {0.0, 1.0, 0.5}};
+}
+
+ButcherTableau ButcherTableau::classical_rk4() {
+  return {{{}, {0.5}, {0.0, 0.5}, {0.0, 0.0, 1.0}},
+          {1.0 / 6.0, 1.0 / 3.0, 1.0 / 3.0, 1.0 / 6.0},
+          {0.0, 0.5, 0.5, 1.0}};
+}
+
+RungeKutta::RungeKutta(ButcherTableau tableau, std::size_t dof)
+    : tableau_(std::move(tableau)),
+      k_(tableau_.stages(), State(dof, 0.0)),
+      stage_(dof, 0.0) {}
+
+void RungeKutta::step(const RhsFn& rhs, double t, double dt, State& u) {
+  const int s = tableau_.stages();
+  for (int i = 0; i < s; ++i) {
+    stage_ = u;
+    for (int j = 0; j < i; ++j) {
+      const double aij = tableau_.a[i][j];
+      if (aij != 0.0) axpy(dt * aij, k_[j], stage_);
+    }
+    rhs(t + tableau_.c[i] * dt, stage_, k_[i]);
+    ++rhs_evals_;
+  }
+  for (int i = 0; i < s; ++i) {
+    if (tableau_.b[i] != 0.0) axpy(dt * tableau_.b[i], k_[i], u);
+  }
+}
+
+State RungeKutta::integrate(const RhsFn& rhs, State u0, double t0, double dt,
+                            int nsteps) {
+  for (int n = 0; n < nsteps; ++n) step(rhs, t0 + n * dt, dt, u0);
+  return u0;
+}
+
+}  // namespace stnb::ode

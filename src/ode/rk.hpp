@@ -1,0 +1,49 @@
+// Classical explicit Runge-Kutta schemes via Butcher tableaus. These are
+// the time-serial baselines the paper mentions ("classically, time-serial
+// third- or fourth-order Runge-Kutta schemes are used", Sec. II) and the
+// Fig. 1 integrator (second-order RK).
+#pragma once
+
+#include <vector>
+
+#include "ode/sdc.hpp"
+#include "ode/vspace.hpp"
+
+namespace stnb::ode {
+
+/// Explicit Butcher tableau: row m of `a` has m entries (strictly lower
+/// triangular), `b` the output weights, `c` the stage times.
+struct ButcherTableau {
+  std::vector<std::vector<double>> a;
+  std::vector<double> b;
+  std::vector<double> c;
+
+  int stages() const { return static_cast<int>(b.size()); }
+
+  static ButcherTableau forward_euler();
+  static ButcherTableau heun2();        // second-order (Fig. 1 scheme)
+  static ButcherTableau ssp_rk3();      // third-order strong-stability
+  static ButcherTableau classical_rk4();
+};
+
+class RungeKutta {
+ public:
+  RungeKutta(ButcherTableau tableau, std::size_t dof);
+
+  /// One step u(t) -> u(t+dt), in place.
+  void step(const RhsFn& rhs, double t, double dt, State& u);
+
+  /// nsteps uniform steps starting from u0.
+  State integrate(const RhsFn& rhs, State u0, double t0, double dt,
+                  int nsteps);
+
+  long rhs_evaluations() const { return rhs_evals_; }
+
+ private:
+  ButcherTableau tableau_;
+  std::vector<State> k_;  // stage derivatives
+  State stage_;           // scratch stage state
+  long rhs_evals_ = 0;
+};
+
+}  // namespace stnb::ode

@@ -1,0 +1,114 @@
+#include "ode/sdc.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace stnb::ode {
+
+SdcSweeper::SdcSweeper(std::vector<double> nodes, std::size_t dof)
+    : nodes_(std::move(nodes)),
+      q_(q_matrix(nodes_)),
+      s_(s_matrix(nodes_)),
+      dof_(dof) {
+  if (nodes_.size() < 2 || std::abs(nodes_.front()) > 1e-14 ||
+      std::abs(nodes_.back() - 1.0) > 1e-14) {
+    throw std::invalid_argument(
+        "SdcSweeper requires nodes spanning [0,1] incl. endpoints");
+  }
+  u_.assign(nodes_.size(), State(dof_, 0.0));
+  f_.assign(nodes_.size(), State(dof_, 0.0));
+}
+
+void SdcSweeper::set_initial(const State& u0) {
+  if (u0.size() != dof_) throw std::invalid_argument("bad u0 size");
+  u_[0] = u0;
+}
+
+void SdcSweeper::spread(double t0, double dt, const RhsFn& rhs) {
+  rhs(t0, u_[0], f_[0]);
+  ++rhs_evals_;
+  for (std::size_t m = 1; m < u_.size(); ++m) {
+    u_[m] = u_[0];
+    f_[m] = f_[0];
+  }
+  (void)dt;
+}
+
+void SdcSweeper::sweep(double t0, double dt, const RhsFn& rhs,
+                       bool refresh_left_f) {
+  const int m_nodes = num_nodes();
+  if (refresh_left_f) {
+    rhs(t0 + dt * nodes_[0], u_[0], f_[0]);
+    ++rhs_evals_;
+  }
+  // Node-to-node spectral integrals of the previous iterate (incl. tau).
+  const std::vector<State> integrals = integrate_node_to_node(dt, true);
+
+  // f_old holds f(t_m, U^k_m) for the node we are about to overwrite.
+  State f_old = f_[0];
+  State f_new(dof_);
+  for (int m = 0; m + 1 < m_nodes; ++m) {
+    const double dtm = dt * (nodes_[m + 1] - nodes_[m]);
+    // U^{k+1}_{m+1} = U^{k+1}_m + dtm (F^{k+1}_m - F^k_m) + I_m
+    State next = u_[m];
+    axpy(dtm, f_[m], next);   // + dtm * f(U^{k+1}_m)  (f_[m] is updated)
+    axpy(-dtm, f_old, next);  // - dtm * f(U^k_m)
+    axpy(1.0, integrals[m], next);
+
+    f_old = f_[m + 1];  // save f(U^k_{m+1}) before overwriting
+    u_[m + 1] = std::move(next);
+    rhs(t0 + dt * nodes_[m + 1], u_[m + 1], f_new);
+    ++rhs_evals_;
+    f_[m + 1] = f_new;
+  }
+}
+
+void SdcSweeper::evaluate_all(double t0, double dt, const RhsFn& rhs) {
+  for (int m = 0; m < num_nodes(); ++m) {
+    rhs(t0 + dt * nodes_[m], u_[m], f_[m]);
+    ++rhs_evals_;
+  }
+}
+
+void SdcSweeper::set_tau(std::vector<State> tau) {
+  if (!tau.empty() && static_cast<int>(tau.size()) != num_nodes() - 1)
+    throw std::invalid_argument("tau must have M entries");
+  tau_ = std::move(tau);
+}
+
+double SdcSweeper::residual(double dt) const {
+  double worst = 0.0;
+  State r(dof_);
+  for (int m = 1; m < num_nodes(); ++m) {
+    r = u_[0];
+    for (int j = 0; j < num_nodes(); ++j) axpy(dt * q_(m, j), f_[j], r);
+    axpy(-1.0, u_[m], r);
+    worst = std::max(worst, inf_norm(r));
+  }
+  return worst;
+}
+
+std::vector<State> SdcSweeper::integrate_node_to_node(
+    double dt, bool include_tau) const {
+  std::vector<State> integrals(num_nodes() - 1, State(dof_, 0.0));
+  for (int m = 0; m + 1 < num_nodes(); ++m) {
+    for (int j = 0; j < num_nodes(); ++j)
+      axpy(dt * s_(m, j), f_[j], integrals[m]);
+    if (include_tau && !tau_.empty()) axpy(1.0, tau_[m], integrals[m]);
+  }
+  return integrals;
+}
+
+State sdc_integrate(SdcSweeper& sweeper, const RhsFn& rhs, State u0,
+                    double t0, double dt, int nsteps, int sweeps) {
+  for (int step = 0; step < nsteps; ++step) {
+    const double t = t0 + step * dt;
+    sweeper.set_initial(u0);
+    sweeper.spread(t, dt, rhs);
+    for (int k = 0; k < sweeps; ++k) sweeper.sweep(t, dt, rhs);
+    u0 = sweeper.end_value();
+  }
+  return u0;
+}
+
+}  // namespace stnb::ode

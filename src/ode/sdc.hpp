@@ -1,0 +1,102 @@
+// Explicit spectral deferred corrections (SDC) on one time step, following
+// Dutt/Greengard/Rokhlin and the sweep form of the paper's Eq. (13):
+//
+//   U^{k+1}_{m+1} = U^{k+1}_m
+//                 + dt_m [ f(t_m, U^{k+1}_m) - f(t_m, U^k_m) ]
+//                 + \int_{t_m}^{t_{m+1}} f(s, U^k(s)) ds  (+ FAS tau)
+//
+// The sweeper owns node values U and function values F for one step and is
+// reused by the serial SDC driver, parareal's fine/coarse propagators, and
+// the PFASST levels (which add FAS corrections via `set_tau`).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "ode/quadrature.hpp"
+#include "ode/vspace.hpp"
+
+namespace stnb::ode {
+
+/// Right-hand side callback: f(t, u) -> f. `f` is pre-sized to u.size().
+using RhsFn =
+    std::function<void(double t, const State& u, State& f)>;
+
+class SdcSweeper {
+ public:
+  /// `nodes` are collocation points on [0,1]; the first/last node must be
+  /// 0/1 (Lobatto or uniform) so the end value is a node value. `dof` is
+  /// the state dimension.
+  SdcSweeper(std::vector<double> nodes, std::size_t dof);
+
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+  const std::vector<double>& nodes() const { return nodes_; }
+  std::size_t dof() const { return dof_; }
+
+  /// Sets U_0 (value at the left endpoint). Does not touch other nodes.
+  void set_initial(const State& u0);
+
+  /// Spreads U_0 to all nodes and evaluates F everywhere: the cheapest
+  /// provisional solution (iteration 0). Counts M+1 RHS evaluations.
+  void spread(double t0, double dt, const RhsFn& rhs);
+
+  /// One correction sweep (Eq. 13). Uses the stored (U, F) as iterate k
+  /// and replaces them with iterate k+1. Counts M RHS evaluations plus
+  /// one for the refreshed left node if `refresh_left_f` is set (needed
+  /// when U_0 changed since F_0 was computed, e.g. after a PFASST
+  /// receive).
+  void sweep(double t0, double dt, const RhsFn& rhs,
+             bool refresh_left_f = false);
+
+  /// Re-evaluates F at every node from the current U (Algorithm 1's
+  /// FEval after restriction/interpolation). Counts M+1 RHS evaluations.
+  void evaluate_all(double t0, double dt, const RhsFn& rhs);
+
+  /// FAS correction: tau[m] is the node-to-node integral correction added
+  /// on the interval [t_m, t_{m+1}] during sweeps (empty = none). Sized
+  /// (M) x dof.
+  void set_tau(std::vector<State> tau);
+  const std::vector<State>& tau() const { return tau_; }
+  void clear_tau() { tau_.clear(); }
+
+  /// Access to node values / function values (m in [0, M]).
+  State& u(int m) { return u_[m]; }
+  const State& u(int m) const { return u_[m]; }
+  State& f(int m) { return f_[m]; }
+  const State& f(int m) const { return f_[m]; }
+
+  const State& end_value() const { return u_.back(); }
+
+  /// Collocation residual r_m = U_0 + dt * (Q F)_m - U_m for m = 1..M;
+  /// returns max_m ||r_m||_inf. This is the convergence monitor used in
+  /// Sec. IV-B (difference of successive iterates is reported separately
+  /// by the PFASST controller).
+  double residual(double dt) const;
+
+  /// Node-to-node integrals I_m = dt * sum_j s_{m,j} F_j of the *current*
+  /// function values, including tau if present. Used by the FAS assembly.
+  std::vector<State> integrate_node_to_node(double dt,
+                                            bool include_tau) const;
+
+  /// Total number of RHS evaluations performed through this sweeper.
+  long rhs_evaluations() const { return rhs_evals_; }
+
+ private:
+  std::vector<double> nodes_;
+  Matrix q_;  // cumulative (M+1)x(M+1)
+  Matrix s_;  // node-to-node M x (M+1)
+  std::size_t dof_;
+  std::vector<State> u_;    // M+1 node values
+  std::vector<State> f_;    // M+1 function values
+  std::vector<State> tau_;  // M node-to-node FAS corrections (or empty)
+  long rhs_evals_ = 0;
+};
+
+/// Serial SDC time integrator: `sweeps` corrections per step over nsteps
+/// uniform steps on [t0, t0 + nsteps*dt]. This is the paper's SDC(K)
+/// baseline. Returns the final state; `sweeper` provides node layout and
+/// is reused across steps.
+State sdc_integrate(SdcSweeper& sweeper, const RhsFn& rhs, State u0,
+                    double t0, double dt, int nsteps, int sweeps);
+
+}  // namespace stnb::ode

@@ -1,0 +1,52 @@
+// Free-function vector-space operations on flat std::vector<double>
+// states. SDC/PFASST are written against these so the same integrator
+// code path serves scalar test ODEs and 6N-dimensional particle states.
+#pragma once
+
+#include <cassert>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+namespace stnb::ode {
+
+using State = std::vector<double>;
+
+inline void set_zero(State& x) {
+  for (double& v : x) v = 0.0;
+}
+
+/// y += a * x
+inline void axpy(double a, const State& x, State& y) {
+  assert(x.size() == y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += a * x[i];
+}
+
+/// y = a * x + b * y
+inline void axpby(double a, const State& x, double b, State& y) {
+  assert(x.size() == y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] = a * x[i] + b * y[i];
+}
+
+inline double inf_norm(const State& x) {
+  double m = 0.0;
+  for (double v : x) m = std::max(m, std::abs(v));
+  return m;
+}
+
+inline double two_norm(const State& x) {
+  double s = 0.0;
+  for (double v : x) s += v * v;
+  return std::sqrt(s);
+}
+
+/// max_i |a_i - b_i|
+inline double inf_distance(const State& a, const State& b) {
+  assert(a.size() == b.size());
+  double m = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    m = std::max(m, std::abs(a[i] - b[i]));
+  return m;
+}
+
+}  // namespace stnb::ode

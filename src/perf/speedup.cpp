@@ -1,0 +1,47 @@
+#include "perf/speedup.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace stnb::perf {
+
+double pfasst_speedup(int p_time, const PfasstCosts& c) {
+  // Eq. (24): S = P_T K_s / (P_T n_L alpha + K_p (1 + n_L alpha + beta)).
+  const double pt = static_cast<double>(p_time);
+  const double na = c.coarse_sweeps * c.alpha;
+  return pt * c.k_serial / (pt * na + c.k_parallel * (1.0 + na + c.beta));
+}
+
+double pfasst_speedup_bound(int p_time, const PfasstCosts& c) {
+  // Eq. (25): S <= K_s / K_p * P_T.
+  return static_cast<double>(c.k_serial) / c.k_parallel * p_time;
+}
+
+double parareal_efficiency_bound(int iterations) {
+  return 1.0 / std::max(1, iterations);
+}
+
+TreeScalingModel::Times TreeScalingModel::evaluate(double n_particles,
+                                                   double p_ranks) const {
+  Times t;
+  const double n_per_rank = n_particles / p_ranks;
+  const double interactions =
+      interactions_a + interactions_b * std::log2(std::max(2.0, n_particles));
+  t.traversal = n_per_rank * interactions * machine.t_near_interaction /
+                std::max(1, threads_per_rank);
+
+  const double branches =
+      branches_a + branches_d * std::log2(std::max(2.0, p_ranks));
+  // Allgather of all ranks' branches: every rank receives P * b entries.
+  t.branch_exchange = machine.collective(
+      static_cast<int>(p_ranks),
+      static_cast<std::size_t>(branches * p_ranks * bytes_per_branch));
+
+  // Local sort + tree build, ~ (N/P) log(N/P).
+  t.tree_and_domain = n_per_rank *
+                      std::log2(std::max(2.0, n_per_rank)) *
+                      machine.t_sort_per_particle;
+  return t;
+}
+
+}  // namespace stnb::perf

@@ -1,0 +1,63 @@
+// The paper's analytical performance models.
+//
+// Sec. III-B4: cost and speedup of PFASST vs serial SDC, Eqs. (21)-(25),
+// including the two-level closed form S(P_T; alpha) used as the "theory"
+// curves of Fig. 8 and the efficiency bound K_s/K_p that distinguishes
+// PFASST from parareal's 1/K.
+//
+// Also the tree-code strong-scaling model used to extrapolate the Fig. 5
+// series to JUGENE scale: per-phase costs calibrated against measured
+// counters of our own tree code (see bench/fig5_tree_scaling).
+#pragma once
+
+#include <cstddef>
+
+#include "mpsim/costmodel.hpp"
+
+namespace stnb::perf {
+
+/// Two-level PFASST speedup parameters (paper notation).
+struct PfasstCosts {
+  int k_serial = 4;       // K_s: serial SDC sweeps for target accuracy
+  int k_parallel = 2;     // K_p: PFASST iterations for the same accuracy
+  int coarse_sweeps = 2;  // n_L
+  double alpha = 0.25;    // Upsilon_coarse / Upsilon_fine (sweep cost ratio)
+  double beta = 0.0;      // per-iteration overhead relative to Upsilon_0
+};
+
+/// Eq. (24): S(P_T; alpha) for the two-level scheme.
+double pfasst_speedup(int p_time, const PfasstCosts& costs);
+
+/// Eq. (25): the bound S <= (K_s / K_p) P_T.
+double pfasst_speedup_bound(int p_time, const PfasstCosts& costs);
+
+/// Parareal's classical efficiency bound 1/K (Sec. I / ref. [16]).
+double parareal_efficiency_bound(int iterations);
+
+/// Strong-scaling model of the space-parallel tree code (Fig. 5 series):
+/// per-phase modeled times for N particles on P ranks with the given
+/// machine constants. Calibrate `interactions_per_particle` and
+/// `branches_per_rank` from measured runs before extrapolating.
+struct TreeScalingModel {
+  mpsim::CostModel machine;
+  /// Fitted: interactions per particle ~ a + b log2(N) (theta-dependent).
+  double interactions_a = 50.0;
+  double interactions_b = 20.0;
+  /// Fitted: branch nodes per rank ~ c + d log2(P).
+  double branches_a = 8.0;
+  double branches_d = 6.0;
+  int threads_per_rank = 4;
+  std::size_t bytes_per_branch = 300;  // key + moments on the wire
+
+  struct Times {
+    double traversal = 0.0;
+    double branch_exchange = 0.0;
+    double tree_and_domain = 0.0;
+    double total() const {
+      return traversal + branch_exchange + tree_and_domain;
+    }
+  };
+  Times evaluate(double n_particles, double p_ranks) const;
+};
+
+}  // namespace stnb::perf

@@ -1,0 +1,237 @@
+#include "pfasst/controller.hpp"
+
+#include <stdexcept>
+
+namespace stnb::pfasst {
+
+namespace {
+// Tag spaces: the predictor pipeline and the main iteration sends must not
+// collide. All messages are consumed within their block (the end-of-block
+// broadcast is synchronizing), so tags can be reused across blocks.
+constexpr int kTagPredictor = 10000;
+constexpr int kTagMain = 20000;
+}  // namespace
+
+Pfasst::Pfasst(mpsim::Comm time_comm, std::vector<Level> levels,
+               Config config)
+    : comm_(time_comm), config_(config) {
+  if (levels.empty()) throw std::invalid_argument("need at least one level");
+  levels_.reserve(levels.size());
+  for (auto& l : levels) {
+    LevelState state;
+    state.config = std::move(l);
+    levels_.push_back(std::move(state));
+  }
+  for (std::size_t l = 0; l + 1 < levels_.size(); ++l)
+    transfer_.emplace_back(levels_[l].config.nodes,
+                           levels_[l + 1].config.nodes);
+}
+
+Result Pfasst::run(const ode::State& u0, double t0, double dt, int nsteps) {
+  const int pt = comm_.size();
+  const int rank = comm_.rank();
+  if (nsteps % pt != 0)
+    throw std::invalid_argument("nsteps must be a multiple of the number of "
+                                "time ranks (windowed PFASST)");
+  const int blocks = nsteps / pt;
+
+  dof_ = u0.size();
+  for (auto& level : levels_) {
+    level.sweeper =
+        std::make_unique<ode::SdcSweeper>(level.config.nodes, dof_);
+    level.u_pre.assign(level.config.nodes.size(), ode::State(dof_, 0.0));
+  }
+
+  Result result;
+  result.stats.resize(blocks);
+  ode::State u_block = u0;
+
+  for (int b = 0; b < blocks; ++b) {
+    const double t_slice = t0 + (static_cast<double>(b) * pt + rank) * dt;
+
+    // Initialize all levels from the block's initial value.
+    for (auto& level : levels_) level.sweeper->set_initial(u_block);
+    if (config_.predict && levels_.size() > 1) {
+      predictor(t_slice, dt);
+    } else {
+      levels_.front().sweeper->spread(t_slice, dt,
+                                      levels_.front().config.rhs);
+      // Mirror the fine state on the coarser levels.
+      for (std::size_t l = 0; l + 1 < levels_.size(); ++l) {
+        auto& fine = *levels_[l].sweeper;
+        auto& coarse = *levels_[l + 1].sweeper;
+        std::vector<ode::State> fine_u(fine.num_nodes());
+        for (int m = 0; m < fine.num_nodes(); ++m) fine_u[m] = fine.u(m);
+        std::vector<ode::State> coarse_u(coarse.num_nodes(),
+                                         ode::State(dof_, 0.0));
+        transfer_[l].restrict_values(fine_u, coarse_u);
+        for (int m = 0; m < coarse.num_nodes(); ++m)
+          coarse.u(m) = coarse_u[m];
+        coarse.evaluate_all(t_slice, dt, levels_[l + 1].config.rhs);
+      }
+    }
+
+    ode::State prev_end = levels_.front().sweeper->end_value();
+    auto& block_stats = result.stats[b];
+    block_stats.clear();
+    for (int k = 0; k < config_.iterations; ++k) {
+      iteration(k, t_slice, dt);
+      IterationStats it;
+      it.fine_residual = levels_.front().sweeper->residual(dt);
+      it.delta =
+          ode::inf_distance(levels_.front().sweeper->end_value(), prev_end);
+      prev_end = levels_.front().sweeper->end_value();
+      block_stats.push_back(it);
+    }
+
+    // The last rank's fine end value seeds the next block on every rank.
+    ode::State u_next = levels_.front().sweeper->end_value();
+    comm_.broadcast(u_next, pt - 1);
+    u_block = std::move(u_next);
+  }
+
+  result.u_end = u_block;
+  for (const auto& level : levels_)
+    result.rhs_evaluations += level.sweeper->rhs_evaluations();
+  return result;
+}
+
+void Pfasst::predictor(double t_slice, double dt) {
+  const int pt = comm_.size();
+  const int rank = comm_.rank();
+  auto& coarse = levels_.back();
+  auto& sweeper = *coarse.sweeper;
+
+  // Burn-in (Fig. 6): rank n performs n+1 coarse sweeps; between stages it
+  // receives the previous rank's stage end value as an improved initial
+  // condition. Total pipeline latency equals one sweep per rank, but the
+  // extra sweeps sharpen the provisional solution (Sec. III-B3).
+  sweeper.spread(t_slice, dt, coarse.config.rhs);
+  for (int j = 0; j <= rank; ++j) {
+    bool refreshed = false;
+    if (j > 0) {
+      const auto u_in =
+          comm_.recv<double>(rank - 1, kTagPredictor + j);
+      sweeper.set_initial(u_in);
+      refreshed = true;
+    }
+    sweeper.sweep(t_slice, dt, coarse.config.rhs,
+                  /*refresh_left_f=*/refreshed);
+    if (rank < pt - 1)
+      comm_.send(rank + 1, kTagPredictor + j + 1, sweeper.end_value());
+  }
+
+  // Interpolate the provisional coarse solution up the hierarchy.
+  for (int l = static_cast<int>(levels_.size()) - 2; l >= 0; --l) {
+    auto& fine = *levels_[l].sweeper;
+    auto& src = *levels_[l + 1].sweeper;
+    std::vector<ode::State> coarse_u(src.num_nodes());
+    for (int m = 0; m < src.num_nodes(); ++m) coarse_u[m] = src.u(m);
+    std::vector<ode::State> fine_u(fine.num_nodes(), ode::State(dof_, 0.0));
+    transfer_[l].interpolate_correction(coarse_u, fine_u);  // from zero
+    for (int m = 0; m < fine.num_nodes(); ++m) fine.u(m) = fine_u[m];
+    fine.evaluate_all(t_slice, dt, levels_[l].config.rhs);
+  }
+}
+
+void Pfasst::compute_fas(int lc, double dt) {
+  // tau_C = restrict(I_F incl. tau_F) - I_C(F(restrict U_F)), node-to-node
+  // (paper Eqs. (16)-(17); cumulative across levels through tau_F).
+  auto& fine = *levels_[lc - 1].sweeper;
+  auto& coarse = *levels_[lc].sweeper;
+  const auto fine_integrals = fine.integrate_node_to_node(dt, true);
+  const auto coarse_integrals = coarse.integrate_node_to_node(dt, false);
+  std::vector<ode::State> tau(coarse.num_nodes() - 1, ode::State(dof_, 0.0));
+  transfer_[lc - 1].restrict_integrals(fine_integrals, tau);
+  for (std::size_t m = 0; m < tau.size(); ++m)
+    ode::axpy(-1.0, coarse_integrals[m], tau[m]);
+  coarse.set_tau(std::move(tau));
+}
+
+void Pfasst::iteration(int k, double t_slice, double dt) {
+  const int num_levels = static_cast<int>(levels_.size());
+  const int pt = comm_.size();
+  const int rank = comm_.rank();
+  const auto tag = [&](int level) { return kTagMain + k * num_levels + level; };
+
+  // ---- down the V-cycle: sweep, send forward, restrict, FAS ----
+  for (int l = 0; l < num_levels - 1; ++l) {
+    auto& level = levels_[l];
+    // F at node 0 is fresh here: the predictor / previous up-cycle ends
+    // with evaluate_all after the last initial-value update.
+    for (int s = 0; s < level.config.sweeps; ++s)
+      level.sweeper->sweep(t_slice, dt, level.config.rhs);
+    if (rank < pt - 1)
+      comm_.send(rank + 1, tag(l), level.sweeper->end_value());
+
+    auto& coarse = levels_[l + 1];
+    std::vector<ode::State> fine_u(level.sweeper->num_nodes());
+    for (int m = 0; m < level.sweeper->num_nodes(); ++m)
+      fine_u[m] = level.sweeper->u(m);
+    std::vector<ode::State> coarse_u(coarse.sweeper->num_nodes(),
+                                     ode::State(dof_, 0.0));
+    transfer_[l].restrict_values(fine_u, coarse_u);
+    for (int m = 0; m < coarse.sweeper->num_nodes(); ++m)
+      coarse.sweeper->u(m) = coarse_u[m];
+    coarse.u_pre = coarse_u;  // snapshot for the coarse correction
+    coarse.sweeper->evaluate_all(t_slice, dt, coarse.config.rhs);
+    compute_fas(l + 1, dt);
+  }
+
+  // ---- coarsest level: receive, sweep, send ----
+  {
+    auto& level = levels_.back();
+    bool refreshed = false;
+    if (rank > 0) {
+      const auto u_in = comm_.recv<double>(rank - 1, tag(num_levels - 1));
+      level.sweeper->set_initial(u_in);
+      refreshed = true;
+    }
+    for (int s = 0; s < level.config.sweeps; ++s)
+      level.sweeper->sweep(t_slice, dt, level.config.rhs,
+                           /*refresh_left_f=*/refreshed && s == 0);
+    if (rank < pt - 1)
+      comm_.send(rank + 1, tag(num_levels - 1), level.sweeper->end_value());
+  }
+
+  // ---- up the V-cycle: interpolate corrections, receive new initials ----
+  for (int l = num_levels - 2; l >= 0; --l) {
+    auto& level = levels_[l];
+    auto& coarse = levels_[l + 1];
+
+    // delta = U_coarse(after sweeps) - U_coarse(at restriction)
+    std::vector<ode::State> delta(coarse.sweeper->num_nodes());
+    for (int m = 0; m < coarse.sweeper->num_nodes(); ++m) {
+      delta[m] = coarse.sweeper->u(m);
+      ode::axpy(-1.0, coarse.u_pre[m], delta[m]);
+    }
+    std::vector<ode::State> fine_u(level.sweeper->num_nodes());
+    for (int m = 0; m < level.sweeper->num_nodes(); ++m)
+      fine_u[m] = level.sweeper->u(m);
+    transfer_[l].interpolate_correction(delta, fine_u);
+    for (int m = 0; m < level.sweeper->num_nodes(); ++m)
+      level.sweeper->u(m) = fine_u[m];
+
+    // Receive the new initial value from the previous rank (sent during
+    // its down-cycle at this level) and add the coarse node-0 correction.
+    // The correction base must be the *received* value, not this rank's
+    // old initial (libpfasst's interp_q0): delta0 = u_c(0) - R(u_recv).
+    // Using the old initial as base gives a non-contracting (-1
+    // eigenvalue) update at the slice boundary.
+    if (rank > 0) {
+      auto u_in = comm_.recv<double>(rank - 1, tag(l));
+      ode::State delta0 = coarse.sweeper->u(0);
+      ode::axpy(-1.0, u_in, delta0);  // identity spatial restriction
+      ode::axpy(1.0, delta0, u_in);
+      level.sweeper->set_initial(u_in);
+    }
+    level.sweeper->evaluate_all(t_slice, dt, level.config.rhs);
+
+    // Interior levels sweep on the way up (Algorithm 1); the finest level
+    // sweeps at the start of the next iteration. Forward sends happen in
+    // the down-cycle only.
+    if (l > 0) level.sweeper->sweep(t_slice, dt, level.config.rhs);
+  }
+}
+
+}  // namespace stnb::pfasst

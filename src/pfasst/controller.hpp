@@ -1,0 +1,77 @@
+// The PFASST controller (paper Sec. III-B3, Algorithm 1, Fig. 6): a
+// multi-level SDC hierarchy pipelined over the ranks of a *time*
+// communicator. Each rank owns one time slice per block; iterations
+// intertwine fine sweeps, FAS-corrected coarse sweeps, and forward sends
+// of updated initial values.
+//
+// Levels are ordered finest (0) to coarsest (L-1). Spatial coarsening is
+// expressed through each level's RHS (e.g. a TreeRhs with larger MAC
+// theta); time coarsening through nested collocation node sets.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "mpsim/comm.hpp"
+#include "ode/sdc.hpp"
+#include "pfasst/transfer.hpp"
+
+namespace stnb::pfasst {
+
+struct Level {
+  std::vector<double> nodes;  // collocation nodes on [0,1], incl. endpoints
+  ode::RhsFn rhs;
+  int sweeps = 1;  // n_ell: SDC sweeps per PFASST iteration on this level
+};
+
+struct Config {
+  int iterations = 2;   // K_p
+  bool predict = true;  // coarse burn-in initialization stage (Fig. 6)
+};
+
+/// Per-iteration convergence diagnostics of one rank (time slice).
+struct IterationStats {
+  double fine_residual = 0.0;   // collocation residual on the fine level
+  double delta = 0.0;           // |u_end^k - u_end^{k-1}|_inf, the paper's
+                                // Sec. IV-B "residual" between iterations
+};
+
+struct Result {
+  ode::State u_end;  // solution at the end of the last slice (every rank)
+  /// stats[b][k] = diagnostics of block b, iteration k on *this* rank.
+  std::vector<std::vector<IterationStats>> stats;
+  long rhs_evaluations = 0;  // this rank, all levels
+};
+
+class Pfasst {
+ public:
+  /// `time_comm`: the temporal communicator (P_T ranks). Levels must have
+  /// nested node sets (every level's nodes nested in the finer one).
+  Pfasst(mpsim::Comm time_comm, std::vector<Level> levels, Config config);
+
+  /// Integrates u' = f(t, u) from (t0, u0) over `nsteps` uniform steps of
+  /// size dt. nsteps must be a multiple of the communicator size; each
+  /// block of P_T consecutive steps runs in parallel (one per rank),
+  /// blocks run sequentially (windowed PFASST).
+  Result run(const ode::State& u0, double t0, double dt, int nsteps);
+
+ private:
+  struct LevelState {
+    Level config;
+    std::unique_ptr<ode::SdcSweeper> sweeper;
+    std::vector<ode::State> u_pre;  // snapshot at restriction (for FAS
+                                    // coarse correction)
+  };
+
+  void predictor(double t_slice, double dt);
+  void iteration(int k, double t_slice, double dt);
+  void compute_fas(int coarse_level, double dt);
+
+  mpsim::Comm comm_;
+  Config config_;
+  std::vector<LevelState> levels_;
+  std::vector<TimeTransfer> transfer_;  // [l]: level l <-> level l+1
+  std::size_t dof_ = 0;
+};
+
+}  // namespace stnb::pfasst

@@ -1,0 +1,42 @@
+// Classical parareal (Lions-Maday-Turinici, paper ref. [3]) as the
+// baseline time-parallel method. PFASST generalizes it: parareal's
+// efficiency is bounded by 1/K, PFASST's by K_s/K_p (paper Eq. (25) and
+// the discussion in Sec. I/III-B4). Provided both for correctness
+// comparisons and for the efficiency-bound ablation bench.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "mpsim/comm.hpp"
+#include "ode/vspace.hpp"
+
+namespace stnb::pfasst {
+
+/// A propagator advances a state over one slice [t, t + dt].
+using Propagator =
+    std::function<ode::State(double t, double dt, const ode::State& u)>;
+
+struct PararealResult {
+  ode::State u_end;
+  /// increments[b][k] = |U^{k} - U^{k-1}|_inf at this rank's slice end.
+  std::vector<std::vector<double>> increments;
+};
+
+class Parareal {
+ public:
+  Parareal(mpsim::Comm time_comm, Propagator coarse, Propagator fine,
+           int iterations);
+
+  /// Windowed parareal over nsteps slices of length dt (nsteps must be a
+  /// multiple of the communicator size).
+  PararealResult run(const ode::State& u0, double t0, double dt, int nsteps);
+
+ private:
+  mpsim::Comm comm_;
+  Propagator coarse_;
+  Propagator fine_;
+  int iterations_;
+};
+
+}  // namespace stnb::pfasst

@@ -1,0 +1,53 @@
+#include "pfasst/transfer.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace stnb::pfasst {
+
+TimeTransfer::TimeTransfer(const std::vector<double>& fine_nodes,
+                           const std::vector<double>& coarse_nodes)
+    : n_fine_(static_cast<int>(fine_nodes.size())),
+      interp_(ode::interpolation_matrix(coarse_nodes, fine_nodes)) {
+  map_.reserve(coarse_nodes.size());
+  for (double c : coarse_nodes) {
+    int found = -1;
+    for (int f = 0; f < n_fine_; ++f) {
+      if (std::abs(fine_nodes[f] - c) < 1e-12) {
+        found = f;
+        break;
+      }
+    }
+    if (found < 0)
+      throw std::invalid_argument(
+          "coarse nodes must be nested in fine nodes for time restriction");
+    map_.push_back(found);
+  }
+}
+
+void TimeTransfer::restrict_values(const std::vector<ode::State>& fine,
+                                   std::vector<ode::State>& coarse) const {
+  for (std::size_t m = 0; m < map_.size(); ++m) coarse[m] = fine[map_[m]];
+}
+
+void TimeTransfer::restrict_integrals(const std::vector<ode::State>& fine,
+                                      std::vector<ode::State>& coarse) const {
+  for (std::size_t m = 0; m + 1 < map_.size(); ++m) {
+    ode::set_zero(coarse[m]);
+    for (int f = map_[m]; f < map_[m + 1]; ++f)
+      ode::axpy(1.0, fine[f], coarse[m]);
+  }
+}
+
+void TimeTransfer::interpolate_correction(
+    const std::vector<ode::State>& delta_coarse,
+    std::vector<ode::State>& fine) const {
+  for (int i = 0; i < n_fine_; ++i) {
+    for (int j = 0; j < static_cast<int>(map_.size()); ++j) {
+      const double w = interp_(i, j);
+      if (w != 0.0) ode::axpy(w, delta_coarse[j], fine[i]);
+    }
+  }
+}
+
+}  // namespace stnb::pfasst

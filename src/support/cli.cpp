@@ -1,0 +1,75 @@
+#include "support/cli.hpp"
+
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+namespace stnb {
+
+void Cli::add(const std::string& name, const std::string& default_value,
+              const std::string& help) {
+  specs_[name] = Spec{default_value, help};
+}
+
+bool Cli::parse(int argc, const char* const* argv) {
+  program_ = argc > 0 ? argv[0] : "prog";
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(usage().c_str(), stdout);
+      return false;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      std::fprintf(stderr, "unexpected positional argument '%s'\n%s",
+                   arg.c_str(), usage().c_str());
+      return false;
+    }
+    arg = arg.substr(2);
+    std::string value;
+    if (auto eq = arg.find('='); eq != std::string::npos) {
+      value = arg.substr(eq + 1);
+      arg = arg.substr(0, eq);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      value = argv[++i];
+    } else {
+      value = "true";  // bare boolean flag
+    }
+    if (!specs_.count(arg)) {
+      std::fprintf(stderr, "unknown flag '--%s'\n%s", arg.c_str(),
+                   usage().c_str());
+      return false;
+    }
+    values_[arg] = value;
+  }
+  return true;
+}
+
+std::string Cli::str(const std::string& name) const {
+  if (auto it = values_.find(name); it != values_.end()) return it->second;
+  if (auto it = specs_.find(name); it != specs_.end())
+    return it->second.default_value;
+  throw std::invalid_argument("undeclared flag --" + name);
+}
+
+double Cli::num(const std::string& name) const { return std::stod(str(name)); }
+
+long Cli::integer(const std::string& name) const {
+  return std::stol(str(name));
+}
+
+bool Cli::flag(const std::string& name) const {
+  const std::string v = str(name);
+  return v == "true" || v == "1" || v == "yes" || v == "on";
+}
+
+std::string Cli::usage() const {
+  std::ostringstream os;
+  os << "usage: " << program_ << " [flags]\n";
+  for (const auto& [name, spec] : specs_) {
+    os << "  --" << name << " (default: " << spec.default_value << ")  "
+       << spec.help << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace stnb

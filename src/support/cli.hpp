@@ -1,0 +1,41 @@
+// Minimal command-line flag parser for the benchmark harness and example
+// binaries. Flags are `--name value` or `--name=value`; `--flag` with no
+// value is a boolean `true`. Unknown flags abort with a usage message so
+// typos in experiment sweeps fail loudly instead of silently running the
+// default configuration.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace stnb {
+
+class Cli {
+ public:
+  /// Declares a flag with a default value and help text. Call before parse().
+  void add(const std::string& name, const std::string& default_value,
+           const std::string& help);
+
+  /// Parses argv. On `--help` prints usage and returns false; on unknown
+  /// flags prints an error + usage and returns false.
+  bool parse(int argc, const char* const* argv);
+
+  std::string str(const std::string& name) const;
+  double num(const std::string& name) const;
+  long integer(const std::string& name) const;
+  bool flag(const std::string& name) const;
+
+  std::string usage() const;
+
+ private:
+  struct Spec {
+    std::string default_value;
+    std::string help;
+  };
+  std::map<std::string, Spec> specs_;
+  std::map<std::string, std::string> values_;
+  std::string program_;
+};
+
+}  // namespace stnb

@@ -1,0 +1,15 @@
+#include "support/rng.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace stnb {
+
+Vec3 Rng::uniform_on_sphere() {
+  const double z = uniform(-1.0, 1.0);
+  const double phi = uniform(0.0, 2.0 * std::numbers::pi);
+  const double r = std::sqrt(std::max(0.0, 1.0 - z * z));
+  return {r * std::cos(phi), r * std::sin(phi), z};
+}
+
+}  // namespace stnb

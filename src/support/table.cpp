@@ -1,0 +1,65 @@
+#include "support/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace stnb {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+Table& Table::begin_row() {
+  rows_.emplace_back();
+  return *this;
+}
+
+Table& Table::cell(const std::string& value) {
+  if (rows_.empty()) rows_.emplace_back();
+  rows_.back().push_back(value);
+  return *this;
+}
+
+Table& Table::cell(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return cell(std::string(buf));
+}
+
+Table& Table::cell_sci(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*e", precision, value);
+  return cell(std::string(buf));
+}
+
+Table& Table::cell(long long value) { return cell(std::to_string(value)); }
+
+std::string Table::render() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c)
+    widths[c] = header_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      const std::string& v = c < row.size() ? row[c] : std::string();
+      os << "  " << v << std::string(widths[c] - v.size(), ' ');
+    }
+    os << '\n';
+  };
+  emit_row(header_);
+  std::size_t total = 0;
+  for (auto w : widths) total += w + 2;
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) emit_row(row);
+  return os.str();
+}
+
+void Table::print(const std::string& title) const {
+  std::printf("\n== %s ==\n%s", title.c_str(), render().c_str());
+  std::fflush(stdout);
+}
+
+}  // namespace stnb

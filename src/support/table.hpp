@@ -1,0 +1,35 @@
+// Plain-text table printer. The benchmark harness reports every paper
+// figure/table as an aligned text table (one per experiment) so results
+// can be diffed and plotted; keeping formatting in one place keeps the
+// benches themselves focused on the experiment logic.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace stnb {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  Table& begin_row();
+  Table& cell(const std::string& value);
+  Table& cell(double value, int precision = 4);
+  Table& cell_sci(double value, int precision = 3);
+  Table& cell(long long value);
+  Table& cell(int value) { return cell(static_cast<long long>(value)); }
+  Table& cell(std::size_t value) {
+    return cell(static_cast<long long>(value));
+  }
+
+  /// Renders the table with a title banner to stdout.
+  void print(const std::string& title) const;
+  std::string render() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace stnb

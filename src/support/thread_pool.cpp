@@ -1,0 +1,101 @@
+#include "support/thread_pool.hpp"
+
+#include <algorithm>
+#include <exception>
+
+namespace stnb {
+
+ThreadPool::ThreadPool(std::size_t workers) {
+  threads_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mu_);
+    stop_ = true;
+  }
+  cv_work_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void ThreadPool::run_chunks(Batch& batch) {
+  for (;;) {
+    std::size_t lo, hi;
+    {
+      std::lock_guard lock(mu_);
+      if (batch.next >= batch.end || batch.error) return;
+      lo = batch.next;
+      hi = std::min(batch.end, lo + batch.chunk);
+      batch.next = hi;
+    }
+    try {
+      for (std::size_t i = lo; i < hi; ++i) (*batch.body)(i);
+    } catch (...) {
+      std::lock_guard lock(mu_);
+      if (!batch.error) batch.error = std::current_exception();
+      return;
+    }
+  }
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen = 0;
+  for (;;) {
+    Batch* batch = nullptr;
+    {
+      std::unique_lock lock(mu_);
+      cv_work_.wait(lock, [&] {
+        return stop_ || (current_ != nullptr && generation_ != seen);
+      });
+      if (stop_) return;
+      seen = generation_;
+      batch = current_;
+      ++batch->active;
+    }
+    run_chunks(*batch);
+    {
+      std::lock_guard lock(mu_);
+      if (--batch->active == 0) cv_done_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
+                              const std::function<void(std::size_t)>& body,
+                              std::size_t chunks_per_worker) {
+  if (begin >= end) return;
+  const std::size_t n = end - begin;
+  if (threads_.empty() || n == 1) {
+    for (std::size_t i = begin; i < end; ++i) body(i);
+    return;
+  }
+
+  Batch batch;
+  batch.begin = begin;
+  batch.end = end;
+  batch.next = begin;
+  batch.body = &body;
+  const std::size_t parts =
+      std::max<std::size_t>(1, (threads_.size() + 1) * chunks_per_worker);
+  batch.chunk = std::max<std::size_t>(1, (n + parts - 1) / parts);
+
+  {
+    std::lock_guard lock(mu_);
+    current_ = &batch;
+    ++generation_;
+  }
+  cv_work_.notify_all();
+
+  // The caller participates too.
+  run_chunks(batch);
+
+  std::unique_lock lock(mu_);
+  cv_done_.wait(lock, [&] { return batch.active == 0; });
+  current_ = nullptr;
+  if (batch.error) std::rethrow_exception(batch.error);
+}
+
+}  // namespace stnb

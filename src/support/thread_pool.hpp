@@ -1,0 +1,63 @@
+// A small fork-join worker pool. Mirrors PEPC's node-local Pthreads layer:
+// each simulated MPI rank owns one pool and parallelizes its tree traversal
+// over particles with it. The pool is deliberately simple (single mutex,
+// chunked index ranges) — traversal chunks are coarse enough that queue
+// contention is negligible.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace stnb {
+
+class ThreadPool {
+ public:
+  /// Creates a pool with `workers` threads. `workers == 0` means all
+  /// parallel_for calls run inline on the caller (useful for tests and
+  /// for oversubscribed simulated-rank runs).
+  explicit ThreadPool(std::size_t workers = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t worker_count() const { return threads_.size(); }
+
+  /// Runs body(i) for i in [begin, end), splitting the range into
+  /// `chunks_per_worker` chunks per participant (workers + caller).
+  /// Blocks until all iterations complete. Exceptions from `body`
+  /// propagate to the caller (first one wins).
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t)>& body,
+                    std::size_t chunks_per_worker = 4);
+
+ private:
+  struct Batch {
+    std::size_t begin = 0;
+    std::size_t end = 0;
+    std::size_t chunk = 1;
+    std::size_t next = 0;         // next chunk start to claim
+    std::size_t active = 0;       // workers still inside this batch
+    const std::function<void(std::size_t)>* body = nullptr;
+    std::exception_ptr error;
+  };
+
+  void worker_loop();
+  // Claims and runs chunks until the batch is exhausted. Returns when no
+  // work remains. Caller must hold no locks.
+  void run_chunks(Batch& batch);
+
+  std::vector<std::thread> threads_;
+  std::mutex mu_;
+  std::condition_variable cv_work_;
+  std::condition_variable cv_done_;
+  Batch* current_ = nullptr;
+  std::uint64_t generation_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace stnb

@@ -1,0 +1,11 @@
+#include "support/vec3.hpp"
+
+#include <ostream>
+
+namespace stnb {
+
+std::ostream& operator<<(std::ostream& os, const Vec3& v) {
+  return os << '(' << v.x << ", " << v.y << ", " << v.z << ')';
+}
+
+}  // namespace stnb

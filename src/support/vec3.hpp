@@ -1,0 +1,150 @@
+// Small fixed-size linear algebra used throughout the solver: 3-vectors for
+// particle positions/vorticity and 3x3 matrices for velocity gradients and
+// quadrupole moments. Everything is constexpr-friendly value types.
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <iosfwd>
+
+namespace stnb {
+
+/// A 3-component Cartesian vector of doubles.
+struct Vec3 {
+  double x = 0.0;
+  double y = 0.0;
+  double z = 0.0;
+
+  constexpr Vec3() = default;
+  constexpr Vec3(double x_, double y_, double z_) : x(x_), y(y_), z(z_) {}
+
+  constexpr double& operator[](int i) { return i == 0 ? x : (i == 1 ? y : z); }
+  constexpr double operator[](int i) const {
+    return i == 0 ? x : (i == 1 ? y : z);
+  }
+
+  constexpr Vec3& operator+=(const Vec3& o) {
+    x += o.x;
+    y += o.y;
+    z += o.z;
+    return *this;
+  }
+  constexpr Vec3& operator-=(const Vec3& o) {
+    x -= o.x;
+    y -= o.y;
+    z -= o.z;
+    return *this;
+  }
+  constexpr Vec3& operator*=(double s) {
+    x *= s;
+    y *= s;
+    z *= s;
+    return *this;
+  }
+  constexpr Vec3& operator/=(double s) { return *this *= (1.0 / s); }
+
+  friend constexpr Vec3 operator+(Vec3 a, const Vec3& b) { return a += b; }
+  friend constexpr Vec3 operator-(Vec3 a, const Vec3& b) { return a -= b; }
+  friend constexpr Vec3 operator*(Vec3 a, double s) { return a *= s; }
+  friend constexpr Vec3 operator*(double s, Vec3 a) { return a *= s; }
+  friend constexpr Vec3 operator/(Vec3 a, double s) { return a /= s; }
+  friend constexpr Vec3 operator-(const Vec3& a) { return {-a.x, -a.y, -a.z}; }
+
+  friend constexpr bool operator==(const Vec3&, const Vec3&) = default;
+};
+
+constexpr double dot(const Vec3& a, const Vec3& b) {
+  return a.x * b.x + a.y * b.y + a.z * b.z;
+}
+
+constexpr Vec3 cross(const Vec3& a, const Vec3& b) {
+  return {a.y * b.z - a.z * b.y, a.z * b.x - a.x * b.z,
+          a.x * b.y - a.y * b.x};
+}
+
+inline double norm(const Vec3& a) { return std::sqrt(dot(a, a)); }
+
+constexpr double norm2(const Vec3& a) { return dot(a, a); }
+
+inline Vec3 normalized(const Vec3& a) {
+  const double n = norm(a);
+  return n > 0.0 ? a / n : Vec3{};
+}
+
+/// Component-wise minimum/maximum (bounding-box arithmetic).
+constexpr Vec3 min(const Vec3& a, const Vec3& b) {
+  return {a.x < b.x ? a.x : b.x, a.y < b.y ? a.y : b.y,
+          a.z < b.z ? a.z : b.z};
+}
+constexpr Vec3 max(const Vec3& a, const Vec3& b) {
+  return {a.x > b.x ? a.x : b.x, a.y > b.y ? a.y : b.y,
+          a.z > b.z ? a.z : b.z};
+}
+
+std::ostream& operator<<(std::ostream& os, const Vec3& v);
+
+/// A dense 3x3 matrix in row-major order. Used for velocity gradients
+/// (stretching term) and second-order multipole moments.
+struct Mat3 {
+  std::array<double, 9> m{};  // row-major
+
+  constexpr double& operator()(int r, int c) { return m[3 * r + c]; }
+  constexpr double operator()(int r, int c) const { return m[3 * r + c]; }
+
+  constexpr Mat3& operator+=(const Mat3& o) {
+    for (int i = 0; i < 9; ++i) m[i] += o.m[i];
+    return *this;
+  }
+  constexpr Mat3& operator-=(const Mat3& o) {
+    for (int i = 0; i < 9; ++i) m[i] -= o.m[i];
+    return *this;
+  }
+  constexpr Mat3& operator*=(double s) {
+    for (int i = 0; i < 9; ++i) m[i] *= s;
+    return *this;
+  }
+  friend constexpr Mat3 operator+(Mat3 a, const Mat3& b) { return a += b; }
+  friend constexpr Mat3 operator-(Mat3 a, const Mat3& b) { return a -= b; }
+  friend constexpr Mat3 operator*(Mat3 a, double s) { return a *= s; }
+  friend constexpr Mat3 operator*(double s, Mat3 a) { return a *= s; }
+
+  friend constexpr bool operator==(const Mat3&, const Mat3&) = default;
+
+  static constexpr Mat3 identity() {
+    Mat3 r;
+    r(0, 0) = r(1, 1) = r(2, 2) = 1.0;
+    return r;
+  }
+};
+
+/// Matrix-vector product y = M x.
+constexpr Vec3 mul(const Mat3& m, const Vec3& v) {
+  return {m(0, 0) * v.x + m(0, 1) * v.y + m(0, 2) * v.z,
+          m(1, 0) * v.x + m(1, 1) * v.y + m(1, 2) * v.z,
+          m(2, 0) * v.x + m(2, 1) * v.y + m(2, 2) * v.z};
+}
+
+/// Transpose-product y = M^T x (the "transpose scheme" for stretching).
+constexpr Vec3 mul_transpose(const Mat3& m, const Vec3& v) {
+  return {m(0, 0) * v.x + m(1, 0) * v.y + m(2, 0) * v.z,
+          m(0, 1) * v.x + m(1, 1) * v.y + m(2, 1) * v.z,
+          m(0, 2) * v.x + m(1, 2) * v.y + m(2, 2) * v.z};
+}
+
+/// Outer product a b^T.
+constexpr Mat3 outer(const Vec3& a, const Vec3& b) {
+  Mat3 r;
+  for (int i = 0; i < 3; ++i)
+    for (int j = 0; j < 3; ++j) r(i, j) = a[i] * b[j];
+  return r;
+}
+
+constexpr double trace(const Mat3& m) { return m(0, 0) + m(1, 1) + m(2, 2); }
+
+inline double frobenius_norm(const Mat3& m) {
+  double s = 0.0;
+  for (double v : m.m) s += v * v;
+  return std::sqrt(s);
+}
+
+}  // namespace stnb

@@ -1,0 +1,52 @@
+// Force/field evaluation through MAC traversal of an Octree. These are
+// the serial building blocks; the distributed solver (tree/parallel.hpp)
+// combines them with imported locally-essential data.
+#pragma once
+
+#include <cstdint>
+
+#include "kernels/algebraic.hpp"
+#include "kernels/coulomb.hpp"
+#include "tree/octree.hpp"
+
+namespace stnb::tree {
+
+/// Interaction counters: the basis of both the virtual-time cost model and
+/// the Sec. IV-B alpha measurement (coarse/fine sweep cost ratio).
+struct EvalCounters {
+  std::uint64_t near = 0;  // particle-particle kernel evaluations
+  std::uint64_t far = 0;   // particle-multipole evaluations
+
+  EvalCounters& operator+=(const EvalCounters& o) {
+    near += o.near;
+    far += o.far;
+    return *this;
+  }
+};
+
+struct VortexSample {
+  Vec3 u{};
+  Mat3 grad{};
+};
+
+/// Velocity + velocity gradient at `x` induced by all tree particles
+/// except the one with id == self_id (pass an out-of-range id to include
+/// everything). theta = 0 reproduces direct summation exactly.
+VortexSample sample_vortex(const Octree& tree, const Vec3& x,
+                           std::uint32_t self_id, double theta,
+                           const kernels::AlgebraicKernel& kernel,
+                           EvalCounters& counters);
+
+struct CoulombSample {
+  double phi = 0.0;
+  Vec3 e{};
+};
+
+/// Potential + field at `x` from scalar charges (Plummer-softened near
+/// field, singular multipole far field).
+CoulombSample sample_coulomb(const Octree& tree, const Vec3& x,
+                             std::uint32_t self_id, double theta,
+                             const kernels::CoulombKernel& kernel,
+                             EvalCounters& counters);
+
+}  // namespace stnb::tree

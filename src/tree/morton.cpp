@@ -1,0 +1,82 @@
+#include "tree/morton.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <stdexcept>
+
+namespace stnb::tree {
+
+std::uint64_t spread_bits_3d(std::uint64_t v) {
+  v &= 0x1fffff;  // 21 bits
+  v = (v | (v << 32)) & 0x1f00000000ffffULL;
+  v = (v | (v << 16)) & 0x1f0000ff0000ffULL;
+  v = (v | (v << 8)) & 0x100f00f00f00f00fULL;
+  v = (v | (v << 4)) & 0x10c30c30c30c30c3ULL;
+  v = (v | (v << 2)) & 0x1249249249249249ULL;
+  return v;
+}
+
+std::uint64_t morton_interleave(std::uint32_t ix, std::uint32_t iy,
+                                std::uint32_t iz) {
+  return spread_bits_3d(ix) | (spread_bits_3d(iy) << 1) |
+         (spread_bits_3d(iz) << 2);
+}
+
+Domain Domain::bounding_cube(const Vec3* points, std::size_t count,
+                             double padding) {
+  if (count == 0) return {{0, 0, 0}, 1.0};
+  Vec3 lo = points[0], hi = points[0];
+  for (std::size_t i = 1; i < count; ++i) {
+    lo = min(lo, points[i]);
+    hi = max(hi, points[i]);
+  }
+  const Vec3 extent = hi - lo;
+  double size = std::max({extent.x, extent.y, extent.z, 1e-12});
+  size *= 1.0 + 2.0 * padding;
+  const Vec3 mid = 0.5 * (lo + hi);
+  return {mid - Vec3{0.5 * size, 0.5 * size, 0.5 * size}, size};
+}
+
+std::uint64_t particle_key(const Vec3& x, const Domain& domain) {
+  const double scale = static_cast<double>(1ULL << kMaxLevel) / domain.size;
+  auto grid = [&](double v, double lo) {
+    const auto g = static_cast<std::int64_t>((v - lo) * scale);
+    return static_cast<std::uint32_t>(
+        std::clamp<std::int64_t>(g, 0, (1LL << kMaxLevel) - 1));
+  };
+  const std::uint64_t interleaved = morton_interleave(
+      grid(x.x, domain.lo.x), grid(x.y, domain.lo.y), grid(x.z, domain.lo.z));
+  return (1ULL << (3 * kMaxLevel)) | interleaved;
+}
+
+int key_level(std::uint64_t key) {
+  if (key == 0) throw std::invalid_argument("invalid key 0");
+  const int highest = 63 - std::countl_zero(key);
+  return highest / 3;
+}
+
+std::uint64_t key_ancestor(std::uint64_t key, int level) {
+  const int current = key_level(key);
+  if (level > current) throw std::invalid_argument("level below key");
+  return key >> (3 * (current - level));
+}
+
+KeyRange key_coverage(std::uint64_t node_key) {
+  const int shift = 3 * (kMaxLevel - key_level(node_key));
+  const std::uint64_t min = node_key << shift;
+  const std::uint64_t max = min | ((shift == 64) ? ~0ULL : ((1ULL << shift) - 1));
+  return {min, max};
+}
+
+Domain key_domain(std::uint64_t node_key, const Domain& root) {
+  const int level = key_level(node_key);
+  Domain d = root;
+  for (int l = level - 1; l >= 0; --l) {
+    const int octant = static_cast<int>((node_key >> (3 * l)) & 7);
+    d = d.child(octant);
+  }
+  return d;
+}
+
+}  // namespace stnb::tree

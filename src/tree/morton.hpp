@@ -1,0 +1,88 @@
+// Morton (Z-order) keys for the hashed oct-tree, following the
+// Warren-Salmon scheme used by PEPC (Sec. III-A): each particle gets a
+// 64-bit key encoding its position on a space-filling curve; contiguous
+// key ranges define the domain decomposition, and truncated keys with a
+// place-holder bit address tree nodes at every level.
+//
+// Key layout (place-holder scheme): a node at level L has key
+//   1 b_{3L-1} ... b_0
+// i.e. a leading 1 bit followed by 3L interleaved coordinate bits
+// (x least-significant within each 3-bit group). The root is key 1 at
+// level 0; particle keys live at level kMaxLevel = 21 (63 coordinate
+// bits + placeholder = 64).
+#pragma once
+
+#include <cstdint>
+
+#include "support/vec3.hpp"
+
+namespace stnb::tree {
+
+inline constexpr int kMaxLevel = 21;
+inline constexpr std::uint64_t kRootKey = 1;
+
+/// Spreads the low 21 bits of v so bit i moves to bit 3i.
+std::uint64_t spread_bits_3d(std::uint64_t v);
+
+/// Interleaves three 21-bit coordinates into a 63-bit Morton index
+/// (x least significant within each 3-bit group).
+std::uint64_t morton_interleave(std::uint32_t ix, std::uint32_t iy,
+                                std::uint32_t iz);
+
+/// Cubic axis-aligned domain used for key generation and node geometry.
+struct Domain {
+  Vec3 lo;
+  double size = 1.0;  // side length
+
+  /// The child cube of octant o (bit 0 = x-half, 1 = y-half, 2 = z-half).
+  Domain child(int octant) const {
+    Domain c{lo, 0.5 * size};
+    if (octant & 1) c.lo.x += c.size;
+    if (octant & 2) c.lo.y += c.size;
+    if (octant & 4) c.lo.z += c.size;
+    return c;
+  }
+  Vec3 center() const {
+    return lo + Vec3{0.5 * size, 0.5 * size, 0.5 * size};
+  }
+  bool contains(const Vec3& p) const {
+    return p.x >= lo.x && p.x <= lo.x + size && p.y >= lo.y &&
+           p.y <= lo.y + size && p.z >= lo.z && p.z <= lo.z + size;
+  }
+
+  /// Smallest cube (plus optional padding) containing all points; used as
+  /// the root domain. Padding avoids particles landing exactly on the
+  /// upper boundary after roundoff.
+  static Domain bounding_cube(const Vec3* points, std::size_t count,
+                              double padding = 1e-9);
+};
+
+/// Full-depth particle key for a position inside `domain`.
+std::uint64_t particle_key(const Vec3& x, const Domain& domain);
+
+/// Level of a node key = (bit position of leading 1) / 3.
+int key_level(std::uint64_t key);
+
+/// Ancestor key of `key` at `level` (level <= key_level(key)).
+std::uint64_t key_ancestor(std::uint64_t key, int level);
+
+/// Child key in octant o (0..7).
+inline std::uint64_t key_child(std::uint64_t key, int octant) {
+  return (key << 3) | static_cast<std::uint64_t>(octant);
+}
+
+/// Octant of `key` within its parent.
+inline int key_octant(std::uint64_t key) { return static_cast<int>(key & 7); }
+
+/// Inclusive range [min, max] of *particle-level* keys covered by a node
+/// key (i.e. all level-kMaxLevel descendants).
+struct KeyRange {
+  std::uint64_t min;
+  std::uint64_t max;
+};
+KeyRange key_coverage(std::uint64_t node_key);
+
+/// Geometric cube of a node key inside the root domain.
+Domain key_domain(std::uint64_t node_key, const Domain& root);
+
+}  // namespace stnb::tree

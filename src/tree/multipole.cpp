@@ -1,0 +1,176 @@
+#include "tree/multipole.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace stnb::tree {
+
+namespace {
+constexpr double kInvFourPi = 1.0 / (4.0 * std::numbers::pi);
+
+constexpr double eps_lc(int i, int l, int m) {
+  // Levi-Civita symbol.
+  return static_cast<double>((i - l) * (l - m) * (m - i)) / 2.0;
+}
+
+}  // namespace
+
+KernelTensors kernel_tensors(const Vec3& d,
+                             const kernels::AlgebraicKernel* kernel) {
+  KernelTensors k{};
+  const double r2 = norm2(d);
+  const double r = std::sqrt(r2);
+
+  double c_g, c_h, c_h2;  // g/sigma^3, h/sigma^5, h2/sigma^7
+  if (kernel != nullptr) {
+    const double sigma = kernel->sigma();
+    const double rho = r / sigma;
+    const double inv_s3 = 1.0 / (sigma * sigma * sigma);
+    const double inv_s5 = inv_s3 / (sigma * sigma);
+    c_g = kernel->g(rho) * inv_s3;
+    c_h = kernel->h(rho) * inv_s5;
+    c_h2 = kernel->h2(rho) * inv_s5 / (sigma * sigma);
+  } else {
+    const double inv_r = 1.0 / r;
+    const double inv_r3 = inv_r * inv_r * inv_r;
+    c_g = inv_r3;
+    c_h = -3.0 * inv_r3 * inv_r * inv_r;
+    c_h2 = 15.0 * inv_r3 * inv_r * inv_r * inv_r * inv_r;
+  }
+
+  k.phi = c_g * d;
+  for (int i = 0; i < 3; ++i)
+    for (int j = 0; j < 3; ++j)
+      k.h(i, j) = c_h * d[i] * d[j] + (i == j ? c_g : 0.0);
+  for (int i = 0; i < 3; ++i)
+    for (int j = 0; j < 3; ++j)
+      for (int kk = j; kk < 3; ++kk) {
+        double v = c_h2 * d[i] * d[j] * d[kk];
+        if (i == j) v += c_h * d[kk];
+        if (i == kk) v += c_h * d[j];
+        if (j == kk) v += c_h * d[i];
+        k.t[i * 6 + kSymIdx[j][kk]] = v;
+      }
+  return k;
+}
+
+void Multipole::add_particle(const Vec3& x, double q, const Vec3& a) {
+  const Vec3 d = x - center;
+  mono_q += q;
+  dip_q += q * d;
+  for (int j = 0; j < 3; ++j)
+    for (int k = j; k < 3; ++k) quad_q[kSymIdx[j][k]] += q * d[j] * d[k];
+
+  mono_a += a;
+  for (int l = 0; l < 3; ++l)
+    for (int j = 0; j < 3; ++j) dip_a(l, j) += a[l] * d[j];
+  for (int l = 0; l < 3; ++l)
+    for (int j = 0; j < 3; ++j)
+      for (int k = j; k < 3; ++k)
+        quad_a[l * 6 + kSymIdx[j][k]] += a[l] * d[j] * d[k];
+  weight += std::abs(q) + norm(a);
+}
+
+void Multipole::add_shifted(const Multipole& child) {
+  const Vec3 s = child.center - center;  // child offsets gain +s
+  mono_q += child.mono_q;
+  dip_q += child.dip_q + child.mono_q * s;
+  for (int j = 0; j < 3; ++j)
+    for (int k = j; k < 3; ++k)
+      quad_q[kSymIdx[j][k]] += child.quad_q[kSymIdx[j][k]] +
+                               child.dip_q[j] * s[k] + child.dip_q[k] * s[j] +
+                               child.mono_q * s[j] * s[k];
+
+  mono_a += child.mono_a;
+  for (int l = 0; l < 3; ++l)
+    for (int j = 0; j < 3; ++j)
+      dip_a(l, j) += child.dip_a(l, j) + child.mono_a[l] * s[j];
+  for (int l = 0; l < 3; ++l)
+    for (int j = 0; j < 3; ++j)
+      for (int k = j; k < 3; ++k)
+        quad_a[l * 6 + kSymIdx[j][k]] +=
+            child.quad_a[l * 6 + kSymIdx[j][k]] + child.dip_a(l, j) * s[k] +
+            child.dip_a(l, k) * s[j] + child.mono_a[l] * s[j] * s[k];
+  weight += child.weight;
+}
+
+void Multipole::evaluate_coulomb(const Vec3& x, double& phi, Vec3& e) const {
+  const Vec3 d = x - center;
+  const auto k = kernel_tensors(d, nullptr);
+  const double r = norm(d);
+  const double inv_r = 1.0 / r;
+  const double inv_r3 = inv_r * inv_r * inv_r;
+  const double inv_r5 = inv_r3 * inv_r * inv_r;
+  // phi = Q/r + D.d/r^3 + 1/2 Sum quad_jk (3 d_j d_k - r^2 delta_jk)/r^5
+  phi += mono_q * inv_r + dot(dip_q, d) * inv_r3;
+  double quad_phi = 0.0;
+  for (int j = 0; j < 3; ++j)
+    for (int kk = 0; kk < 3; ++kk) {
+      const double m = quad_q[kSymIdx[j][kk]];
+      quad_phi += m * (3.0 * d[j] * d[kk] * inv_r5 - (j == kk ? inv_r3 : 0.0));
+    }
+  phi += 0.5 * quad_phi;
+
+  // E_i = Q Phi_i - H_ij D_j + 1/2 T_ijk quad_jk
+  for (int i = 0; i < 3; ++i) {
+    double ei = mono_q * k.phi[i];
+    for (int j = 0; j < 3; ++j) ei -= k.h(i, j) * dip_q[j];
+    double quad_e = 0.0;
+    for (int j = 0; j < 3; ++j)
+      for (int kk = 0; kk < 3; ++kk)
+        quad_e += k.t[i * 6 + kSymIdx[j][kk]] * quad_q[kSymIdx[j][kk]];
+    e[i] += ei + 0.5 * quad_e;
+  }
+}
+
+void Multipole::evaluate_biot_savart(
+    const Vec3& x, Vec3& u, const kernels::AlgebraicKernel* kernel) const {
+  const Vec3 d = x - center;
+  const auto k = kernel_tensors(d, kernel);
+  // u_i = 1/(4pi) [ eps_ilm A_l Phi_m - eps_ilm H_mj Da_lj
+  //                 + 1/2 eps_ilm T_mjk Qa_ljk ]
+  for (int i = 0; i < 3; ++i) {
+    double ui = 0.0;
+    for (int l = 0; l < 3; ++l) {
+      if (l == i) continue;
+      const int m = 3 - i - l;  // the remaining index
+      const double e = eps_lc(i, l, m);
+      ui += e * mono_a[l] * k.phi[m];
+      for (int j = 0; j < 3; ++j) ui -= e * k.h(m, j) * dip_a(l, j);
+      double quad = 0.0;
+      for (int j = 0; j < 3; ++j)
+        for (int kk = 0; kk < 3; ++kk)
+          quad += k.t[m * 6 + kSymIdx[j][kk]] * quad_a[l * 6 + kSymIdx[j][kk]];
+      ui += 0.5 * e * quad;
+    }
+    u[i] += kInvFourPi * ui;
+  }
+}
+
+void Multipole::evaluate_biot_savart(
+    const Vec3& x, Vec3& u, Mat3& grad,
+    const kernels::AlgebraicKernel* kernel) const {
+  evaluate_biot_savart(x, u, kernel);
+  const Vec3 d = x - center;
+  const auto k = kernel_tensors(d, kernel);
+  // J_ij = 1/(4pi) [ eps_ilm A_l H_mj - eps_ilm T_mkj Da_lk ]
+  // (the quadrupole gradient needs third derivatives of Phi and is
+  // omitted; the MAC bounds the truncation like the other far-field
+  // terms).
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 3; ++j) {
+      double jij = 0.0;
+      for (int l = 0; l < 3; ++l) {
+        if (l == i) continue;
+        const int m = 3 - i - l;
+        const double e = eps_lc(i, l, m);
+        jij += e * mono_a[l] * k.h(m, j);
+        for (int kk = 0; kk < 3; ++kk)
+          jij -= e * k.t[m * 6 + kSymIdx[kk][j]] * dip_a(l, kk);
+      }
+      grad(i, j) += kInvFourPi * jij;
+    }
+  }
+}
+
+}  // namespace stnb::tree

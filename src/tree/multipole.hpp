@@ -1,0 +1,95 @@
+// Cartesian multipole expansions up to quadrupole order for both charge
+// types the tree supports:
+//   - scalar charges q   (Coulomb/gravity: potential and field)
+//   - vector charges a   (vortex strengths: Biot-Savart velocity/gradient)
+//
+// For vortex charges the expansion can be built on the *regularized*
+// kernel (Speck's "generalized algebraic kernels and multipole
+// expansions", paper ref. [23]): the derivative tensors of
+//   Phi_sigma(d) = q(rho) d / |d|^3,   rho = |d|/sigma
+// are expressed through the smooth radial profiles g, h = g'/rho,
+// h2 = h'/rho of kernels/algebraic.hpp:
+//   Phi_i = g/sigma^3 d_i
+//   H_ij  = h/sigma^5 d_i d_j + g/sigma^3 delta_ij
+//   T_ijk = h2/sigma^7 d_i d_j d_k
+//         + h/sigma^5 (delta_ij d_k + delta_ik d_j + delta_jk d_i)
+// With sigma -> 0 these limit to the singular tensors d_i/r^3 etc., which
+// are also used directly for the Coulomb far field.
+#pragma once
+
+#include <array>
+#include <cstddef>
+
+#include "kernels/algebraic.hpp"
+#include "support/vec3.hpp"
+
+namespace stnb::tree {
+
+/// Index map for symmetric second-order moments: (jk) in
+/// {xx, yy, zz, xy, xz, yz}.
+constexpr int kSymIdx[3][3] = {{0, 3, 4}, {3, 1, 5}, {4, 5, 2}};
+
+/// Derivative tensors of the (possibly regularized) point kernel at
+/// displacement d. `kernel == nullptr` selects the singular kernel.
+struct KernelTensors {
+  Vec3 phi;                  // Phi_i
+  Mat3 h;                    // H_ij = dPhi_i/dd_j
+  std::array<double, 18> t;  // T_ijk = d2Phi_i/dd_j dd_k, [i*6 + sym(jk)]
+};
+KernelTensors kernel_tensors(const Vec3& d,
+                             const kernels::AlgebraicKernel* kernel);
+
+struct Multipole {
+  Vec3 center{};        // expansion center (center of absolute charge)
+  double weight = 0.0;  // total |q| + |a| used for the center
+
+  // Scalar-charge moments about `center`.
+  double mono_q = 0.0;
+  Vec3 dip_q{};
+  std::array<double, 6> quad_q{};  // Sum q d_j d_k, symmetric storage
+
+  // Vector-charge moments about `center`.
+  Vec3 mono_a{};
+  Mat3 dip_a{};                     // Sum a_l d_j: (l, j)
+  std::array<double, 18> quad_a{};  // Sum a_l d_j d_k: [l*6 + sym(jk)]
+
+  /// Adds one particle (position x, scalar q, vector a). `center` must be
+  /// set before accumulating.
+  void add_particle(const Vec3& x, double q, const Vec3& a);
+
+  /// Adds a child expansion, shifting it from child.center to this center
+  /// (M2M translation).
+  void add_shifted(const Multipole& child);
+
+  /// Far-field Coulomb evaluation at x (singular kernel): accumulates
+  /// potential and field.
+  void evaluate_coulomb(const Vec3& x, double& phi, Vec3& e) const;
+
+  /// Far-field Biot-Savart evaluation at x: accumulates velocity (and
+  /// optionally its gradient, used by the vortex stretching term; the
+  /// gradient carries monopole + dipole terms). Pass the algebraic kernel
+  /// to expand the regularized interaction; nullptr = singular.
+  void evaluate_biot_savart(const Vec3& x, Vec3& u,
+                            const kernels::AlgebraicKernel* kernel) const;
+  void evaluate_biot_savart(const Vec3& x, Vec3& u, Mat3& grad,
+                            const kernels::AlgebraicKernel* kernel) const;
+};
+
+/// Weighted centroid of a particle set (used to pick expansion centers).
+struct CenterAccumulator {
+  Vec3 weighted_sum{};
+  double weight = 0.0;
+  void add(const Vec3& x, double w) {
+    weighted_sum += w * x;
+    weight += w;
+  }
+  void add(const CenterAccumulator& other) {
+    weighted_sum += other.weighted_sum;
+    weight += other.weight;
+  }
+  Vec3 center(const Vec3& fallback) const {
+    return weight > 0.0 ? weighted_sum / weight : fallback;
+  }
+};
+
+}  // namespace stnb::tree

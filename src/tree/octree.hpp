@@ -1,0 +1,113 @@
+// The local Barnes-Hut oct-tree (Sec. III-A, Figs. 3-4): particles are
+// sorted by Morton key, space is subdivided recursively until boxes hold
+// at most `leaf_capacity` particles, and every node carries multipole
+// moments aggregated bottom-up (M2M). Traversal applies the classical
+// multipole acceptance criterion s/d <= theta: larger theta accepts
+// bigger clusters (faster, less accurate) — the knob PFASST uses for
+// spatial coarsening (Sec. IV-B).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "tree/morton.hpp"
+#include "tree/multipole.hpp"
+
+namespace stnb::tree {
+
+struct TreeParticle {
+  Vec3 x;
+  double q = 0.0;        // scalar charge (Coulomb workloads)
+  Vec3 a{};              // vector charge (vortex strength)
+  std::uint32_t id = 0;  // caller-side index, preserved across sorting
+  std::uint64_t key = 0;
+};
+
+struct Node {
+  std::uint64_t key = kRootKey;
+  std::int32_t first = 0;  // particle slice [first, first+count)
+  std::int32_t count = 0;
+  std::array<std::int32_t, 8> child{-1, -1, -1, -1, -1, -1, -1, -1};
+  float box_size = 0.0f;  // geometric side length (float: MAC only)
+  bool leaf = true;
+  Multipole mp;
+
+  int level() const { return key_level(key); }
+};
+
+struct TreeStats {
+  std::size_t node_count = 0;
+  std::size_t leaf_count = 0;
+  int max_depth = 0;
+};
+
+class Octree {
+ public:
+  struct Config {
+    int leaf_capacity = 8;
+    int max_level = kMaxLevel;
+  };
+
+  /// Builds the tree over `particles` inside `domain` (which must contain
+  /// them; use Domain::bounding_cube). Particles are key-stamped and
+  /// sorted internally; use `particles()` for the sorted order and the
+  /// stored `id` to map back.
+  Octree(std::vector<TreeParticle> particles, const Domain& domain,
+         Config config);
+  Octree(std::vector<TreeParticle> particles, const Domain& domain)
+      : Octree(std::move(particles), domain, Config{}) {}
+
+  const Domain& domain() const { return domain_; }
+  const std::vector<TreeParticle>& particles() const { return particles_; }
+  const std::vector<Node>& nodes() const { return nodes_; }
+  const Node& root() const { return nodes_.front(); }
+  TreeStats stats() const;
+
+  /// MAC traversal for a target position. For every accepted cluster
+  /// calls `far(node)`; for every leaf that must be resolved calls
+  /// `near(particle)` per particle. theta = 0 disables acceptance
+  /// entirely (exact direct summation via the leaves).
+  template <typename FarFn, typename NearFn>
+  void walk(const Vec3& target, double theta, FarFn&& far,
+            NearFn&& near) const {
+    const double theta2 = theta * theta;
+    // Depth bound: 7 siblings pushed per level, kMaxLevel levels.
+    std::int32_t stack[7 * kMaxLevel + 8];
+    int top = 0;
+    stack[top++] = 0;
+    while (top > 0) {
+      const Node& node = nodes_[stack[--top]];
+      const double s = node.box_size;
+      const double d2 = norm2(target - node.mp.center);
+      if (s * s <= theta2 * d2 && node.count > 1) {
+        far(node);
+      } else if (node.leaf) {
+        for (std::int32_t p = node.first; p < node.first + node.count; ++p)
+          near(particles_[p]);
+      } else {
+        for (int c = 7; c >= 0; --c)
+          if (node.child[c] >= 0) stack[top++] = node.child[c];
+      }
+    }
+  }
+
+  /// Branch nodes: the minimal set of local-tree nodes whose key coverage
+  /// tiles the key interval [range_min, range_max] owned by this rank
+  /// (Warren-Salmon; these are what PEPC exchanges globally, Fig. 3).
+  /// For a serial tree the interval covers the whole domain and this
+  /// returns the root's children (or the root itself).
+  std::vector<std::int32_t> branch_nodes(std::uint64_t range_min,
+                                         std::uint64_t range_max) const;
+
+ private:
+  std::int32_t build_recursive(std::uint64_t key, std::int32_t first,
+                               std::int32_t count, int level);
+
+  Domain domain_;
+  Config config_;
+  std::vector<TreeParticle> particles_;
+  std::vector<Node> nodes_;
+};
+
+}  // namespace stnb::tree

@@ -1,0 +1,382 @@
+#include "tree/parallel.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstring>
+#include <unordered_map>
+
+namespace stnb::tree {
+
+namespace {
+
+/// Particle on the wire during repartitioning: carries routing info so
+/// force results can be returned to the caller's layout.
+struct WireParticle {
+  TreeParticle p;
+  std::int32_t orig_rank = 0;
+  std::int32_t orig_index = 0;
+};
+
+struct VortexWire {
+  std::int32_t orig_index = 0;
+  Vec3 u;
+  Mat3 grad;
+};
+
+struct CoulombWire {
+  std::int32_t orig_index = 0;
+  double phi = 0.0;
+  Vec3 e;
+};
+
+struct RankBox {
+  Vec3 lo, hi;
+};
+
+double min_distance_to_box(const Vec3& x, const RankBox& box) {
+  double d2 = 0.0;
+  for (int c = 0; c < 3; ++c) {
+    const double v = x[c];
+    const double lo = box.lo[c], hi = box.hi[c];
+    const double d = v < lo ? lo - v : (v > hi ? v - hi : 0.0);
+    d2 += d * d;
+  }
+  return std::sqrt(d2);
+}
+
+template <typename T>
+std::vector<std::byte> pack(const std::vector<T>& v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  std::vector<std::byte> bytes(v.size() * sizeof(T));
+  std::memcpy(bytes.data(), v.data(), bytes.size());
+  return bytes;
+}
+
+template <typename T>
+void unpack_into(const std::vector<std::byte>& bytes, std::vector<T>& out) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const std::size_t n = bytes.size() / sizeof(T);
+  const std::size_t old = out.size();
+  out.resize(old + n);
+  std::memcpy(out.data() + old, bytes.data(), n * sizeof(T));
+}
+
+}  // namespace
+
+struct ParallelTree::Exchanged {
+  std::unique_ptr<Octree> tree;  // over this rank's partitioned particles
+  std::vector<Multipole> import_mp;      // accepted remote clusters
+  std::vector<TreeParticle> import_p;    // unresolved remote particles
+  // Routing: per partitioned particle (matching tree->particles() via the
+  // global id), where the result must be sent back to.
+  std::unordered_map<std::uint32_t, std::pair<std::int32_t, std::int32_t>>
+      route;
+};
+
+ParallelTree::ParallelTree(mpsim::Comm space_comm, ParallelConfig config)
+    : comm_(space_comm), config_(config) {}
+
+ParallelTree::Exchanged ParallelTree::exchange(
+    const std::vector<TreeParticle>& local, SolveTimings& timings) {
+  const int p_ranks = comm_.size();
+  const int rank = comm_.rank();
+  const auto& cost = comm_.cost();
+  Exchanged ex;
+
+  // ---- phase 1+2: global domain + SFC repartition ------------------------
+  const double t0 = comm_.clock().now();
+  Vec3 lo{1e300, 1e300, 1e300}, hi{-1e300, -1e300, -1e300};
+  for (const auto& p : local) {
+    lo = min(lo, p.x);
+    hi = max(hi, p.x);
+  }
+  Vec3 glo, ghi;
+  for (int c = 0; c < 3; ++c) {
+    glo[c] = comm_.allreduce_min(lo[c]);
+    ghi[c] = comm_.allreduce_max(hi[c]);
+  }
+  const Vec3 mid = 0.5 * (glo + ghi);
+  double size = std::max(
+      {ghi.x - glo.x, ghi.y - glo.y, ghi.z - glo.z, 1e-12});
+  size *= 1.0 + 2e-9;
+  const Domain domain{mid - Vec3{0.5 * size, 0.5 * size, 0.5 * size}, size};
+
+  // Key, sort, sample splitters (Warren-Salmon style sample sort).
+  std::vector<WireParticle> mine(local.size());
+  for (std::size_t i = 0; i < local.size(); ++i) {
+    mine[i].p = local[i];
+    mine[i].p.key = particle_key(local[i].x, domain);
+    mine[i].orig_rank = rank;
+    mine[i].orig_index = static_cast<std::int32_t>(i);
+  }
+  std::sort(mine.begin(), mine.end(),
+            [](const WireParticle& a, const WireParticle& b) {
+              return a.p.key < b.p.key;
+            });
+  const double n_local = static_cast<double>(local.size());
+  comm_.compute(n_local * std::log2(std::max(2.0, n_local)) *
+                cost.t_sort_per_particle);
+
+  std::vector<TreeParticle> partitioned;
+  if (p_ranks > 1) {
+    constexpr int kSamples = 32;
+    std::vector<std::uint64_t> samples;
+    for (int s = 0; s < kSamples && !mine.empty(); ++s)
+      samples.push_back(
+          mine[(mine.size() - 1) * s / std::max(1, kSamples - 1)].p.key);
+    auto all_samples = comm_.allgatherv(samples);
+    std::sort(all_samples.begin(), all_samples.end());
+    std::vector<std::uint64_t> splitters;
+    for (int r = 1; r < p_ranks; ++r)
+      splitters.push_back(
+          all_samples[all_samples.size() * r / p_ranks]);
+
+    std::vector<std::vector<WireParticle>> to_each(p_ranks);
+    for (const auto& wp : mine) {
+      const int dest = static_cast<int>(
+          std::upper_bound(splitters.begin(), splitters.end(), wp.p.key) -
+          splitters.begin());
+      to_each[dest].push_back(wp);
+    }
+    std::vector<std::vector<std::byte>> payloads(p_ranks);
+    for (int r = 0; r < p_ranks; ++r) payloads[r] = pack(to_each[r]);
+    const auto incoming = comm_.alltoallv_bytes(payloads);
+    std::vector<WireParticle> received;
+    for (const auto& payload : incoming) unpack_into(payload, received);
+    partitioned.reserve(received.size());
+    for (const auto& wp : received) {
+      partitioned.push_back(wp.p);
+      ex.route[wp.p.id] = {wp.orig_rank, wp.orig_index};
+    }
+  } else {
+    partitioned.reserve(mine.size());
+    for (const auto& wp : mine) {
+      partitioned.push_back(wp.p);
+      ex.route[wp.p.id] = {wp.orig_rank, wp.orig_index};
+    }
+  }
+  timings.local_particles = partitioned.size();
+  timings.domain = comm_.clock().now() - t0;
+
+  // ---- phase 3: local tree build -----------------------------------------
+  const double t1 = comm_.clock().now();
+  ex.tree = std::make_unique<Octree>(
+      std::move(partitioned), domain,
+      Octree::Config{config_.leaf_capacity, kMaxLevel});
+  comm_.compute(static_cast<double>(ex.tree->nodes().size()) *
+                cost.t_tree_node);
+  timings.tree_build = comm_.clock().now() - t1;
+
+  // ---- phase 4: branch exchange ------------------------------------------
+  const double t2 = comm_.clock().now();
+  struct BranchWire {
+    std::uint64_t key;
+    std::int32_t count;
+    Multipole mp;
+  };
+  std::vector<BranchWire> my_branches;
+  if (!ex.tree->particles().empty()) {
+    const auto branch_ids = ex.tree->branch_nodes(
+        ex.tree->particles().front().key, ex.tree->particles().back().key);
+    for (auto idx : branch_ids) {
+      const Node& node = ex.tree->nodes()[idx];
+      my_branches.push_back({node.key, node.count, node.mp});
+    }
+  }
+  timings.branch_count = my_branches.size();
+  const auto all_branches = comm_.allgatherv(my_branches);
+  // Aggregate the globally shared top: here we fold all branches into the
+  // root expansion (used for diagnostics/validation; interaction data
+  // travels through the LET below).
+  Multipole global_root;
+  global_root.center = domain.center();
+  for (const auto& b : all_branches) global_root.add_shifted(b.mp);
+  (void)global_root;  // diagnostics hook; forces flow through the LET
+  comm_.compute(static_cast<double>(all_branches.size()) * cost.t_tree_node);
+  timings.branch_exchange = comm_.clock().now() - t2;
+
+  // ---- phase 5: locally-essential-tree exchange ---------------------------
+  const double t3 = comm_.clock().now();
+  std::vector<RankBox> boxes(p_ranks);
+  {
+    RankBox mine_box{{1e300, 1e300, 1e300}, {-1e300, -1e300, -1e300}};
+    for (const auto& p : ex.tree->particles()) {
+      mine_box.lo = min(mine_box.lo, p.x);
+      mine_box.hi = max(mine_box.hi, p.x);
+    }
+    std::vector<RankBox> one = {mine_box};
+    const auto all = comm_.allgatherv(one);
+    boxes.assign(all.begin(), all.end());
+  }
+
+  if (p_ranks > 1) {
+    std::vector<std::vector<Multipole>> mp_for(p_ranks);
+    std::vector<std::vector<TreeParticle>> p_for(p_ranks);
+    const auto& nodes = ex.tree->nodes();
+    for (int r = 0; r < p_ranks; ++r) {
+      if (r == rank || ex.tree->particles().empty()) continue;
+      std::vector<std::int32_t> stack = {0};
+      while (!stack.empty()) {
+        const Node& node = nodes[stack.back()];
+        stack.pop_back();
+        const double dmin = min_distance_to_box(node.mp.center, boxes[r]);
+        if (node.box_size <= config_.theta * dmin && node.count > 1) {
+          mp_for[r].push_back(node.mp);
+        } else if (node.leaf) {
+          for (std::int32_t i = node.first; i < node.first + node.count; ++i)
+            p_for[r].push_back(ex.tree->particles()[i]);
+        } else {
+          for (int c = 0; c < 8; ++c)
+            if (node.child[c] >= 0) stack.push_back(node.child[c]);
+        }
+      }
+      timings.let_sent += mp_for[r].size() + p_for[r].size();
+    }
+    comm_.compute(static_cast<double>(timings.let_sent) * cost.t_tree_node);
+
+    // Ship multipoles and particles in two alltoallv rounds.
+    std::vector<std::vector<std::byte>> mp_payloads(p_ranks),
+        p_payloads(p_ranks);
+    for (int r = 0; r < p_ranks; ++r) {
+      mp_payloads[r] = pack(mp_for[r]);
+      p_payloads[r] = pack(p_for[r]);
+    }
+    for (const auto& payload : comm_.alltoallv_bytes(mp_payloads))
+      unpack_into(payload, ex.import_mp);
+    for (const auto& payload : comm_.alltoallv_bytes(p_payloads))
+      unpack_into(payload, ex.import_p);
+  }
+  timings.let_exchange = comm_.clock().now() - t3;
+  return ex;
+}
+
+VortexForces ParallelTree::solve_vortex(
+    const std::vector<TreeParticle>& local,
+    const kernels::AlgebraicKernel& kernel) {
+  VortexForces out;
+  Exchanged ex = exchange(local, out.timings);
+  const auto& cost = comm_.cost();
+  const int p_ranks = comm_.size();
+
+  // ---- traversal -----------------------------------------------------------
+  const double t4 = comm_.clock().now();
+  const auto& targets = ex.tree->particles();
+  std::vector<VortexWire> results(targets.size());
+  std::atomic<std::uint64_t> near{0}, far{0};
+  auto body = [&](std::size_t i) {
+    EvalCounters counters;
+    const Vec3 x = targets[i].x;
+    VortexSample s = sample_vortex(*ex.tree, x, targets[i].id, config_.theta,
+                                   kernel, counters);
+    for (const auto& mp : ex.import_mp) {
+      mp.evaluate_biot_savart(x, s.u, s.grad, &kernel);
+      ++counters.far;
+    }
+    for (const auto& p : ex.import_p) {
+      if (p.id == targets[i].id) continue;
+      kernel.accumulate_velocity_and_gradient(x - p.x, p.a, s.u, s.grad);
+      ++counters.near;
+    }
+    results[i] = {static_cast<std::int32_t>(0), s.u, s.grad};
+    near.fetch_add(counters.near, std::memory_order_relaxed);
+    far.fetch_add(counters.far, std::memory_order_relaxed);
+  };
+  if (config_.pool != nullptr) {
+    config_.pool->parallel_for(0, targets.size(), body);
+  } else {
+    for (std::size_t i = 0; i < targets.size(); ++i) body(i);
+  }
+  out.timings.counters.near = near.load();
+  out.timings.counters.far = far.load();
+  comm_.compute((near.load() * cost.t_near_interaction +
+                 far.load() * cost.t_far_interaction) /
+                std::max(1, config_.model_threads));
+  out.timings.traversal = comm_.clock().now() - t4;
+
+  // ---- route results back to the callers' layout ---------------------------
+  std::vector<std::vector<VortexWire>> back(p_ranks);
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    const auto [orig_rank, orig_index] = ex.route.at(targets[i].id);
+    results[i].orig_index = orig_index;
+    back[orig_rank].push_back(results[i]);
+  }
+  out.u.assign(local.size(), Vec3{});
+  out.grad.assign(local.size(), Mat3{});
+  std::vector<std::vector<std::byte>> payloads(p_ranks);
+  for (int r = 0; r < p_ranks; ++r) payloads[r] = pack(back[r]);
+  for (const auto& payload : comm_.alltoallv_bytes(payloads)) {
+    std::vector<VortexWire> wires;
+    unpack_into(payload, wires);
+    for (const auto& w : wires) {
+      out.u[w.orig_index] = w.u;
+      out.grad[w.orig_index] = w.grad;
+    }
+  }
+  return out;
+}
+
+CoulombForces ParallelTree::solve_coulomb(
+    const std::vector<TreeParticle>& local,
+    const kernels::CoulombKernel& kernel) {
+  CoulombForces out;
+  Exchanged ex = exchange(local, out.timings);
+  const auto& cost = comm_.cost();
+  const int p_ranks = comm_.size();
+
+  const double t4 = comm_.clock().now();
+  const auto& targets = ex.tree->particles();
+  std::vector<CoulombWire> results(targets.size());
+  std::atomic<std::uint64_t> near{0}, far{0};
+  auto body = [&](std::size_t i) {
+    EvalCounters counters;
+    const Vec3 x = targets[i].x;
+    CoulombSample s = sample_coulomb(*ex.tree, x, targets[i].id,
+                                     config_.theta, kernel, counters);
+    for (const auto& mp : ex.import_mp) {
+      mp.evaluate_coulomb(x, s.phi, s.e);
+      ++counters.far;
+    }
+    for (const auto& p : ex.import_p) {
+      if (p.id == targets[i].id) continue;
+      kernel.accumulate_field(x - p.x, p.q, s.phi, s.e);
+      ++counters.near;
+    }
+    results[i] = {0, s.phi, s.e};
+    near.fetch_add(counters.near, std::memory_order_relaxed);
+    far.fetch_add(counters.far, std::memory_order_relaxed);
+  };
+  if (config_.pool != nullptr) {
+    config_.pool->parallel_for(0, targets.size(), body);
+  } else {
+    for (std::size_t i = 0; i < targets.size(); ++i) body(i);
+  }
+  out.timings.counters.near = near.load();
+  out.timings.counters.far = far.load();
+  comm_.compute((near.load() * cost.t_near_interaction +
+                 far.load() * cost.t_far_interaction) /
+                std::max(1, config_.model_threads));
+  out.timings.traversal = comm_.clock().now() - t4;
+
+  std::vector<std::vector<CoulombWire>> back(p_ranks);
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    const auto [orig_rank, orig_index] = ex.route.at(targets[i].id);
+    results[i].orig_index = orig_index;
+    back[orig_rank].push_back(results[i]);
+  }
+  out.phi.assign(local.size(), 0.0);
+  out.e.assign(local.size(), Vec3{});
+  std::vector<std::vector<std::byte>> payloads(p_ranks);
+  for (int r = 0; r < p_ranks; ++r) payloads[r] = pack(back[r]);
+  for (const auto& payload : comm_.alltoallv_bytes(payloads)) {
+    std::vector<CoulombWire> wires;
+    unpack_into(payload, wires);
+    for (const auto& w : wires) {
+      out.phi[w.orig_index] = w.phi;
+      out.e[w.orig_index] = w.e;
+    }
+  }
+  return out;
+}
+
+}  // namespace stnb::tree

@@ -1,0 +1,31 @@
+#include "vortex/diagnostics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "vortex/state.hpp"
+
+namespace stnb::vortex {
+
+Invariants compute_invariants(const ode::State& u) {
+  Invariants inv{};
+  const std::size_t n = num_particles(u);
+  for (std::size_t p = 0; p < n; ++p) {
+    const Vec3 x = position(u, p);
+    const Vec3 a = strength(u, p);
+    inv.total_vorticity += a;
+    inv.linear_impulse += 0.5 * cross(x, a);
+    inv.angular_impulse += (1.0 / 3.0) * cross(x, cross(x, a));
+  }
+  return inv;
+}
+
+double max_speed(const ode::State& f) {
+  double best = 0.0;
+  const std::size_t n = num_particles(f);
+  for (std::size_t p = 0; p < n; ++p)
+    best = std::max(best, norm(position(f, p)));  // dx/dt slot = velocity
+  return best;
+}
+
+}  // namespace stnb::vortex

@@ -1,0 +1,28 @@
+// Invariants of inviscid vortex dynamics, used as physics checks in tests
+// and examples. For unbounded inviscid flow the vortex particle system
+// conserves (see Cottet & Koumoutsakos, ch. 2):
+//   total vorticity     Omega = sum_p alpha_p             (exactly, with
+//                                the classical scheme; to truncation with
+//                                the transpose scheme)
+//   linear impulse      I = 1/2 sum_p x_p x alpha_p
+//   angular impulse     A = 1/3 sum_p x_p x (x_p x alpha_p)
+#pragma once
+
+#include "ode/vspace.hpp"
+#include "support/vec3.hpp"
+
+namespace stnb::vortex {
+
+struct Invariants {
+  Vec3 total_vorticity;
+  Vec3 linear_impulse;
+  Vec3 angular_impulse;
+};
+
+Invariants compute_invariants(const ode::State& u);
+
+/// Maximum particle speed given the velocity half of a RHS evaluation
+/// (used by examples for the Fig. 1 style coloring).
+double max_speed(const ode::State& f);
+
+}  // namespace stnb::vortex

@@ -1,0 +1,55 @@
+#include "vortex/rhs_direct.hpp"
+
+#include <stdexcept>
+
+#include "vortex/state.hpp"
+
+namespace stnb::vortex {
+
+DirectRhs::DirectRhs(kernels::AlgebraicKernel kernel, StretchingScheme scheme,
+                     ThreadPool* pool)
+    : kernel_(kernel), scheme_(scheme), pool_(pool) {}
+
+void DirectRhs::operator()(double /*t*/, const ode::State& u,
+                           ode::State& f) const {
+  const std::size_t n = num_particles(u);
+  if (f.size() != u.size()) throw std::invalid_argument("bad f size");
+
+  auto body = [&](std::size_t q) {
+    const Vec3 xq = position(u, q);
+    Vec3 vel{};
+    Mat3 grad{};
+    for (std::size_t p = 0; p < n; ++p) {
+      if (p == q) continue;
+      const Vec3 r = xq - position(u, p);
+      kernel_.accumulate_velocity_and_gradient(r, strength(u, p), vel, grad);
+    }
+    const Vec3 aq = strength(u, q);
+    const Vec3 dalpha = scheme_ == StretchingScheme::kTranspose
+                            ? mul_transpose(grad, aq)
+                            : mul(grad, aq);
+    double* b = f.data() + kDofPerParticle * q;
+    b[0] = vel.x;
+    b[1] = vel.y;
+    b[2] = vel.z;
+    b[3] = dalpha.x;
+    b[4] = dalpha.y;
+    b[5] = dalpha.z;
+  };
+
+  if (pool_ != nullptr) {
+    pool_->parallel_for(0, n, body);
+  } else {
+    for (std::size_t q = 0; q < n; ++q) body(q);
+  }
+  interactions_ += static_cast<std::uint64_t>(n) * (n - 1);
+  ++evaluations_;
+}
+
+ode::RhsFn DirectRhs::as_fn() const {
+  return [this](double t, const ode::State& u, ode::State& f) {
+    (*this)(t, u, f);
+  };
+}
+
+}  // namespace stnb::vortex

@@ -1,0 +1,56 @@
+#include "vortex/rhs_parallel.hpp"
+
+#include <stdexcept>
+
+#include "vortex/state.hpp"
+
+namespace stnb::vortex {
+
+ParallelTreeRhs::ParallelTreeRhs(mpsim::Comm space_comm,
+                                 kernels::AlgebraicKernel kernel,
+                                 tree::ParallelConfig config,
+                                 std::size_t global_offset,
+                                 StretchingScheme scheme)
+    : comm_(space_comm),
+      kernel_(kernel),
+      config_(config),
+      global_offset_(global_offset),
+      scheme_(scheme) {}
+
+void ParallelTreeRhs::operator()(double /*t*/, const ode::State& u,
+                                 ode::State& f) {
+  if (f.size() != u.size()) throw std::invalid_argument("bad f size");
+  const std::size_t n = num_particles(u);
+  std::vector<tree::TreeParticle> local(n);
+  for (std::size_t p = 0; p < n; ++p) {
+    local[p].x = position(u, p);
+    local[p].a = strength(u, p);
+    local[p].id = static_cast<std::uint32_t>(global_offset_ + p);
+  }
+
+  tree::ParallelTree solver(comm_, config_);
+  auto forces = solver.solve_vortex(local, kernel_);
+  last_timings_ = forces.timings;
+  ++evaluations_;
+
+  for (std::size_t p = 0; p < n; ++p) {
+    const Vec3 dalpha = scheme_ == StretchingScheme::kTranspose
+                            ? mul_transpose(forces.grad[p], strength(u, p))
+                            : mul(forces.grad[p], strength(u, p));
+    double* b = f.data() + kDofPerParticle * p;
+    b[0] = forces.u[p].x;
+    b[1] = forces.u[p].y;
+    b[2] = forces.u[p].z;
+    b[3] = dalpha.x;
+    b[4] = dalpha.y;
+    b[5] = dalpha.z;
+  }
+}
+
+ode::RhsFn ParallelTreeRhs::as_fn() {
+  return [this](double t, const ode::State& u, ode::State& f) {
+    (*this)(t, u, f);
+  };
+}
+
+}  // namespace stnb::vortex

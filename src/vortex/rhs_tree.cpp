@@ -1,0 +1,135 @@
+#include "vortex/rhs_tree.hpp"
+
+#include <atomic>
+#include <stdexcept>
+
+#include "vortex/state.hpp"
+
+namespace stnb::vortex {
+
+namespace {
+
+std::vector<tree::TreeParticle> to_tree_particles(const ode::State& u) {
+  const std::size_t n = num_particles(u);
+  std::vector<tree::TreeParticle> ps(n);
+  for (std::size_t p = 0; p < n; ++p) {
+    ps[p].x = position(u, p);
+    ps[p].a = strength(u, p);
+    ps[p].id = static_cast<std::uint32_t>(p);
+  }
+  return ps;
+}
+
+tree::Domain domain_of(const ode::State& u) {
+  const std::size_t n = num_particles(u);
+  std::vector<Vec3> xs(n);
+  for (std::size_t p = 0; p < n; ++p) xs[p] = position(u, p);
+  return tree::Domain::bounding_cube(xs.data(), n);
+}
+
+void write_rhs(ode::State& f, std::size_t p, const Vec3& u, const Mat3& grad,
+               const Vec3& alpha, StretchingScheme scheme) {
+  const Vec3 dalpha = scheme == StretchingScheme::kTranspose
+                          ? mul_transpose(grad, alpha)
+                          : mul(grad, alpha);
+  double* b = f.data() + kDofPerParticle * p;
+  b[0] = u.x;
+  b[1] = u.y;
+  b[2] = u.z;
+  b[3] = dalpha.x;
+  b[4] = dalpha.y;
+  b[5] = dalpha.z;
+}
+
+}  // namespace
+
+TreeRhs::TreeRhs(kernels::AlgebraicKernel kernel, Config config,
+                 ThreadPool* pool)
+    : kernel_(kernel), config_(config), pool_(pool) {
+  if (config_.farfield_refresh < 1)
+    throw std::invalid_argument("farfield_refresh must be >= 1");
+}
+
+void TreeRhs::operator()(double /*t*/, const ode::State& u, ode::State& f) {
+  if (f.size() != u.size()) throw std::invalid_argument("bad f size");
+  ++evaluations_;
+  if (config_.farfield_refresh == 1) {
+    evaluate_full(u, f);
+  } else {
+    evaluate_with_cached_farfield(u, f);
+  }
+}
+
+void TreeRhs::evaluate_full(const ode::State& u, ode::State& f) {
+  const std::size_t n = num_particles(u);
+  tree::Octree octree(to_tree_particles(u), domain_of(u),
+                      {config_.leaf_capacity, tree::kMaxLevel});
+  ++tree_builds_;
+
+  std::atomic<std::uint64_t> near{0}, far{0};
+  auto body = [&](std::size_t p) {
+    tree::EvalCounters local;
+    const Vec3 x = position(u, p);
+    const auto sample =
+        tree::sample_vortex(octree, x, static_cast<std::uint32_t>(p),
+                            config_.theta, kernel_, local);
+    write_rhs(f, p, sample.u, sample.grad, strength(u, p), config_.scheme);
+    near.fetch_add(local.near, std::memory_order_relaxed);
+    far.fetch_add(local.far, std::memory_order_relaxed);
+  };
+  if (pool_ != nullptr) {
+    pool_->parallel_for(0, n, body);
+  } else {
+    for (std::size_t p = 0; p < n; ++p) body(p);
+  }
+  counters_.near += near.load();
+  counters_.far += far.load();
+}
+
+void TreeRhs::evaluate_with_cached_farfield(const ode::State& u,
+                                            ode::State& f) {
+  const std::size_t n = num_particles(u);
+  const bool refresh = calls_since_refresh_ == 0 || cached_far_u_.size() != n;
+  calls_since_refresh_ = (calls_since_refresh_ + 1) % config_.farfield_refresh;
+
+  tree::Octree octree(to_tree_particles(u), domain_of(u),
+                      {config_.leaf_capacity, tree::kMaxLevel});
+  ++tree_builds_;
+
+  if (refresh) {
+    cached_far_u_.assign(n, Vec3{});
+    cached_far_grad_.assign(n, Mat3{});
+  }
+
+  for (std::size_t p = 0; p < n; ++p) {
+    const Vec3 x = position(u, p);
+    Vec3 vel{};
+    Mat3 grad{};
+    octree.walk(
+        x, config_.theta,
+        [&](const tree::Node& node) {
+          if (refresh) {
+            node.mp.evaluate_biot_savart(x, cached_far_u_[p],
+                                         cached_far_grad_[p], &kernel_);
+            ++counters_.far;
+          }
+          // Non-refresh calls reuse the frozen far field: no work here.
+        },
+        [&](const tree::TreeParticle& tp) {
+          if (tp.id == p) return;
+          kernel_.accumulate_velocity_and_gradient(x - tp.x, tp.a, vel, grad);
+          ++counters_.near;
+        });
+    vel += cached_far_u_[p];
+    grad += cached_far_grad_[p];
+    write_rhs(f, p, vel, grad, strength(u, p), config_.scheme);
+  }
+}
+
+ode::RhsFn TreeRhs::as_fn() {
+  return [this](double t, const ode::State& u, ode::State& f) {
+    (*this)(t, u, f);
+  };
+}
+
+}  // namespace stnb::vortex

@@ -1,0 +1,62 @@
+// Tree-based evaluation of the vortex RHS: builds a Barnes-Hut tree from
+// the current particle positions on every evaluation and computes
+// velocities/stretching through MAC traversal. The MAC parameter theta is
+// the *spatial coarsening knob* of the paper (Sec. IV-B): PFASST's fine
+// propagator uses theta = 0.3, the coarse one theta = 0.6.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "kernels/algebraic.hpp"
+#include "ode/sdc.hpp"
+#include "support/thread_pool.hpp"
+#include "tree/evaluate.hpp"
+#include "tree/octree.hpp"
+#include "vortex/rhs_direct.hpp"  // StretchingScheme
+
+namespace stnb::vortex {
+
+class TreeRhs {
+ public:
+  struct Config {
+    double theta = 0.3;
+    int leaf_capacity = 8;
+    StretchingScheme scheme = StretchingScheme::kTranspose;
+    /// Far-field refresh interval (paper Sec. V future work: "coarse
+    /// problems could update the contribution from well separated
+    /// particle clusters less frequently"). 1 = recompute every call;
+    /// k > 1 freezes each particle's far-field contribution for k calls.
+    int farfield_refresh = 1;
+  };
+
+  TreeRhs(kernels::AlgebraicKernel kernel, Config config,
+          ThreadPool* pool = nullptr);
+
+  void operator()(double t, const ode::State& u, ode::State& f);
+  ode::RhsFn as_fn();
+
+  const tree::EvalCounters& counters() const { return counters_; }
+  std::uint64_t evaluation_count() const { return evaluations_; }
+  std::uint64_t tree_builds() const { return tree_builds_; }
+  double theta() const { return config_.theta; }
+
+ private:
+  void evaluate_full(const ode::State& u, ode::State& f);
+  void evaluate_with_cached_farfield(const ode::State& u, ode::State& f);
+
+  kernels::AlgebraicKernel kernel_;
+  Config config_;
+  ThreadPool* pool_;  // optional, not owned
+  tree::EvalCounters counters_;
+  std::uint64_t evaluations_ = 0;
+  std::uint64_t tree_builds_ = 0;
+
+  // Far-field cache (per-particle frozen far contributions).
+  std::vector<Vec3> cached_far_u_;
+  std::vector<Mat3> cached_far_grad_;
+  int calls_since_refresh_ = 0;
+};
+
+}  // namespace stnb::vortex

@@ -1,0 +1,70 @@
+#include "vortex/setup.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "support/rng.hpp"
+#include "vortex/state.hpp"
+
+namespace stnb::vortex {
+
+namespace {
+constexpr double kPi = std::numbers::pi;
+}
+
+double SheetConfig::h() const {
+  return std::sqrt(4.0 * kPi / static_cast<double>(n_particles)) * radius;
+}
+
+double SheetConfig::sigma() const { return sigma_over_h * h(); }
+
+ode::State spherical_vortex_sheet(const SheetConfig& config) {
+  const std::size_t n = config.n_particles;
+  std::vector<Vec3> xs(n), alphas(n);
+  const double h = config.h();
+
+  // Fibonacci sphere lattice: theta_k from uniform z spacing, phi_k from
+  // the golden angle. The seed rotates the lattice about z so different
+  // seeds give distinct (still quasi-uniform) configurations.
+  Rng rng(config.seed);
+  const double phi0 = rng.uniform(0.0, 2.0 * kPi);
+  const double golden = kPi * (3.0 - std::sqrt(5.0));
+  for (std::size_t k = 0; k < n; ++k) {
+    const double z = 1.0 - (2.0 * k + 1.0) / static_cast<double>(n);
+    const double r = std::sqrt(std::max(0.0, 1.0 - z * z));
+    const double phi = phi0 + golden * static_cast<double>(k);
+    const Vec3 unit{r * std::cos(phi), r * std::sin(phi), z};
+    xs[k] = config.radius * unit;
+
+    // omega = 3/(8 pi) sin(theta) e_phi with sin(theta) = r. Each particle
+    // carries alpha = omega * dA with surface element dA = 4 pi R^2 / N =
+    // h^2 (the paper's "volume h" attached to a surface distribution; the
+    // h^2 scaling is what keeps the total impulse N-independent at the
+    // value -1/2 of flow past a sphere). The azimuthal orientation is
+    // chosen so the sheet translates in -z, matching Fig. 1's "moving
+    // downwards" (the mirrored orientation is the same flow under z
+    // reflection).
+    const double magnitude = 3.0 / (8.0 * kPi) * r;
+    const Vec3 e_phi{std::sin(phi), -std::cos(phi), 0.0};
+    alphas[k] = (magnitude * h * h) * e_phi;
+  }
+  return pack(xs, alphas);
+}
+
+ode::State random_vortex_cloud(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Vec3> xs(n), alphas(n);
+  Vec3 total{};
+  for (std::size_t p = 0; p < n; ++p) {
+    xs[p] = rng.uniform_in_box({0, 0, 0}, {1, 1, 1});
+    alphas[p] = rng.uniform_on_sphere() * rng.uniform(0.5, 1.0);
+    total += alphas[p];
+  }
+  // Remove the mean so the cloud has zero net strength (analogous to the
+  // "neutral" Coulomb system of Fig. 5).
+  const Vec3 shift = total / static_cast<double>(n);
+  for (std::size_t p = 0; p < n; ++p) alphas[p] -= shift;
+  return pack(xs, alphas);
+}
+
+}  // namespace stnb::vortex

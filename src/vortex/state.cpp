@@ -1,0 +1,19 @@
+#include "vortex/state.hpp"
+
+#include <stdexcept>
+
+namespace stnb::vortex {
+
+ode::State pack(const std::vector<Vec3>& positions,
+                const std::vector<Vec3>& strengths) {
+  if (positions.size() != strengths.size())
+    throw std::invalid_argument("positions/strengths size mismatch");
+  ode::State u(kDofPerParticle * positions.size());
+  for (std::size_t p = 0; p < positions.size(); ++p) {
+    set_position(u, p, positions[p]);
+    set_strength(u, p, strengths[p]);
+  }
+  return u;
+}
+
+}  // namespace stnb::vortex

@@ -1,0 +1,51 @@
+// State layout for the vortex particle method. A system of N regularized
+// vortex particles carries position x_p and strength alpha_p = omega_p *
+// vol_p (paper Eqs. (3)-(6)). For time integration the whole system is one
+// flat vector of 6N doubles, interleaved per particle:
+//   [x0 y0 z0 ax0 ay0 az0 | x1 y1 z1 ...]
+// so SDC/PFASST treat it as an ordinary ODE state.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "ode/vspace.hpp"
+#include "support/vec3.hpp"
+
+namespace stnb::vortex {
+
+constexpr std::size_t kDofPerParticle = 6;
+
+inline std::size_t num_particles(const ode::State& u) {
+  return u.size() / kDofPerParticle;
+}
+
+inline Vec3 position(const ode::State& u, std::size_t p) {
+  const double* b = u.data() + kDofPerParticle * p;
+  return {b[0], b[1], b[2]};
+}
+
+inline Vec3 strength(const ode::State& u, std::size_t p) {
+  const double* b = u.data() + kDofPerParticle * p;
+  return {b[3], b[4], b[5]};
+}
+
+inline void set_position(ode::State& u, std::size_t p, const Vec3& x) {
+  double* b = u.data() + kDofPerParticle * p;
+  b[0] = x.x;
+  b[1] = x.y;
+  b[2] = x.z;
+}
+
+inline void set_strength(ode::State& u, std::size_t p, const Vec3& a) {
+  double* b = u.data() + kDofPerParticle * p;
+  b[3] = a.x;
+  b[4] = a.y;
+  b[5] = a.z;
+}
+
+/// Packs parallel position/strength arrays into one flat state.
+ode::State pack(const std::vector<Vec3>& positions,
+                const std::vector<Vec3>& strengths);
+
+}  // namespace stnb::vortex

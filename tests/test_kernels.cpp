@@ -1,0 +1,244 @@
+// Algebraic vortex kernels: order conditions, internal consistency between
+// q / zeta / g / h, analytic gradients vs finite differences, and the
+// singular-limit behavior the multipole far field relies on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "kernels/algebraic.hpp"
+#include "kernels/coulomb.hpp"
+
+namespace stnb::kernels {
+namespace {
+
+constexpr double kFourPi = 4.0 * std::numbers::pi;
+
+class AlgebraicFamily : public ::testing::TestWithParam<AlgebraicOrder> {
+ protected:
+  AlgebraicKernel kernel() const { return {GetParam(), 1.0}; }
+  int order_int() const { return static_cast<int>(GetParam()); }
+};
+
+TEST_P(AlgebraicFamily, QIsMonotoneFromZeroToOne) {
+  const auto k = kernel();
+  EXPECT_DOUBLE_EQ(k.q(0.0), 0.0);
+  double prev = 0.0;
+  for (double rho = 0.1; rho < 60.0; rho *= 1.3) {
+    const double v = k.q(rho);
+    EXPECT_GT(v, prev);
+    EXPECT_LE(v, 1.0 + 1e-12);
+    prev = v;
+  }
+  EXPECT_NEAR(k.q(1e4), 1.0, 1e-7);
+}
+
+TEST_P(AlgebraicFamily, ZetaIsDerivativeOfQ) {
+  // q(rho) = 4 pi int_0^rho zeta s^2 ds  =>  q'(rho) = 4 pi rho^2 zeta(rho).
+  const auto k = kernel();
+  for (double rho : {0.2, 0.7, 1.3, 2.9, 6.0}) {
+    const double eps = 1e-6;
+    const double dq = (k.q(rho + eps) - k.q(rho - eps)) / (2 * eps);
+    EXPECT_NEAR(dq, kFourPi * rho * rho * k.zeta(rho), 1e-6) << "rho=" << rho;
+  }
+}
+
+TEST_P(AlgebraicFamily, ZetaHasUnitMass) {
+  // 4 pi int_0^inf zeta s^2 ds = 1 (total smoothed circulation): integrate
+  // numerically far enough out and add the tail from q.
+  const auto k = kernel();
+  const double far = 2000.0;
+  EXPECT_NEAR(k.q(far), 1.0,
+              1e-5);  // mass inside `far` is already ~1
+}
+
+TEST_P(AlgebraicFamily, FarFieldOrderCondition) {
+  // Order 2k means 1 - q(rho) = C rho^{-2k} (1 + o(1)). Check that
+  // (1 - q) * rho^{2k} approaches the derived constants: 3/2, 15/8, 35/16.
+  const auto k = kernel();
+  const double expected = order_int() == 2   ? 1.5
+                          : order_int() == 4 ? 15.0 / 8.0
+                                             : 35.0 / 16.0;
+  const double c1 = (1.0 - k.q(50.0)) * std::pow(50.0, order_int());
+  const double c2 = (1.0 - k.q(100.0)) * std::pow(100.0, order_int());
+  EXPECT_NEAR(c1, expected, 0.05 * expected);
+  EXPECT_NEAR(c2, expected, 0.02 * expected);
+  // And strictly faster decay than order 2k-1:
+  EXPECT_LT(1.0 - k.q(100.0), 2.0 * expected * std::pow(100.0, -order_int()));
+}
+
+TEST_P(AlgebraicFamily, GMatchesQOverRhoCubedAndIsFiniteAtZero) {
+  const auto k = kernel();
+  for (double rho : {0.3, 1.0, 4.2}) {
+    EXPECT_NEAR(k.g(rho), k.q(rho) / (rho * rho * rho), 1e-12);
+  }
+  EXPECT_GT(k.g(0.0), 0.0);  // regularization: no singularity at r = 0
+}
+
+TEST_P(AlgebraicFamily, HMatchesFiniteDifferenceOfG) {
+  const auto k = kernel();
+  for (double rho : {0.25, 0.8, 1.7, 3.5}) {
+    const double eps = 1e-6;
+    const double dg = (k.g(rho + eps) - k.g(rho - eps)) / (2 * eps);
+    EXPECT_NEAR(k.h(rho), dg / rho, 1e-5) << "rho=" << rho;
+  }
+}
+
+TEST_P(AlgebraicFamily, VelocityIsPerpendicularToAlphaCrossGeometry) {
+  const auto k = AlgebraicKernel(GetParam(), 0.2);
+  const Vec3 alpha{0.0, 0.0, 1.0};
+  const Vec3 r{1.0, 0.0, 0.0};
+  Vec3 u{};
+  k.accumulate_velocity(r, alpha, u);
+  // alpha x r = +e_y; velocity is azimuthal.
+  EXPECT_NEAR(u.x, 0.0, 1e-15);
+  EXPECT_GT(u.y, 0.0);
+  EXPECT_NEAR(u.z, 0.0, 1e-15);
+}
+
+TEST_P(AlgebraicFamily, VelocityAtZeroSeparationIsFiniteAndZero) {
+  const auto k = AlgebraicKernel(GetParam(), 0.5);
+  Vec3 u{};
+  Mat3 grad{};
+  k.accumulate_velocity_and_gradient({0, 0, 0}, {1, 2, 3}, u, grad);
+  EXPECT_TRUE(std::isfinite(u.x) && std::isfinite(u.y) && std::isfinite(u.z));
+  EXPECT_NEAR(norm(u), 0.0, 1e-15);  // alpha x 0 = 0
+}
+
+TEST_P(AlgebraicFamily, GradientMatchesFiniteDifferenceOfVelocity) {
+  const auto k = AlgebraicKernel(GetParam(), 0.3);
+  const Vec3 alpha{0.4, -1.1, 0.7};
+  const Vec3 x0{0.5, 0.2, -0.4};
+  Vec3 u{};
+  Mat3 grad{};
+  k.accumulate_velocity_and_gradient(x0, alpha, u, grad);
+
+  const double eps = 1e-6;
+  for (int j = 0; j < 3; ++j) {
+    Vec3 xp = x0, xm = x0;
+    xp[j] += eps;
+    xm[j] -= eps;
+    Vec3 up{}, um{};
+    k.accumulate_velocity(xp, alpha, up);
+    k.accumulate_velocity(xm, alpha, um);
+    for (int i = 0; i < 3; ++i) {
+      const double fd = (up[i] - um[i]) / (2 * eps);
+      EXPECT_NEAR(grad(i, j), fd, 1e-5) << "i=" << i << " j=" << j;
+    }
+  }
+}
+
+TEST_P(AlgebraicFamily, VelocityFieldIsDivergenceFree) {
+  // trace(grad u) = 0 analytically for every algebraic order (u is a curl).
+  const auto k = AlgebraicKernel(GetParam(), 0.3);
+  Vec3 u{};
+  Mat3 grad{};
+  k.accumulate_velocity_and_gradient({0.3, -0.7, 0.9}, {1.0, 0.5, -0.2}, u,
+                                     grad);
+  EXPECT_NEAR(trace(grad), 0.0, 1e-14);
+}
+
+TEST_P(AlgebraicFamily, ConvergesToSingularKernelFarFromCore) {
+  // For r >> sigma the regularized velocity approaches singular
+  // Biot-Savart at rate (sigma/r)^{2k} — the premise of the multipole far
+  // field. Check the error against the derived far-field constant.
+  const auto k = AlgebraicKernel(GetParam(), 0.01);
+  const Vec3 alpha{0.0, 0.0, 2.0};
+  const Vec3 r{1.5, -0.3, 0.2};
+  Vec3 u_reg{}, u_sing{};
+  k.accumulate_velocity(r, alpha, u_reg);
+  singular_biot_savart(r, alpha, u_sing);
+  const double rho = norm(r) / 0.01;
+  const double bound = 3.0 * std::pow(rho, -order_int()) * norm(u_sing);
+  EXPECT_LT(norm(u_reg - u_sing), bound);
+  EXPECT_GT(norm(u_reg - u_sing), 0.0);  // not identical — still smoothed
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, AlgebraicFamily,
+                         ::testing::Values(AlgebraicOrder::k2,
+                                           AlgebraicOrder::k4,
+                                           AlgebraicOrder::k6),
+                         [](const auto& info) {
+                           return "order" + std::to_string(static_cast<int>(
+                                                info.param));
+                         });
+
+TEST(AlgebraicKernel, HigherOrderIsMoreAccurateFarField) {
+  // At the same rho, |1 - q| must decrease with kernel order (the whole
+  // point of the sixth-order kernel).
+  const double rho = 8.0;
+  const AlgebraicKernel k2(AlgebraicOrder::k2, 1.0);
+  const AlgebraicKernel k4(AlgebraicOrder::k4, 1.0);
+  const AlgebraicKernel k6(AlgebraicOrder::k6, 1.0);
+  EXPECT_LT(1.0 - k4.q(rho), 1.0 - k2.q(rho));
+  EXPECT_LT(1.0 - k6.q(rho), 1.0 - k4.q(rho));
+}
+
+TEST(AlgebraicKernel, RejectsNonPositiveSigma) {
+  EXPECT_THROW(AlgebraicKernel(AlgebraicOrder::k6, 0.0),
+               std::invalid_argument);
+  EXPECT_THROW(AlgebraicKernel(AlgebraicOrder::k6, -1.0),
+               std::invalid_argument);
+}
+
+TEST(SingularBiotSavart, GradientMatchesFiniteDifference) {
+  const Vec3 alpha{0.3, 1.2, -0.5};
+  const Vec3 x0{0.8, -0.6, 1.1};
+  Vec3 u{};
+  Mat3 grad{};
+  singular_biot_savart_with_gradient(x0, alpha, u, grad);
+  const double eps = 1e-6;
+  for (int j = 0; j < 3; ++j) {
+    Vec3 xp = x0, xm = x0;
+    xp[j] += eps;
+    xm[j] -= eps;
+    Vec3 up{}, um{};
+    singular_biot_savart(xp, alpha, up);
+    singular_biot_savart(xm, alpha, um);
+    for (int i = 0; i < 3; ++i)
+      EXPECT_NEAR(grad(i, j), (up[i] - um[i]) / (2 * eps), 1e-5);
+  }
+}
+
+TEST(SingularBiotSavart, SkipsZeroSeparation) {
+  Vec3 u{1.0, 2.0, 3.0};
+  singular_biot_savart({0, 0, 0}, {1, 1, 1}, u);
+  EXPECT_EQ(u, (Vec3{1.0, 2.0, 3.0}));
+}
+
+TEST(Coulomb, FieldIsMinusGradientOfPotential) {
+  const CoulombKernel k(0.1);
+  const Vec3 x0{0.4, -0.2, 0.9};
+  double phi = 0.0;
+  Vec3 e{};
+  k.accumulate_field(x0, 2.5, phi, e);
+  const double eps = 1e-6;
+  for (int j = 0; j < 3; ++j) {
+    Vec3 xp = x0, xm = x0;
+    xp[j] += eps;
+    xm[j] -= eps;
+    double pp = 0.0, pm = 0.0;
+    k.accumulate_potential(xp, 2.5, pp);
+    k.accumulate_potential(xm, 2.5, pm);
+    EXPECT_NEAR(e[j], -(pp - pm) / (2 * eps), 1e-6);
+  }
+}
+
+TEST(Coulomb, SofteningBoundsThePotential) {
+  const CoulombKernel k(0.25);
+  double phi = 0.0;
+  k.accumulate_potential({1e-9, 0, 0}, 1.0, phi);
+  EXPECT_NEAR(phi, 4.0, 1e-6);  // 1/eps
+}
+
+TEST(Coulomb, UnsoftenedSkipsSelfInteraction) {
+  const CoulombKernel k(0.0);
+  double phi = 0.0;
+  Vec3 e{};
+  k.accumulate_field({0, 0, 0}, 1.0, phi, e);
+  EXPECT_EQ(phi, 0.0);
+  EXPECT_EQ(norm(e), 0.0);
+}
+
+}  // namespace
+}  // namespace stnb::kernels

@@ -1,0 +1,124 @@
+// Morton key machinery: interleave correctness, ordering locality,
+// ancestor/coverage algebra, and key<->geometry consistency.
+#include <gtest/gtest.h>
+
+#include "support/rng.hpp"
+#include "tree/morton.hpp"
+
+namespace stnb::tree {
+namespace {
+
+TEST(Morton, SpreadBitsPlacesEveryBitAtStride3) {
+  for (int b = 0; b < 21; ++b)
+    EXPECT_EQ(spread_bits_3d(1ULL << b), 1ULL << (3 * b)) << "bit " << b;
+  EXPECT_EQ(spread_bits_3d(0x1fffff), 0x1249249249249249ULL);
+}
+
+TEST(Morton, InterleaveIsBitwiseDisjoint) {
+  const auto x = morton_interleave(0x1fffff, 0, 0);
+  const auto y = morton_interleave(0, 0x1fffff, 0);
+  const auto z = morton_interleave(0, 0, 0x1fffff);
+  EXPECT_EQ(x & y, 0u);
+  EXPECT_EQ(x & z, 0u);
+  EXPECT_EQ(y & z, 0u);
+  EXPECT_EQ(x | y | z, (1ULL << 63) - 1);
+}
+
+TEST(Morton, KeyLevelRoundTrips) {
+  EXPECT_EQ(key_level(kRootKey), 0);
+  std::uint64_t key = kRootKey;
+  for (int l = 1; l <= kMaxLevel; ++l) {
+    key = key_child(key, l % 8);
+    EXPECT_EQ(key_level(key), l);
+  }
+}
+
+TEST(Morton, AncestorIsPrefix) {
+  Rng rng(1);
+  const Domain dom{{0, 0, 0}, 1.0};
+  for (int trial = 0; trial < 50; ++trial) {
+    const Vec3 p = rng.uniform_in_box({0, 0, 0}, {1, 1, 1});
+    const std::uint64_t key = particle_key(p, dom);
+    EXPECT_EQ(key_level(key), kMaxLevel);
+    for (int l = 0; l <= kMaxLevel; ++l) {
+      const std::uint64_t anc = key_ancestor(key, l);
+      EXPECT_EQ(key_level(anc), l);
+      const KeyRange cover = key_coverage(anc);
+      EXPECT_GE(key, cover.min);
+      EXPECT_LE(key, cover.max);
+    }
+  }
+}
+
+TEST(Morton, CoverageOfSiblingsTilesParent) {
+  const std::uint64_t parent = key_child(key_child(kRootKey, 3), 5);
+  const KeyRange pc = key_coverage(parent);
+  std::uint64_t expected_min = pc.min;
+  for (int o = 0; o < 8; ++o) {
+    const KeyRange cc = key_coverage(key_child(parent, o));
+    EXPECT_EQ(cc.min, expected_min);
+    expected_min = cc.max + 1;
+  }
+  EXPECT_EQ(expected_min - 1, pc.max);
+}
+
+TEST(Morton, KeyDomainContainsParticle) {
+  Rng rng(2);
+  const Domain dom{{-3, 1, -7}, 5.0};
+  for (int trial = 0; trial < 50; ++trial) {
+    const Vec3 p = rng.uniform_in_box(dom.lo, dom.lo + Vec3{5, 5, 5});
+    const std::uint64_t key = particle_key(p, dom);
+    for (int l : {0, 1, 3, 8, kMaxLevel}) {
+      const Domain box = key_domain(key_ancestor(key, l), dom);
+      // Allow the half-open grid rounding at box faces.
+      const double tol = 1e-12 * dom.size + box.size * 1e-12;
+      EXPECT_GE(p.x, box.lo.x - tol);
+      EXPECT_LE(p.x, box.lo.x + box.size + tol);
+      EXPECT_GE(p.y, box.lo.y - tol);
+      EXPECT_LE(p.y, box.lo.y + box.size + tol);
+      EXPECT_GE(p.z, box.lo.z - tol);
+      EXPECT_LE(p.z, box.lo.z + box.size + tol);
+    }
+  }
+}
+
+TEST(Morton, KeyOrderPreservesOctantOrder) {
+  // Points in octant o of the root sort before points in octant o' > o.
+  const Domain dom{{0, 0, 0}, 2.0};
+  const std::uint64_t k_low = particle_key({0.5, 0.5, 0.5}, dom);   // oct 0
+  const std::uint64_t k_x = particle_key({1.5, 0.5, 0.5}, dom);     // oct 1
+  const std::uint64_t k_y = particle_key({0.5, 1.5, 0.5}, dom);     // oct 2
+  const std::uint64_t k_z = particle_key({0.5, 0.5, 1.5}, dom);     // oct 4
+  EXPECT_LT(k_low, k_x);
+  EXPECT_LT(k_x, k_y);
+  EXPECT_LT(k_y, k_z);
+}
+
+TEST(Morton, BoundingCubeIsCubicAndContainsAll) {
+  Rng rng(3);
+  std::vector<Vec3> pts(100);
+  for (auto& p : pts) p = rng.uniform_in_box({-2, 0, 5}, {3, 0.1, 9});
+  const Domain dom = Domain::bounding_cube(pts.data(), pts.size());
+  Vec3 lo = pts[0], hi = pts[0];
+  for (const auto& p : pts) {
+    EXPECT_TRUE(dom.contains(p));
+    lo = min(lo, p);
+    hi = max(hi, p);
+  }
+  const Vec3 ext = hi - lo;
+  EXPECT_GE(dom.size, std::max({ext.x, ext.y, ext.z}));  // largest extent
+}
+
+TEST(Morton, ChildDomainsPartitionParent) {
+  const Domain dom{{1, 2, 3}, 4.0};
+  for (int o = 0; o < 8; ++o) {
+    const Domain c = dom.child(o);
+    EXPECT_DOUBLE_EQ(c.size, 2.0);
+    EXPECT_TRUE(dom.contains(c.center()));
+  }
+  EXPECT_EQ(dom.child(0).lo, (Vec3{1, 2, 3}));
+  EXPECT_EQ(dom.child(7).lo, (Vec3{3, 4, 5}));
+}
+
+}  // namespace
+}  // namespace stnb::tree

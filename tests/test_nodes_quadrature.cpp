@@ -1,0 +1,176 @@
+// Collocation nodes and spectral integration matrices: exactness, symmetry,
+// nesting, and interpolation properties that SDC/PFASST rely on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "ode/nodes.hpp"
+#include "ode/quadrature.hpp"
+
+namespace stnb::ode {
+namespace {
+
+TEST(Legendre, MatchesClosedFormsLowDegree) {
+  for (double x : {-0.9, -0.3, 0.0, 0.4, 1.0}) {
+    EXPECT_NEAR(legendre(2, x).value, 0.5 * (3 * x * x - 1), 1e-14);
+    EXPECT_NEAR(legendre(3, x).value, 0.5 * (5 * x * x * x - 3 * x), 1e-14);
+    EXPECT_NEAR(legendre(3, x).derivative, 0.5 * (15 * x * x - 3), 1e-12);
+  }
+}
+
+TEST(GaussLegendreRule, IntegratesPolynomialsExactly) {
+  // An n-point rule is exact to degree 2n-1: check x^k on [0, 2].
+  for (int n = 1; n <= 8; ++n) {
+    const auto rule = gauss_legendre_rule(n, 0.0, 2.0);
+    for (int k = 0; k <= 2 * n - 1; ++k) {
+      double sum = 0.0;
+      for (int i = 0; i < n; ++i)
+        sum += rule.weights[i] * std::pow(rule.points[i], k);
+      const double exact = std::pow(2.0, k + 1) / (k + 1);
+      EXPECT_NEAR(sum, exact, 1e-12 * std::max(1.0, exact))
+          << "n=" << n << " k=" << k;
+    }
+  }
+}
+
+TEST(CollocationNodes, LobattoThreeIsEndpointsAndMidpoint) {
+  const auto nodes = collocation_nodes(NodeType::kGaussLobatto, 3);
+  ASSERT_EQ(nodes.size(), 3u);
+  EXPECT_NEAR(nodes[0], 0.0, 1e-15);
+  EXPECT_NEAR(nodes[1], 0.5, 1e-14);
+  EXPECT_NEAR(nodes[2], 1.0, 1e-15);
+}
+
+TEST(CollocationNodes, LobattoFiveMatchesKnownValues) {
+  // Lobatto-5 interior nodes on [-1,1] are 0 and +-sqrt(3/7).
+  const auto nodes = collocation_nodes(NodeType::kGaussLobatto, 5);
+  ASSERT_EQ(nodes.size(), 5u);
+  const double s = std::sqrt(3.0 / 7.0);
+  EXPECT_NEAR(nodes[1], 0.5 * (1.0 - s), 1e-13);
+  EXPECT_NEAR(nodes[2], 0.5, 1e-13);
+  EXPECT_NEAR(nodes[3], 0.5 * (1.0 + s), 1e-13);
+}
+
+TEST(CollocationNodes, LobattoNestingTwoInThree) {
+  // PFASST time coarsening (3 fine / 2 coarse Lobatto) requires nesting.
+  const auto fine = collocation_nodes(NodeType::kGaussLobatto, 3);
+  const auto coarse = collocation_nodes(NodeType::kGaussLobatto, 2);
+  for (double c : coarse) {
+    bool found = false;
+    for (double f : fine) found |= std::abs(f - c) < 1e-13;
+    EXPECT_TRUE(found) << "coarse node " << c << " not nested";
+  }
+}
+
+class NodeFamilies : public ::testing::TestWithParam<std::tuple<NodeType, int>> {};
+
+TEST_P(NodeFamilies, AscendingAndInsideUnitInterval) {
+  const auto [type, count] = GetParam();
+  const auto nodes = collocation_nodes(type, count);
+  ASSERT_EQ(nodes.size(), static_cast<size_t>(count));
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    EXPECT_GE(nodes[i], -1e-14);
+    EXPECT_LE(nodes[i], 1.0 + 1e-14);
+    if (i > 0) EXPECT_GT(nodes[i], nodes[i - 1]);
+  }
+}
+
+TEST_P(NodeFamilies, SymmetricAboutOneHalf) {
+  const auto [type, count] = GetParam();
+  const auto nodes = collocation_nodes(type, count);
+  for (int i = 0; i < count; ++i)
+    EXPECT_NEAR(nodes[i], 1.0 - nodes[count - 1 - i], 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, NodeFamilies,
+    ::testing::Combine(::testing::Values(NodeType::kGaussLobatto,
+                                         NodeType::kGaussLegendre,
+                                         NodeType::kUniform),
+                       ::testing::Values(2, 3, 5, 7, 9)),
+    [](const auto& info) {
+      std::string name = to_string(std::get<0>(info.param)) +
+                         std::to_string(std::get<1>(info.param));
+      std::erase_if(name, [](char c) { return !std::isalnum(c); });
+      return name;
+    });
+
+TEST(Lagrange, PartitionOfUnityAndCardinality) {
+  const auto nodes = collocation_nodes(NodeType::kGaussLobatto, 5);
+  for (double x : {0.1, 0.33, 0.77}) {
+    double sum = 0.0;
+    for (int j = 0; j < 5; ++j) sum += lagrange_basis(nodes, j, x);
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+  }
+  for (int j = 0; j < 5; ++j)
+    for (int i = 0; i < 5; ++i)
+      EXPECT_NEAR(lagrange_basis(nodes, j, nodes[i]), i == j ? 1.0 : 0.0,
+                  1e-11);
+}
+
+class QMatrixExactness : public ::testing::TestWithParam<int> {};
+
+TEST_P(QMatrixExactness, IntegratesPolynomialsUpToDegreeM) {
+  // Q applied to samples of p(t) = t^k must produce \int_0^{t_m} t^k dt
+  // exactly for k <= M (degree of the interpolating polynomial).
+  const int m_nodes = GetParam();
+  const auto nodes = collocation_nodes(NodeType::kGaussLobatto, m_nodes);
+  const Matrix q = q_matrix(nodes);
+  for (int k = 0; k < m_nodes; ++k) {
+    for (int m = 0; m < m_nodes; ++m) {
+      double sum = 0.0;
+      for (int j = 0; j < m_nodes; ++j)
+        sum += q(m, j) * std::pow(nodes[j], k);
+      const double exact = std::pow(nodes[m], k + 1) / (k + 1);
+      EXPECT_NEAR(sum, exact, 1e-12) << "M=" << m_nodes << " k=" << k;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, QMatrixExactness, ::testing::Values(2, 3, 5, 7));
+
+TEST(SMatrix, RowsSumToCumulativeQ) {
+  const auto nodes = collocation_nodes(NodeType::kGaussLobatto, 5);
+  const Matrix q = q_matrix(nodes);
+  const Matrix s = s_matrix(nodes);
+  for (int j = 0; j < 5; ++j) {
+    double acc = 0.0;
+    for (int m = 0; m < 4; ++m) {
+      acc += s(m, j);
+      EXPECT_NEAR(acc, q(m + 1, j), 1e-13);
+    }
+  }
+}
+
+TEST(EndWeights, GaussLegendreEndWeightsMatchClassicRule) {
+  // For interior Gauss nodes the end weights are the classical
+  // Gauss-Legendre quadrature weights on [0,1].
+  const auto nodes = collocation_nodes(NodeType::kGaussLegendre, 4);
+  const auto w = end_weights(nodes);
+  const auto rule = gauss_legendre_rule(4, 0.0, 1.0);
+  for (int j = 0; j < 4; ++j) EXPECT_NEAR(w[j], rule.weights[j], 1e-13);
+}
+
+TEST(InterpolationMatrix, ReproducesPolynomials) {
+  const auto coarse = collocation_nodes(NodeType::kGaussLobatto, 3);
+  const auto fine = collocation_nodes(NodeType::kGaussLobatto, 5);
+  const Matrix p = interpolation_matrix(coarse, fine);
+  // Interpolating t^2 (degree <= 2) from 3 nodes is exact.
+  for (int i = 0; i < 5; ++i) {
+    double v = 0.0;
+    for (int j = 0; j < 3; ++j) v += p(i, j) * coarse[j] * coarse[j];
+    EXPECT_NEAR(v, fine[i] * fine[i], 1e-13);
+  }
+}
+
+TEST(InterpolationMatrix, IdentityOnSameNodes) {
+  const auto nodes = collocation_nodes(NodeType::kGaussLobatto, 4);
+  const Matrix p = interpolation_matrix(nodes, nodes);
+  for (int i = 0; i < 4; ++i)
+    for (int j = 0; j < 4; ++j)
+      EXPECT_NEAR(p(i, j), i == j ? 1.0 : 0.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace stnb::ode

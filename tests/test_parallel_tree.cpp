@@ -1,0 +1,224 @@
+// Distributed tree solver: rank-count invariance (the parallel solve must
+// match the serial tree and, for theta -> 0, direct summation), LET
+// correctness near domain boundaries, phase timing sanity, and the
+// space-parallel RHS wrapper.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mpsim/comm.hpp"
+#include "support/rng.hpp"
+#include "tree/parallel.hpp"
+#include "vortex/rhs_tree.hpp"
+#include "vortex/rhs_direct.hpp"
+#include "vortex/rhs_parallel.hpp"
+#include "vortex/setup.hpp"
+#include "vortex/state.hpp"
+
+namespace stnb::tree {
+namespace {
+
+std::vector<TreeParticle> sheet_particles(std::size_t n, double* sigma) {
+  vortex::SheetConfig config;
+  config.n_particles = n;
+  *sigma = config.sigma();
+  const auto state = vortex::spherical_vortex_sheet(config);
+  std::vector<TreeParticle> ps(n);
+  for (std::size_t p = 0; p < n; ++p) {
+    ps[p].x = vortex::position(state, p);
+    ps[p].a = vortex::strength(state, p);
+    ps[p].id = static_cast<std::uint32_t>(p);
+  }
+  return ps;
+}
+
+class ParallelVortex : public ::testing::TestWithParam<int> {};
+
+TEST_P(ParallelVortex, MatchesSerialDirectSummationForSmallTheta) {
+  const int p_ranks = GetParam();
+  const std::size_t n = 400;
+  double sigma;
+  const auto all = sheet_particles(n, &sigma);
+  const kernels::AlgebraicKernel kernel(kernels::AlgebraicOrder::k6, sigma);
+
+  // Direct reference over all particles.
+  std::vector<Vec3> u_ref(n);
+  for (std::size_t q = 0; q < n; ++q) {
+    Vec3 u{};
+    for (std::size_t p = 0; p < n; ++p) {
+      if (p == q) continue;
+      kernel.accumulate_velocity(all[q].x - all[p].x, all[p].a, u);
+    }
+    u_ref[q] = u;
+  }
+  double u_scale = 0.0;
+  for (const auto& u : u_ref) u_scale = std::max(u_scale, norm(u));
+
+  mpsim::Runtime rt;
+  rt.run(p_ranks, [&](mpsim::Comm& comm) {
+    // Contiguous slices of the global array per rank.
+    const std::size_t begin = n * comm.rank() / p_ranks;
+    const std::size_t end = n * (comm.rank() + 1) / p_ranks;
+    std::vector<TreeParticle> local(all.begin() + begin, all.begin() + end);
+
+    ParallelConfig config;
+    config.theta = 0.0;  // exact: every interaction resolved to particles
+    ParallelTree solver(comm, config);
+    const auto forces = solver.solve_vortex(local, kernel);
+
+    ASSERT_EQ(forces.u.size(), local.size());
+    for (std::size_t i = 0; i < local.size(); ++i) {
+      EXPECT_LT(norm(forces.u[i] - u_ref[begin + i]), 1e-12 * u_scale)
+          << "rank " << comm.rank() << " particle " << i;
+    }
+    EXPECT_EQ(forces.timings.counters.far, 0u);
+  });
+}
+
+TEST_P(ParallelVortex, RankCountInvarianceAtFiniteTheta) {
+  // theta = 0.5: results must agree with the single-rank tree solve to a
+  // tolerance far below the MAC truncation (the LET is conservative, so
+  // the multipole sets differ slightly between decompositions).
+  const int p_ranks = GetParam();
+  const std::size_t n = 600;
+  double sigma;
+  const auto all = sheet_particles(n, &sigma);
+  const kernels::AlgebraicKernel kernel(kernels::AlgebraicOrder::k6, sigma);
+
+  // Single-rank tree reference.
+  std::vector<Vec3> u_serial(n);
+  double u_scale = 0.0;
+  {
+    mpsim::Runtime rt;
+    rt.run(1, [&](mpsim::Comm& comm) {
+      ParallelConfig config;
+      config.theta = 0.5;
+      ParallelTree solver(comm, config);
+      const auto forces = solver.solve_vortex(all, kernel);
+      u_serial = forces.u;
+    });
+    for (const auto& u : u_serial) u_scale = std::max(u_scale, norm(u));
+  }
+
+  mpsim::Runtime rt;
+  rt.run(p_ranks, [&](mpsim::Comm& comm) {
+    const std::size_t begin = n * comm.rank() / p_ranks;
+    const std::size_t end = n * (comm.rank() + 1) / p_ranks;
+    std::vector<TreeParticle> local(all.begin() + begin, all.begin() + end);
+    ParallelConfig config;
+    config.theta = 0.5;
+    ParallelTree solver(comm, config);
+    const auto forces = solver.solve_vortex(local, kernel);
+    for (std::size_t i = 0; i < local.size(); ++i) {
+      // Both are theta = 0.5 approximations; they differ only through the
+      // decomposition-dependent cluster sets. Bound by the MAC error scale.
+      EXPECT_LT(norm(forces.u[i] - u_serial[begin + i]), 0.05 * u_scale);
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranks, ParallelVortex, ::testing::Values(1, 2, 4));
+
+TEST(ParallelTree, TimingsArePopulatedAndCausal) {
+  const std::size_t n = 500;
+  double sigma;
+  const auto all = sheet_particles(n, &sigma);
+  const kernels::AlgebraicKernel kernel(kernels::AlgebraicOrder::k6, sigma);
+  mpsim::Runtime rt;
+  rt.run(4, [&](mpsim::Comm& comm) {
+    const std::size_t begin = n * comm.rank() / 4;
+    const std::size_t end = n * (comm.rank() + 1) / 4;
+    std::vector<TreeParticle> local(all.begin() + begin, all.begin() + end);
+    ParallelConfig config;
+    config.theta = 0.4;
+    ParallelTree solver(comm, config);
+    const auto forces = solver.solve_vortex(local, kernel);
+    const auto& t = forces.timings;
+    EXPECT_GT(t.domain, 0.0);
+    EXPECT_GT(t.tree_build, 0.0);
+    EXPECT_GT(t.branch_exchange, 0.0);
+    EXPECT_GT(t.let_exchange, 0.0);
+    EXPECT_GT(t.traversal, 0.0);
+    EXPECT_GT(t.branch_count, 0u);
+    EXPECT_GT(t.let_sent, 0u);
+    EXPECT_GT(t.counters.near + t.counters.far, 0u);
+    EXPECT_LE(t.total(), comm.clock().now() + 1e-12);
+  });
+}
+
+TEST(ParallelTree, CoulombSolveMatchesDirectSum) {
+  const std::size_t n = 300;
+  std::vector<TreeParticle> all(n);
+  Rng rng(99);
+  double q_sum = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    all[i].x = rng.uniform_in_box({0, 0, 0}, {1, 1, 1});
+    all[i].q = rng.uniform(-1.0, 1.0);
+    all[i].id = static_cast<std::uint32_t>(i);
+    q_sum += all[i].q;
+  }
+  const kernels::CoulombKernel kernel(0.01);
+
+  std::vector<double> phi_ref(n, 0.0);
+  std::vector<Vec3> e_ref(n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      kernel.accumulate_field(all[i].x - all[j].x, all[j].q, phi_ref[i],
+                              e_ref[i]);
+    }
+
+  mpsim::Runtime rt;
+  rt.run(3, [&](mpsim::Comm& comm) {
+    const std::size_t begin = n * comm.rank() / 3;
+    const std::size_t end = n * (comm.rank() + 1) / 3;
+    std::vector<TreeParticle> local(all.begin() + begin, all.begin() + end);
+    ParallelConfig config;
+    config.theta = 0.0;
+    ParallelTree solver(comm, config);
+    const auto forces = solver.solve_coulomb(local, kernel);
+    for (std::size_t i = 0; i < local.size(); ++i)
+      EXPECT_NEAR(forces.phi[i], phi_ref[begin + i], 1e-10);
+  });
+}
+
+TEST(ParallelTreeRhs, MatchesSerialTreeRhsAcrossDecompositions) {
+  const std::size_t n = 400;
+  vortex::SheetConfig config;
+  config.n_particles = n;
+  const auto state = vortex::spherical_vortex_sheet(config);
+  const kernels::AlgebraicKernel kernel(config.kernel_order, config.sigma());
+
+  // Serial tree RHS reference at the same theta.
+  ode::State f_ref(state.size());
+  vortex::TreeRhs serial(kernel, {.theta = 0.3});
+  serial(0.0, state, f_ref);
+
+  const int ps = 4;
+  mpsim::Runtime rt;
+  rt.run(ps, [&](mpsim::Comm& comm) {
+    const std::size_t begin = n * comm.rank() / ps;
+    const std::size_t end = n * (comm.rank() + 1) / ps;
+    ode::State u_local(6 * (end - begin));
+    for (std::size_t p = begin; p < end; ++p) {
+      vortex::set_position(u_local, p - begin, vortex::position(state, p));
+      vortex::set_strength(u_local, p - begin, vortex::strength(state, p));
+    }
+    tree::ParallelConfig cfg;
+    cfg.theta = 0.3;
+    vortex::ParallelTreeRhs rhs(comm, kernel, cfg, begin);
+    ode::State f_local(u_local.size());
+    rhs(0.0, u_local, f_local);
+
+    double f_scale = 1e-30;
+    for (double v : f_ref) f_scale = std::max(f_scale, std::abs(v));
+    for (std::size_t i = 0; i < f_local.size(); ++i) {
+      const double ref = f_ref[6 * begin + i];
+      EXPECT_LT(std::abs(f_local[i] - ref), 0.05 * f_scale)
+          << "rank " << comm.rank() << " dof " << i;
+    }
+  });
+}
+
+}  // namespace
+}  // namespace stnb::tree

@@ -1,0 +1,139 @@
+// Analytical performance models (paper Eqs. (21)-(25) and the Fig. 5
+// scaling model): closed-form values, bounds, limits, and shape.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "perf/speedup.hpp"
+
+namespace stnb::perf {
+namespace {
+
+TEST(PfasstSpeedup, MatchesHandComputedValue) {
+  // S = P_T K_s / (P_T n_L alpha + K_p (1 + n_L alpha + beta))
+  PfasstCosts c;
+  c.k_serial = 4;
+  c.k_parallel = 2;
+  c.coarse_sweeps = 2;
+  c.alpha = 0.25;
+  c.beta = 0.0;
+  // P_T = 8: S = 8*4 / (8*0.5 + 2*(1.5)) = 32 / 7
+  EXPECT_NEAR(pfasst_speedup(8, c), 32.0 / 7.0, 1e-12);
+}
+
+TEST(PfasstSpeedup, NeverExceedsEq25Bound) {
+  PfasstCosts c;
+  for (int ks : {2, 4, 6}) {
+    for (int kp : {1, 2, 3}) {
+      for (double alpha : {0.05, 0.2, 0.5}) {
+        c.k_serial = ks;
+        c.k_parallel = kp;
+        c.alpha = alpha;
+        for (int pt = 1; pt <= 1024; pt *= 2) {
+          EXPECT_LE(pfasst_speedup(pt, c),
+                    pfasst_speedup_bound(pt, c) + 1e-12)
+              << "ks=" << ks << " kp=" << kp << " alpha=" << alpha
+              << " pt=" << pt;
+        }
+      }
+    }
+  }
+}
+
+TEST(PfasstSpeedup, SaturatesAtKsOverNLAlphaForLargePt) {
+  // As P_T -> inf, S -> K_s / (n_L alpha): the asymptote of the Fig. 8
+  // theory curves.
+  PfasstCosts c;
+  c.k_serial = 4;
+  c.k_parallel = 2;
+  c.coarse_sweeps = 2;
+  c.alpha = 2.0 / (2.65 * 3.0);  // alpha_small from Sec. IV-B
+  const double asymptote = c.k_serial / (c.coarse_sweeps * c.alpha);
+  EXPECT_NEAR(pfasst_speedup(1 << 20, c), asymptote, 0.01 * asymptote);
+  EXPECT_LT(pfasst_speedup(32, c), asymptote);
+}
+
+TEST(PfasstSpeedup, SmallerAlphaGivesLargerSpeedup) {
+  // Faster coarse propagators (smaller alpha) must never hurt — this is
+  // why the MAC coarsening matters.
+  PfasstCosts c;
+  for (int pt : {4, 16, 64}) {
+    c.alpha = 0.5;
+    const double slow = pfasst_speedup(pt, c);
+    c.alpha = 0.1;
+    const double fast = pfasst_speedup(pt, c);
+    EXPECT_GT(fast, slow);
+  }
+}
+
+TEST(PfasstSpeedup, MonotoneInPt) {
+  PfasstCosts c;
+  c.alpha = 0.25;
+  double prev = 0.0;
+  for (int pt = 1; pt <= 512; pt *= 2) {
+    const double s = pfasst_speedup(pt, c);
+    EXPECT_GT(s, prev);
+    prev = s;
+  }
+}
+
+TEST(PararealBound, IsInverseIterationCount) {
+  EXPECT_DOUBLE_EQ(parareal_efficiency_bound(1), 1.0);
+  EXPECT_DOUBLE_EQ(parareal_efficiency_bound(4), 0.25);
+  // PFASST's bound K_s/K_p is much weaker than parareal's 1/K for the
+  // paper's setting (Sec. III-B4): K_s = 4, K_p = 2 allows 200% of the
+  // parareal-with-K=2 limit.
+  PfasstCosts c;
+  c.k_serial = 4;
+  c.k_parallel = 2;
+  EXPECT_GT(pfasst_speedup_bound(8, c) / 8.0,
+            parareal_efficiency_bound(2));
+}
+
+TEST(TreeScalingModel, StrongScalingSaturatesAndBranchExchangeGrows) {
+  TreeScalingModel model;
+  const double n = 0.125e6;  // the paper's smallest Fig. 5 series
+  double prev_total = 1e300;
+  double min_total = 1e300;
+  double argmin = 0;
+  for (double p = 1; p <= 262144; p *= 4) {
+    const auto t = model.evaluate(n, p);
+    if (t.total() < min_total) {
+      min_total = t.total();
+      argmin = p;
+    }
+    prev_total = t.total();
+  }
+  (void)prev_total;
+  // The sweet spot must be strictly inside the range: adding cores beyond
+  // it makes the run *slower* (Fig. 5's message).
+  EXPECT_GT(argmin, 1.0);
+  EXPECT_LT(argmin, 262144.0);
+  // Branch exchange is monotonically increasing in P...
+  EXPECT_GT(model.evaluate(n, 65536).branch_exchange,
+            model.evaluate(n, 64).branch_exchange);
+  // ...while traversal shrinks ~ 1/P.
+  const double t64 = model.evaluate(n, 64).traversal;
+  const double t4096 = model.evaluate(n, 4096).traversal;
+  EXPECT_NEAR(t64 / t4096, 64.0, 1.0);
+}
+
+TEST(TreeScalingModel, LargerProblemsSaturateLater) {
+  TreeScalingModel model;
+  auto sweet_spot = [&](double n) {
+    double best = 1e300, arg = 0;
+    for (double p = 1; p <= 262144; p *= 2) {
+      const auto t = model.evaluate(n, p);
+      if (t.total() < best) {
+        best = t.total();
+        arg = p;
+      }
+    }
+    return arg;
+  };
+  EXPECT_LT(sweet_spot(0.125e6), sweet_spot(8e6));
+  EXPECT_LE(sweet_spot(8e6), sweet_spot(2048e6));
+}
+
+}  // namespace
+}  // namespace stnb::perf

@@ -1,0 +1,171 @@
+// SDC sweeper: convergence orders vs sweep count (paper Fig. 7a is the
+// N-body version of exactly this), fixed-point property of the collocation
+// solution, residual behavior, and RK baselines.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "ode/nodes.hpp"
+#include "ode/rk.hpp"
+#include "ode/sdc.hpp"
+
+namespace stnb::ode {
+namespace {
+
+// u' = lambda u on a 2-vector (decoupled), exact solution known.
+const double kLambda = -1.0;
+void linear_rhs(double /*t*/, const State& u, State& f) {
+  for (size_t i = 0; i < u.size(); ++i) f[i] = kLambda * u[i];
+}
+
+// Nonlinear scalar: u' = -u^2, u(0)=1 -> u(t) = 1/(1+t).
+void riccati_rhs(double /*t*/, const State& u, State& f) {
+  f[0] = -u[0] * u[0];
+}
+
+// Harmonic oscillator (x, v): conserves energy, exact solution known.
+void oscillator_rhs(double /*t*/, const State& u, State& f) {
+  f[0] = u[1];
+  f[1] = -u[0];
+}
+
+double convergence_order(const std::function<double(double)>& error_of_dt,
+                         double dt0) {
+  // Fit the slope between dt0 and dt0/2 (Richardson-style order estimate).
+  const double e1 = error_of_dt(dt0);
+  const double e2 = error_of_dt(dt0 / 2.0);
+  return std::log2(e1 / e2);
+}
+
+class SdcOrder : public ::testing::TestWithParam<int> {};
+
+TEST_P(SdcOrder, SweepCountSetsConvergenceOrder) {
+  // K sweeps of first-order corrections yield order K (bounded by the
+  // quadrature order; 3 Lobatto nodes support up to order 4).
+  const int sweeps = GetParam();
+  auto error_of_dt = [&](double dt) {
+    SdcSweeper sw(collocation_nodes(NodeType::kGaussLobatto, 3), 1);
+    const int nsteps = static_cast<int>(std::round(1.0 / dt));
+    const State u = sdc_integrate(sw, riccati_rhs, {1.0}, 0.0, dt, nsteps,
+                                  sweeps);
+    return std::abs(u[0] - 0.5);
+  };
+  const double order = convergence_order(error_of_dt, 0.05);
+  EXPECT_GT(order, sweeps - 0.4) << "SDC(" << sweeps << ")";
+  EXPECT_LT(order, sweeps + 0.9) << "SDC(" << sweeps << ")";
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, SdcOrder, ::testing::Values(1, 2, 3, 4));
+
+TEST(Sdc, ManySweepsReachCollocationAccuracy) {
+  // With enough sweeps SDC converges to the collocation solution, whose
+  // order for M Lobatto nodes is 2M-2 (= 4 for M = 3): a single dt = 0.1
+  // step of the linear problem should be accurate to ~dt^5 locally.
+  SdcSweeper sw(collocation_nodes(NodeType::kGaussLobatto, 3), 2);
+  State u0 = {1.0, 2.0};
+  const State u = sdc_integrate(sw, linear_rhs, u0, 0.0, 0.1, 1, 12);
+  // The collocation solution itself differs from exp by O(dt^5) locally;
+  // 1.3e-8 at dt = 0.1 is the collocation error, not an SDC artifact.
+  const double exact = std::exp(kLambda * 0.1);
+  EXPECT_NEAR(u[0], 1.0 * exact, 5e-8);
+  EXPECT_NEAR(u[1], 2.0 * exact, 1e-7);
+}
+
+TEST(Sdc, ResidualDecreasesPerSweep) {
+  SdcSweeper sw(collocation_nodes(NodeType::kGaussLobatto, 5), 2);
+  sw.set_initial({1.0, 0.0});
+  sw.spread(0.0, 0.5, oscillator_rhs);
+  double prev = sw.residual(0.5);
+  for (int k = 0; k < 8; ++k) {
+    sw.sweep(0.0, 0.5, oscillator_rhs);
+    const double r = sw.residual(0.5);
+    EXPECT_LT(r, prev * 0.9) << "sweep " << k;
+    prev = r;
+  }
+  // Explicit sweeps contract by roughly dt per sweep; drive further down
+  // and check the residual reaches roundoff levels eventually.
+  for (int k = 0; k < 24; ++k) sw.sweep(0.0, 0.5, oscillator_rhs);
+  EXPECT_LT(sw.residual(0.5), 1e-12);
+}
+
+TEST(Sdc, CollocationSolutionIsSweepFixedPoint) {
+  // Drive residual to roundoff, then one more sweep must not move the
+  // solution (beyond roundoff): Eq. (13)'s correction vanishes at the
+  // collocation fixed point.
+  SdcSweeper sw(collocation_nodes(NodeType::kGaussLobatto, 3), 1);
+  sw.set_initial({1.0});
+  sw.spread(0.0, 0.3, riccati_rhs);
+  for (int k = 0; k < 30; ++k) sw.sweep(0.0, 0.3, riccati_rhs);
+  const State before = sw.end_value();
+  sw.sweep(0.0, 0.3, riccati_rhs);
+  EXPECT_NEAR(before[0], sw.end_value()[0], 1e-14);
+}
+
+TEST(Sdc, TauShiftsFixedPoint) {
+  // A constant FAS correction tau on each interval shifts the computed
+  // update by exactly sum(tau) at the end node after convergence for a
+  // linear-in-u problem with lambda = 0 (pure quadrature).
+  auto zero_rhs = [](double, const State&, State& f) { f[0] = 0.0; };
+  SdcSweeper sw(collocation_nodes(NodeType::kGaussLobatto, 3), 1);
+  sw.set_initial({1.0});
+  sw.set_tau({State{0.25}, State{0.5}});
+  sw.spread(0.0, 1.0, zero_rhs);
+  for (int k = 0; k < 5; ++k) sw.sweep(0.0, 1.0, zero_rhs);
+  EXPECT_NEAR(sw.end_value()[0], 1.0 + 0.75, 1e-13);
+}
+
+TEST(Sdc, RhsEvaluationCountsAreExact) {
+  SdcSweeper sw(collocation_nodes(NodeType::kGaussLobatto, 3), 1);
+  sw.set_initial({1.0});
+  sw.spread(0.0, 0.1, riccati_rhs);  // 1 eval
+  EXPECT_EQ(sw.rhs_evaluations(), 1);
+  sw.sweep(0.0, 0.1, riccati_rhs);  // M = 2 evals
+  EXPECT_EQ(sw.rhs_evaluations(), 3);
+  sw.sweep(0.0, 0.1, riccati_rhs, /*refresh_left_f=*/true);  // M + 1
+  EXPECT_EQ(sw.rhs_evaluations(), 6);
+}
+
+TEST(Sdc, RejectsNodesNotSpanningUnitInterval) {
+  EXPECT_THROW(SdcSweeper(collocation_nodes(NodeType::kGaussLegendre, 3), 1),
+               std::invalid_argument);
+}
+
+struct RkCase {
+  const char* name;
+  ButcherTableau tableau;
+  double expected_order;
+};
+
+class RkOrder : public ::testing::TestWithParam<RkCase> {};
+
+TEST_P(RkOrder, ConvergesAtDesignOrder) {
+  const auto& param = GetParam();
+  auto error_of_dt = [&](double dt) {
+    RungeKutta rk(param.tableau, 1);
+    const int nsteps = static_cast<int>(std::round(1.0 / dt));
+    const State u = rk.integrate(riccati_rhs, {1.0}, 0.0, dt, nsteps);
+    return std::abs(u[0] - 0.5);
+  };
+  const double order = convergence_order(error_of_dt, 0.02);
+  EXPECT_GT(order, param.expected_order - 0.35) << param.name;
+  EXPECT_LT(order, param.expected_order + 0.9) << param.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RkOrder,
+    ::testing::Values(RkCase{"euler", ButcherTableau::forward_euler(), 1.0},
+                      RkCase{"heun2", ButcherTableau::heun2(), 2.0},
+                      RkCase{"ssp3", ButcherTableau::ssp_rk3(), 3.0},
+                      RkCase{"rk4", ButcherTableau::classical_rk4(), 4.0}),
+    [](const auto& info) { return std::string(info.param.name); });
+
+TEST(Rk, OscillatorEnergyDriftIsSmallAtOrder4) {
+  RungeKutta rk(ButcherTableau::classical_rk4(), 2);
+  const State u = rk.integrate(oscillator_rhs, {1.0, 0.0}, 0.0, 0.01, 628);
+  const double energy = u[0] * u[0] + u[1] * u[1];
+  EXPECT_NEAR(energy, 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace stnb::ode

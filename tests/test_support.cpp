@@ -1,0 +1,184 @@
+// Support layer: Vec3/Mat3 algebra identities, deterministic RNG, thread
+// pool semantics (work completion, exception propagation, nesting-free
+// reuse), CLI parsing, and table rendering.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <numbers>
+#include <set>
+
+#include "support/cli.hpp"
+#include "support/rng.hpp"
+#include "support/table.hpp"
+#include "support/thread_pool.hpp"
+#include "support/vec3.hpp"
+
+namespace stnb {
+namespace {
+
+TEST(Vec3, AlgebraIdentities) {
+  const Vec3 a{1, 2, 3}, b{-2, 0.5, 4};
+  EXPECT_EQ(a + b - b, a);
+  EXPECT_DOUBLE_EQ(dot(a, b), -2 + 1 + 12);
+  EXPECT_DOUBLE_EQ(dot(cross(a, b), a), 0.0);  // a x b perp a
+  EXPECT_DOUBLE_EQ(dot(cross(a, b), b), 0.0);
+  EXPECT_DOUBLE_EQ(norm2(a), 14.0);
+  EXPECT_DOUBLE_EQ(norm(normalized(b)), 1.0);
+  EXPECT_EQ(-a, Vec3(-1, -2, -3));
+  EXPECT_EQ(min(a, b), Vec3(-2, 0.5, 3));
+  EXPECT_EQ(max(a, b), Vec3(1, 2, 4));
+}
+
+TEST(Vec3, CrossProductAnticommutes) {
+  const Vec3 a{0.3, -1.2, 0.8}, b{2.0, 0.1, -0.7};
+  EXPECT_EQ(cross(a, b), -cross(b, a));
+  EXPECT_EQ(cross(a, a), Vec3{});
+}
+
+TEST(Mat3, MulAndTransposeMulAgreeWithManualExpansion) {
+  Mat3 m;
+  int v = 1;
+  for (int i = 0; i < 3; ++i)
+    for (int j = 0; j < 3; ++j) m(i, j) = v++;
+  const Vec3 x{1, -1, 2};
+  const Vec3 y = mul(m, x);
+  EXPECT_EQ(y, Vec3(1 - 2 + 6, 4 - 5 + 12, 7 - 8 + 18));
+  const Vec3 yt = mul_transpose(m, x);
+  EXPECT_EQ(yt, Vec3(1 - 4 + 14, 2 - 5 + 16, 3 - 6 + 18));
+}
+
+TEST(Mat3, OuterProductAndTrace) {
+  const Vec3 a{1, 2, 3}, b{4, 5, 6};
+  const Mat3 o = outer(a, b);
+  EXPECT_DOUBLE_EQ(o(1, 2), 12.0);
+  EXPECT_DOUBLE_EQ(trace(o), dot(a, b));
+  EXPECT_DOUBLE_EQ(trace(Mat3::identity()), 3.0);
+}
+
+TEST(Rng, DeterministicForSameSeedDistinctForDifferent) {
+  Rng a(123), b(123), c(124);
+  bool all_equal = true, any_equal_c = false;
+  for (int i = 0; i < 100; ++i) {
+    const auto va = a(), vb = b(), vc = c();
+    all_equal &= (va == vb);
+    any_equal_c |= (va == vc);
+  }
+  EXPECT_TRUE(all_equal);
+  EXPECT_FALSE(any_equal_c);
+}
+
+TEST(Rng, UniformInRangeAndRoughlyCentered) {
+  Rng rng(7);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.uniform(2.0, 4.0);
+    ASSERT_GE(v, 2.0);
+    ASSERT_LT(v, 4.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10000, 3.0, 0.03);
+}
+
+TEST(Rng, SphereSamplesHaveUnitNormAndZeroMean) {
+  Rng rng(8);
+  Vec3 mean{};
+  for (int i = 0; i < 5000; ++i) {
+    const Vec3 v = rng.uniform_on_sphere();
+    ASSERT_NEAR(norm(v), 1.0, 1e-12);
+    mean += v;
+  }
+  EXPECT_LT(norm(mean / 5000.0), 0.05);
+}
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(0, 1000, [&](std::size_t i) { hits[i]++; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ZeroWorkersRunsInline) {
+  ThreadPool pool(0);
+  std::set<std::size_t> seen;
+  pool.parallel_for(5, 10, [&](std::size_t i) { seen.insert(i); });
+  EXPECT_EQ(seen, (std::set<std::size_t>{5, 6, 7, 8, 9}));
+}
+
+TEST(ThreadPool, PropagatesExceptions) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.parallel_for(0, 100,
+                                 [](std::size_t i) {
+                                   if (i == 42)
+                                     throw std::runtime_error("boom");
+                                 }),
+               std::runtime_error);
+  // The pool must remain usable after an exception.
+  std::atomic<int> count{0};
+  pool.parallel_for(0, 10, [&](std::size_t) { count++; });
+  EXPECT_EQ(count.load(), 10);
+}
+
+TEST(ThreadPool, ReusableAcrossManyBatches) {
+  ThreadPool pool(4);
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<long> sum{0};
+    pool.parallel_for(0, 200, [&](std::size_t i) {
+      sum += static_cast<long>(i);
+    });
+    EXPECT_EQ(sum.load(), 199 * 200 / 2);
+  }
+}
+
+TEST(ThreadPool, EmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  pool.parallel_for(7, 7, [](std::size_t) { FAIL(); });
+}
+
+TEST(Cli, ParsesFlagsInBothSyntaxes) {
+  Cli cli;
+  cli.add("alpha", "1.0", "");
+  cli.add("name", "x", "");
+  cli.add("verbose", "false", "");
+  const char* argv[] = {"prog", "--alpha", "2.5", "--name=tree",
+                        "--verbose"};
+  ASSERT_TRUE(cli.parse(5, argv));
+  EXPECT_DOUBLE_EQ(cli.num("alpha"), 2.5);
+  EXPECT_EQ(cli.str("name"), "tree");
+  EXPECT_TRUE(cli.flag("verbose"));
+}
+
+TEST(Cli, DefaultsApplyWhenUnset) {
+  Cli cli;
+  cli.add("n", "42", "");
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(cli.parse(1, argv));
+  EXPECT_EQ(cli.integer("n"), 42);
+}
+
+TEST(Cli, RejectsUnknownFlags) {
+  Cli cli;
+  cli.add("n", "1", "");
+  const char* argv[] = {"prog", "--typo", "3"};
+  EXPECT_FALSE(cli.parse(3, argv));
+}
+
+TEST(Cli, ThrowsOnUndeclaredLookup) {
+  Cli cli;
+  EXPECT_THROW((void)cli.str("nope"), std::invalid_argument);
+}
+
+TEST(Table, RendersAlignedColumns) {
+  Table t({"a", "long_header", "c"});
+  t.begin_row().cell(1LL).cell("x").cell(3.14159, 2);
+  t.begin_row().cell(22LL).cell("yy").cell_sci(1234.5, 2);
+  const std::string out = t.render();
+  EXPECT_NE(out.find("long_header"), std::string::npos);
+  EXPECT_NE(out.find("3.14"), std::string::npos);
+  EXPECT_NE(out.find("1.23e+03"), std::string::npos);
+  // Header separator line present.
+  EXPECT_NE(out.find("----"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace stnb

@@ -1,0 +1,308 @@
+// Octree construction invariants, multipole (M2M/M2P) accuracy, MAC
+// traversal error scaling with theta, and tree-vs-direct consistency for
+// both kernel types.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "support/rng.hpp"
+#include "tree/evaluate.hpp"
+#include "tree/octree.hpp"
+#include "vortex/rhs_direct.hpp"
+#include "vortex/setup.hpp"
+#include "vortex/state.hpp"
+
+namespace stnb::tree {
+namespace {
+
+std::vector<TreeParticle> random_particles(std::size_t n, std::uint64_t seed,
+                                           bool with_scalar_charge = true) {
+  Rng rng(seed);
+  std::vector<TreeParticle> ps(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    ps[i].x = rng.uniform_in_box({0, 0, 0}, {1, 1, 1});
+    ps[i].q = with_scalar_charge ? rng.uniform(-1.0, 1.0) : 0.0;
+    ps[i].a = rng.uniform_on_sphere() * rng.uniform(0.1, 1.0);
+    ps[i].id = static_cast<std::uint32_t>(i);
+  }
+  return ps;
+}
+
+class TreeBuild : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(TreeBuild, EveryParticleInExactlyOneLeaf) {
+  const std::size_t n = GetParam();
+  auto ps = random_particles(n, 11);
+  const Domain dom = [&] {
+    std::vector<Vec3> xs(n);
+    for (std::size_t i = 0; i < n; ++i) xs[i] = ps[i].x;
+    return Domain::bounding_cube(xs.data(), n);
+  }();
+  Octree tree(std::move(ps), dom, {/*leaf_capacity=*/4, kMaxLevel});
+
+  std::set<std::uint32_t> seen;
+  std::size_t total = 0;
+  for (const auto& node : tree.nodes()) {
+    if (!node.leaf) continue;
+    EXPECT_LE(node.count, 4);
+    for (std::int32_t p = node.first; p < node.first + node.count; ++p) {
+      seen.insert(tree.particles()[p].id);
+      ++total;
+    }
+  }
+  EXPECT_EQ(total, n);
+  EXPECT_EQ(seen.size(), n);
+}
+
+TEST_P(TreeBuild, ParticlesSortedByKeyAndNodesCoverRanges) {
+  const std::size_t n = GetParam();
+  auto ps = random_particles(n, 12);
+  Octree tree(std::move(ps), {{0, 0, 0}, 1.0}, {4, kMaxLevel});
+  const auto& sorted = tree.particles();
+  for (std::size_t i = 1; i < sorted.size(); ++i)
+    EXPECT_LE(sorted[i - 1].key, sorted[i].key);
+  for (const auto& node : tree.nodes()) {
+    const KeyRange cover = key_coverage(node.key);
+    for (std::int32_t p = node.first; p < node.first + node.count; ++p) {
+      EXPECT_GE(sorted[p].key, cover.min);
+      EXPECT_LE(sorted[p].key, cover.max);
+    }
+  }
+}
+
+TEST_P(TreeBuild, RootMomentsMatchDirectSums) {
+  const std::size_t n = GetParam();
+  auto ps = random_particles(n, 13);
+  double q_sum = 0.0;
+  Vec3 a_sum{};
+  for (const auto& p : ps) {
+    q_sum += p.q;
+    a_sum += p.a;
+  }
+  Octree tree(std::move(ps), {{0, 0, 0}, 1.0}, {4, kMaxLevel});
+  EXPECT_NEAR(tree.root().mp.mono_q, q_sum, 1e-12);
+  EXPECT_NEAR(norm(tree.root().mp.mono_a - a_sum), 0.0, 1e-12);
+  EXPECT_EQ(tree.root().count, static_cast<std::int32_t>(n));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, TreeBuild,
+                         ::testing::Values(1, 2, 9, 100, 1000));
+
+TEST(TreeBuild, HandlesCoincidentParticlesViaMaxLevel) {
+  // Particles at identical positions can never be separated; the max_level
+  // cutoff must terminate recursion with a multi-particle leaf.
+  std::vector<TreeParticle> ps(10);
+  for (std::size_t i = 0; i < ps.size(); ++i) {
+    ps[i].x = {0.25, 0.25, 0.25};
+    ps[i].q = 1.0;
+    ps[i].id = static_cast<std::uint32_t>(i);
+  }
+  Octree tree(std::move(ps), {{0, 0, 0}, 1.0}, {2, kMaxLevel});
+  EXPECT_EQ(tree.root().count, 10);
+  EXPECT_EQ(tree.root().mp.mono_q, 10.0);
+}
+
+TEST(TreeBuild, RejectsParticleOutsideDomain) {
+  std::vector<TreeParticle> ps(1);
+  ps[0].x = {2.0, 0.0, 0.0};
+  EXPECT_THROW(Octree(std::move(ps), {{0, 0, 0}, 1.0}, {}),
+               std::invalid_argument);
+}
+
+TEST(Multipole, M2MShiftPreservesEvaluation) {
+  // Build moments of the same particle set about two centers; both must
+  // evaluate identically up to the quadrupole truncation (here: exactly,
+  // since we compare a directly-accumulated expansion with a shifted one).
+  Rng rng(21);
+  std::vector<Vec3> xs(20);
+  std::vector<Vec3> as(20);
+  Multipole direct, child;
+  direct.center = {0.5, 0.5, 0.5};
+  child.center = {0.52, 0.47, 0.55};
+  for (int i = 0; i < 20; ++i) {
+    xs[i] = rng.uniform_in_box({0.4, 0.4, 0.4}, {0.6, 0.6, 0.6});
+    as[i] = rng.uniform_on_sphere();
+    direct.add_particle(xs[i], 0.3, as[i]);
+    child.add_particle(xs[i], 0.3, as[i]);
+  }
+  Multipole shifted;
+  shifted.center = direct.center;
+  shifted.add_shifted(child);
+
+  EXPECT_NEAR(shifted.mono_q, direct.mono_q, 1e-12);
+  EXPECT_NEAR(norm(shifted.dip_q - direct.dip_q), 0.0, 1e-12);
+  for (int k = 0; k < 6; ++k)
+    EXPECT_NEAR(shifted.quad_q[k], direct.quad_q[k], 1e-12) << k;
+  EXPECT_NEAR(norm(shifted.mono_a - direct.mono_a), 0.0, 1e-12);
+  for (int k = 0; k < 18; ++k)
+    EXPECT_NEAR(shifted.quad_a[k], direct.quad_a[k], 1e-12) << k;
+}
+
+TEST(Multipole, CoulombExpansionConvergesCubically) {
+  // Quadrupole truncation: relative error ~ (cluster radius / distance)^3.
+  Rng rng(22);
+  Multipole mp;
+  mp.center = {0, 0, 0};
+  std::vector<std::pair<Vec3, double>> cloud;
+  for (int i = 0; i < 50; ++i) {
+    const Vec3 x = rng.uniform_in_box({-0.1, -0.1, -0.1}, {0.1, 0.1, 0.1});
+    const double q = rng.uniform(0.2, 1.0);
+    cloud.emplace_back(x, q);
+    mp.add_particle(x, q, {});
+  }
+  kernels::CoulombKernel kernel(0.0);
+  double worst_ratio = 0.0;
+  for (double dist : {1.0, 2.0, 4.0}) {
+    const Vec3 target{dist, 0.3, -0.2};
+    double phi_mp = 0.0, phi_direct = 0.0;
+    Vec3 e_mp{}, e_direct{};
+    mp.evaluate_coulomb(target, phi_mp, e_mp);
+    for (const auto& [x, q] : cloud)
+      kernel.accumulate_field(target - x, q, phi_direct, e_direct);
+    const double rel = std::abs(phi_mp - phi_direct) / std::abs(phi_direct);
+    const double octupole_scale = std::pow(0.17 / dist, 3);
+    worst_ratio = std::max(worst_ratio, rel / octupole_scale);
+  }
+  EXPECT_LT(worst_ratio, 2.0);  // error within ~2x of the octupole scale
+}
+
+TEST(Multipole, BiotSavartExpansionMatchesDirectRegularizedSum) {
+  // The regularized expansion (tensors built from g, h, h2) must converge
+  // to the direct regularized sum — including at distances where the
+  // smoothing is NOT negligible (this is the thesis's generalized
+  // expansion; a singular expansion would be off by (sigma/d)^2k >>
+  // truncation here).
+  Rng rng(23);
+  const kernels::AlgebraicKernel kernel(kernels::AlgebraicOrder::k6, 0.5);
+  Multipole mp;
+  mp.center = {0, 0, 0};
+  std::vector<std::pair<Vec3, Vec3>> cloud;
+  for (int i = 0; i < 40; ++i) {
+    const Vec3 x = rng.uniform_in_box({-0.1, -0.1, -0.1}, {0.1, 0.1, 0.1});
+    const Vec3 a = rng.uniform_on_sphere();
+    cloud.emplace_back(x, a);
+    mp.add_particle(x, 0.0, a);
+  }
+  const Vec3 target{1.2, -0.4, 0.8};  // |d| ~ 1.5 = 3 sigma only
+  Vec3 u_mp{}, u_direct{};
+  Mat3 g_mp{}, g_direct{};
+  mp.evaluate_biot_savart(target, u_mp, g_mp, &kernel);
+  for (const auto& [x, a] : cloud)
+    kernel.accumulate_velocity_and_gradient(target - x, a, u_direct,
+                                            g_direct);
+  EXPECT_LT(norm(u_mp - u_direct), 2e-3 * norm(u_direct));
+  // The gradient carries monopole+dipole only; its truncation is one
+  // order lower than the velocity's.
+  EXPECT_LT(frobenius_norm(g_mp - g_direct),
+            4e-2 * frobenius_norm(g_direct));
+}
+
+class MacAccuracy : public ::testing::TestWithParam<double> {};
+
+TEST_P(MacAccuracy, TreeForceErrorBoundedByTheta) {
+  const double theta = GetParam();
+  const auto state = vortex::spherical_vortex_sheet({
+      .n_particles = 500,
+  });
+  vortex::SheetConfig config;
+  config.n_particles = 500;
+  const kernels::AlgebraicKernel kernel(config.kernel_order, config.sigma());
+
+  // Direct reference.
+  ode::State f_ref(state.size());
+  vortex::DirectRhs direct(kernel);
+  direct(0.0, state, f_ref);
+
+  // Tree evaluation.
+  std::vector<TreeParticle> ps(500);
+  for (std::size_t p = 0; p < 500; ++p) {
+    ps[p].x = vortex::position(state, p);
+    ps[p].a = vortex::strength(state, p);
+    ps[p].id = static_cast<std::uint32_t>(p);
+  }
+  std::vector<Vec3> xs(500);
+  for (std::size_t p = 0; p < 500; ++p) xs[p] = ps[p].x;
+  Octree tree(std::move(ps), Domain::bounding_cube(xs.data(), 500),
+              {8, kMaxLevel});
+
+  double max_rel = 0.0, v_scale = 0.0;
+  EvalCounters counters;
+  for (std::size_t p = 0; p < 500; ++p)
+    v_scale = std::max(v_scale, norm(vortex::position(f_ref, p)));
+  for (std::size_t p = 0; p < 500; ++p) {
+    const auto s = sample_vortex(tree, xs[p], static_cast<std::uint32_t>(p),
+                                 theta, kernel, counters);
+    max_rel =
+        std::max(max_rel, norm(s.u - vortex::position(f_ref, p)) / v_scale);
+  }
+  if (theta == 0.0) {
+    EXPECT_EQ(counters.far, 0u);  // pure direct summation
+    EXPECT_LT(max_rel, 1e-14);
+  } else {
+    // Quadrupole truncation: error ~ theta^3 with an O(1) prefactor.
+    EXPECT_LT(max_rel, 0.5 * theta * theta * theta);
+    EXPECT_GT(counters.far, 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Thetas, MacAccuracy,
+                         ::testing::Values(0.0, 0.3, 0.6, 0.9),
+                         [](const auto& info) {
+                           return "theta" +
+                                  std::to_string(static_cast<int>(
+                                      info.param * 10 + 0.5));
+                         });
+
+TEST(MacAccuracy, LargerThetaIsCheaper) {
+  // Sec. IV-B: theta = 0.6 must do substantially fewer interactions than
+  // theta = 0.3 (the coarse/fine cost ratio alpha depends on it).
+  auto ps = random_particles(2000, 31, false);
+  Octree tree(std::move(ps), {{0, 0, 0}, 1.0}, {8, kMaxLevel});
+  const kernels::AlgebraicKernel kernel(kernels::AlgebraicOrder::k6, 0.05);
+  EvalCounters fine, coarse;
+  for (std::size_t p = 0; p < 200; ++p) {
+    const Vec3 x = tree.particles()[p].x;
+    sample_vortex(tree, x, tree.particles()[p].id, 0.3, kernel, fine);
+    sample_vortex(tree, x, tree.particles()[p].id, 0.6, kernel, coarse);
+  }
+  const double cost_fine = static_cast<double>(fine.near + fine.far);
+  const double cost_coarse = static_cast<double>(coarse.near + coarse.far);
+  EXPECT_LT(cost_coarse, 0.6 * cost_fine);
+}
+
+TEST(Branches, SerialTreeBranchesTileTheWholeDomain) {
+  auto ps = random_particles(300, 41);
+  Octree tree(std::move(ps), {{0, 0, 0}, 1.0}, {8, kMaxLevel});
+  const KeyRange all = key_coverage(kRootKey);
+  const auto branches = tree.branch_nodes(all.min, all.max);
+  ASSERT_EQ(branches.size(), 1u);  // the root covers the whole interval
+  EXPECT_EQ(tree.nodes()[branches[0]].key, kRootKey);
+}
+
+TEST(Branches, RestrictedIntervalYieldsDisjointCover) {
+  auto ps = random_particles(512, 42);
+  Octree tree(std::move(ps), {{0, 0, 0}, 1.0}, {4, kMaxLevel});
+  // Take the key interval spanned by the middle half of the particles.
+  const auto& sorted = tree.particles();
+  const std::uint64_t lo = sorted[128].key;
+  const std::uint64_t hi = sorted[383].key;
+  const auto branches = tree.branch_nodes(lo, hi);
+  ASSERT_FALSE(branches.empty());
+  // Branch coverages must be pairwise disjoint and cover all particles in
+  // the interval.
+  std::size_t covered = 0;
+  for (std::size_t i = 0; i < branches.size(); ++i) {
+    const KeyRange ci = key_coverage(tree.nodes()[branches[i]].key);
+    covered += tree.nodes()[branches[i]].count;
+    for (std::size_t j = i + 1; j < branches.size(); ++j) {
+      const KeyRange cj = key_coverage(tree.nodes()[branches[j]].key);
+      EXPECT_TRUE(ci.max < cj.min || cj.max < ci.min)
+          << "overlap between branches " << i << " and " << j;
+    }
+  }
+  EXPECT_GE(covered, 256u);  // at least the particles strictly inside
+}
+
+}  // namespace
+}  // namespace stnb::tree
