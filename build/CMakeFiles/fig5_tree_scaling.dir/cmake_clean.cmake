@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_tree_scaling.dir/bench/fig5_tree_scaling.cpp.o"
+  "CMakeFiles/fig5_tree_scaling.dir/bench/fig5_tree_scaling.cpp.o.d"
+  "bench/fig5_tree_scaling"
+  "bench/fig5_tree_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_tree_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7a_sdc_accuracy.dir/bench/fig7a_sdc_accuracy.cpp.o"
+  "CMakeFiles/fig7a_sdc_accuracy.dir/bench/fig7a_sdc_accuracy.cpp.o.d"
+  "bench/fig7a_sdc_accuracy"
+  "bench/fig7a_sdc_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7a_sdc_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7b_pfasst_accuracy.dir/bench/fig7b_pfasst_accuracy.cpp.o"
+  "CMakeFiles/fig7b_pfasst_accuracy.dir/bench/fig7b_pfasst_accuracy.cpp.o.d"
+  "bench/fig7b_pfasst_accuracy"
+  "bench/fig7b_pfasst_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7b_pfasst_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

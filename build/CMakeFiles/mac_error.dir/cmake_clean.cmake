@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mac_error.dir/bench/mac_error.cpp.o"
+  "CMakeFiles/mac_error.dir/bench/mac_error.cpp.o.d"
+  "bench/mac_error"
+  "bench/mac_error.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mac_error.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

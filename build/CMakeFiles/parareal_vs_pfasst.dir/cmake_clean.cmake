@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parareal_vs_pfasst.dir/bench/parareal_vs_pfasst.cpp.o"
+  "CMakeFiles/parareal_vs_pfasst.dir/bench/parareal_vs_pfasst.cpp.o.d"
+  "bench/parareal_vs_pfasst"
+  "bench/parareal_vs_pfasst.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parareal_vs_pfasst.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for parareal_vs_pfasst.
+# This may be replaced when dependencies are built.

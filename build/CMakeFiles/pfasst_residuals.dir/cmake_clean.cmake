@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pfasst_residuals.dir/bench/pfasst_residuals.cpp.o"
+  "CMakeFiles/pfasst_residuals.dir/bench/pfasst_residuals.cpp.o.d"
+  "bench/pfasst_residuals"
+  "bench/pfasst_residuals.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pfasst_residuals.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

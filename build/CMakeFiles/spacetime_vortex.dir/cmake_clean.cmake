@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spacetime_vortex.dir/examples/spacetime_vortex.cpp.o"
+  "CMakeFiles/spacetime_vortex.dir/examples/spacetime_vortex.cpp.o.d"
+  "examples/spacetime_vortex"
+  "examples/spacetime_vortex.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spacetime_vortex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/theta_alpha.dir/bench/theta_alpha.cpp.o"
+  "CMakeFiles/theta_alpha.dir/bench/theta_alpha.cpp.o.d"
+  "bench/theta_alpha"
+  "bench/theta_alpha.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/theta_alpha.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/theta_coarsening.dir/examples/theta_coarsening.cpp.o"
+  "CMakeFiles/theta_coarsening.dir/examples/theta_coarsening.cpp.o.d"
+  "examples/theta_coarsening"
+  "examples/theta_coarsening.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/theta_coarsening.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vortex_sheet.dir/examples/vortex_sheet.cpp.o"
+  "CMakeFiles/vortex_sheet.dir/examples/vortex_sheet.cpp.o.d"
+  "examples/vortex_sheet"
+  "examples/vortex_sheet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vortex_sheet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

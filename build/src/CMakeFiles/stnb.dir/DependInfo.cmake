@@ -1,0 +1,45 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernels/algebraic.cpp" "src/CMakeFiles/stnb.dir/kernels/algebraic.cpp.o" "gcc" "src/CMakeFiles/stnb.dir/kernels/algebraic.cpp.o.d"
+  "/root/repo/src/kernels/coulomb.cpp" "src/CMakeFiles/stnb.dir/kernels/coulomb.cpp.o" "gcc" "src/CMakeFiles/stnb.dir/kernels/coulomb.cpp.o.d"
+  "/root/repo/src/mpsim/comm.cpp" "src/CMakeFiles/stnb.dir/mpsim/comm.cpp.o" "gcc" "src/CMakeFiles/stnb.dir/mpsim/comm.cpp.o.d"
+  "/root/repo/src/ode/nodes.cpp" "src/CMakeFiles/stnb.dir/ode/nodes.cpp.o" "gcc" "src/CMakeFiles/stnb.dir/ode/nodes.cpp.o.d"
+  "/root/repo/src/ode/quadrature.cpp" "src/CMakeFiles/stnb.dir/ode/quadrature.cpp.o" "gcc" "src/CMakeFiles/stnb.dir/ode/quadrature.cpp.o.d"
+  "/root/repo/src/ode/rk.cpp" "src/CMakeFiles/stnb.dir/ode/rk.cpp.o" "gcc" "src/CMakeFiles/stnb.dir/ode/rk.cpp.o.d"
+  "/root/repo/src/ode/sdc.cpp" "src/CMakeFiles/stnb.dir/ode/sdc.cpp.o" "gcc" "src/CMakeFiles/stnb.dir/ode/sdc.cpp.o.d"
+  "/root/repo/src/perf/speedup.cpp" "src/CMakeFiles/stnb.dir/perf/speedup.cpp.o" "gcc" "src/CMakeFiles/stnb.dir/perf/speedup.cpp.o.d"
+  "/root/repo/src/pfasst/controller.cpp" "src/CMakeFiles/stnb.dir/pfasst/controller.cpp.o" "gcc" "src/CMakeFiles/stnb.dir/pfasst/controller.cpp.o.d"
+  "/root/repo/src/pfasst/parareal.cpp" "src/CMakeFiles/stnb.dir/pfasst/parareal.cpp.o" "gcc" "src/CMakeFiles/stnb.dir/pfasst/parareal.cpp.o.d"
+  "/root/repo/src/pfasst/transfer.cpp" "src/CMakeFiles/stnb.dir/pfasst/transfer.cpp.o" "gcc" "src/CMakeFiles/stnb.dir/pfasst/transfer.cpp.o.d"
+  "/root/repo/src/support/cli.cpp" "src/CMakeFiles/stnb.dir/support/cli.cpp.o" "gcc" "src/CMakeFiles/stnb.dir/support/cli.cpp.o.d"
+  "/root/repo/src/support/rng.cpp" "src/CMakeFiles/stnb.dir/support/rng.cpp.o" "gcc" "src/CMakeFiles/stnb.dir/support/rng.cpp.o.d"
+  "/root/repo/src/support/table.cpp" "src/CMakeFiles/stnb.dir/support/table.cpp.o" "gcc" "src/CMakeFiles/stnb.dir/support/table.cpp.o.d"
+  "/root/repo/src/support/thread_pool.cpp" "src/CMakeFiles/stnb.dir/support/thread_pool.cpp.o" "gcc" "src/CMakeFiles/stnb.dir/support/thread_pool.cpp.o.d"
+  "/root/repo/src/support/vec3.cpp" "src/CMakeFiles/stnb.dir/support/vec3.cpp.o" "gcc" "src/CMakeFiles/stnb.dir/support/vec3.cpp.o.d"
+  "/root/repo/src/tree/evaluate.cpp" "src/CMakeFiles/stnb.dir/tree/evaluate.cpp.o" "gcc" "src/CMakeFiles/stnb.dir/tree/evaluate.cpp.o.d"
+  "/root/repo/src/tree/morton.cpp" "src/CMakeFiles/stnb.dir/tree/morton.cpp.o" "gcc" "src/CMakeFiles/stnb.dir/tree/morton.cpp.o.d"
+  "/root/repo/src/tree/multipole.cpp" "src/CMakeFiles/stnb.dir/tree/multipole.cpp.o" "gcc" "src/CMakeFiles/stnb.dir/tree/multipole.cpp.o.d"
+  "/root/repo/src/tree/octree.cpp" "src/CMakeFiles/stnb.dir/tree/octree.cpp.o" "gcc" "src/CMakeFiles/stnb.dir/tree/octree.cpp.o.d"
+  "/root/repo/src/tree/parallel.cpp" "src/CMakeFiles/stnb.dir/tree/parallel.cpp.o" "gcc" "src/CMakeFiles/stnb.dir/tree/parallel.cpp.o.d"
+  "/root/repo/src/vortex/diagnostics.cpp" "src/CMakeFiles/stnb.dir/vortex/diagnostics.cpp.o" "gcc" "src/CMakeFiles/stnb.dir/vortex/diagnostics.cpp.o.d"
+  "/root/repo/src/vortex/rhs_direct.cpp" "src/CMakeFiles/stnb.dir/vortex/rhs_direct.cpp.o" "gcc" "src/CMakeFiles/stnb.dir/vortex/rhs_direct.cpp.o.d"
+  "/root/repo/src/vortex/rhs_parallel.cpp" "src/CMakeFiles/stnb.dir/vortex/rhs_parallel.cpp.o" "gcc" "src/CMakeFiles/stnb.dir/vortex/rhs_parallel.cpp.o.d"
+  "/root/repo/src/vortex/rhs_tree.cpp" "src/CMakeFiles/stnb.dir/vortex/rhs_tree.cpp.o" "gcc" "src/CMakeFiles/stnb.dir/vortex/rhs_tree.cpp.o.d"
+  "/root/repo/src/vortex/setup.cpp" "src/CMakeFiles/stnb.dir/vortex/setup.cpp.o" "gcc" "src/CMakeFiles/stnb.dir/vortex/setup.cpp.o.d"
+  "/root/repo/src/vortex/state.cpp" "src/CMakeFiles/stnb.dir/vortex/state.cpp.o" "gcc" "src/CMakeFiles/stnb.dir/vortex/state.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

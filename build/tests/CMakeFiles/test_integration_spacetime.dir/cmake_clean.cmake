@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_integration_spacetime.dir/test_integration_spacetime.cpp.o"
+  "CMakeFiles/test_integration_spacetime.dir/test_integration_spacetime.cpp.o.d"
+  "test_integration_spacetime"
+  "test_integration_spacetime.pdb"
+  "test_integration_spacetime[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_integration_spacetime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

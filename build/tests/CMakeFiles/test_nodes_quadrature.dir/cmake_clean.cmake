@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nodes_quadrature.dir/test_nodes_quadrature.cpp.o"
+  "CMakeFiles/test_nodes_quadrature.dir/test_nodes_quadrature.cpp.o.d"
+  "test_nodes_quadrature"
+  "test_nodes_quadrature.pdb"
+  "test_nodes_quadrature[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nodes_quadrature.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_parallel_tree.dir/test_parallel_tree.cpp.o"
+  "CMakeFiles/test_parallel_tree.dir/test_parallel_tree.cpp.o.d"
+  "test_parallel_tree"
+  "test_parallel_tree.pdb"
+  "test_parallel_tree[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_parallel_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

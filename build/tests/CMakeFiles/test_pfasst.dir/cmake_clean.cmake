@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pfasst.dir/test_pfasst.cpp.o"
+  "CMakeFiles/test_pfasst.dir/test_pfasst.cpp.o.d"
+  "test_pfasst"
+  "test_pfasst.pdb"
+  "test_pfasst[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pfasst.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sdc.dir/test_sdc.cpp.o"
+  "CMakeFiles/test_sdc.dir/test_sdc.cpp.o.d"
+  "test_sdc"
+  "test_sdc.pdb"
+  "test_sdc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sdc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_integration_spacetime[1]_include.cmake")
+include("/root/repo/build/tests/test_kernels[1]_include.cmake")
+include("/root/repo/build/tests/test_morton[1]_include.cmake")
+include("/root/repo/build/tests/test_mpsim[1]_include.cmake")
+include("/root/repo/build/tests/test_nodes_quadrature[1]_include.cmake")
+include("/root/repo/build/tests/test_parallel_tree[1]_include.cmake")
+include("/root/repo/build/tests/test_perf_model[1]_include.cmake")
+include("/root/repo/build/tests/test_pfasst[1]_include.cmake")
+include("/root/repo/build/tests/test_sdc[1]_include.cmake")
+include("/root/repo/build/tests/test_support[1]_include.cmake")
+include("/root/repo/build/tests/test_transfer[1]_include.cmake")
+include("/root/repo/build/tests/test_tree[1]_include.cmake")
+include("/root/repo/build/tests/test_vortex[1]_include.cmake")
