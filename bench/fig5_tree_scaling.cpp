@@ -9,22 +9,40 @@
 //  (2) model: the calibrated analytic scaling model evaluated at the
 //      paper's N = {0.125, 8, 2048} x 1e6 across 1 ... 262,144 cores,
 //      reproducing the saturation/crossover shape of Fig. 5.
+//
+// --json PATH additionally writes the measured per-phase breakdowns
+// (obs-layer span totals per rank group) and the model extrapolation as
+// machine-readable JSON.
 #include <cmath>
+#include <fstream>
 #include <vector>
 
 #include "common.hpp"
 #include "mpsim/comm.hpp"
+#include "obs/obs.hpp"
 #include "perf/speedup.hpp"
+#include "support/json.hpp"
 #include "support/rng.hpp"
 #include "tree/parallel.hpp"
 
 using namespace stnb;
+
+namespace {
+
+struct MeasuredRun {
+  int ranks = 0;
+  double total = 0, traversal = 0, branch = 0, let = 0;
+  double branches = 0, interactions = 0;
+};
+
+}  // namespace
 
 int main(int argc, char** argv) {
   Cli cli;
   cli.add("n", "20000", "particles for the measured runs");
   cli.add("max-ranks", "16", "largest simulated rank count (measured part)");
   cli.add("theta", "0.6", "multipole acceptance parameter");
+  cli.add("json", "", "write measured + model results as JSON to this path");
   if (!cli.parse(argc, argv)) return 1;
 
   bench::print_banner(
@@ -32,8 +50,9 @@ int main(int argc, char** argv) {
       "total / traversal / branch-exchange virtual time vs cores; measured "
       "runs + calibrated model at JUGENE scale");
 
-  const auto n = static_cast<std::size_t>(cli.integer("n"));
-  const double theta = cli.num("theta");
+  const auto n = cli.get<std::size_t>("n");
+  const double theta = cli.get<double>("theta");
+  const std::string json_path = cli.get<std::string>("json");
 
   // Homogeneous neutral Coulomb cube.
   std::vector<tree::TreeParticle> all(n);
@@ -53,11 +72,16 @@ int main(int argc, char** argv) {
                   "interactions/particle"});
   double fit_interactions = 0.0;
   double fit_branches_at_max = 0.0;
-  int max_ranks = static_cast<int>(cli.integer("max-ranks"));
+  const int max_ranks = cli.get<int>("max-ranks");
+  std::vector<MeasuredRun> runs;
+  // One registry per rank count: clocks restart at 0 for every run.
+  std::vector<std::unique_ptr<obs::Registry>> registries;
   for (int p = 1; p <= max_ranks; p *= 2) {
-    double total = 0, traversal = 0, branch = 0, let = 0;
-    double branches = 0, interactions = 0;
+    MeasuredRun run;
+    run.ranks = p;
+    registries.push_back(std::make_unique<obs::Registry>());
     mpsim::Runtime rt;
+    rt.set_registry(registries.back().get());
     rt.run(p, [&](mpsim::Comm& comm) {
       const std::size_t begin = n * comm.rank() / p;
       const std::size_t end = n * (comm.rank() + 1) / p;
@@ -69,37 +93,40 @@ int main(int argc, char** argv) {
       const auto forces = solver.solve_coulomb(local, kernel);
       const auto& t = forces.timings;
       // Reduce the slowest-rank phase times (what a wall clock would see).
-      const double tot = comm.allreduce_max(t.total());
-      const double tra = comm.allreduce_max(t.traversal);
-      const double bra = comm.allreduce_max(t.branch_exchange);
-      const double le = comm.allreduce_max(t.let_exchange);
-      const double br = comm.allreduce_sum(static_cast<double>(t.branch_count));
-      const double ints = comm.allreduce_sum(
-          static_cast<double>(t.counters.near + t.counters.far));
+      const double tot = comm.allreduce(t.total(), mpsim::ReduceOp::kMax);
+      const double tra = comm.allreduce(t.traversal, mpsim::ReduceOp::kMax);
+      const double bra =
+          comm.allreduce(t.branch_exchange, mpsim::ReduceOp::kMax);
+      const double le = comm.allreduce(t.let_exchange, mpsim::ReduceOp::kMax);
+      const double br = comm.allreduce(static_cast<double>(t.branch_count),
+                                       mpsim::ReduceOp::kSum);
+      const double ints = comm.allreduce(static_cast<double>(t.near + t.far),
+                                         mpsim::ReduceOp::kSum);
       if (comm.rank() == 0) {
-        total = tot;
-        traversal = tra;
-        branch = bra;
-        let = le;
-        branches = br / p;
-        interactions = ints / static_cast<double>(n);
+        run.total = tot;
+        run.traversal = tra;
+        run.branch = bra;
+        run.let = le;
+        run.branches = br / p;
+        run.interactions = ints / static_cast<double>(n);
       }
     });
     measured.begin_row()
         .cell(static_cast<long long>(p))
         .cell(static_cast<long long>(n / p))
-        .cell_sci(total)
-        .cell_sci(traversal)
-        .cell_sci(branch)
-        .cell_sci(let)
-        .cell(branches, 1)
-        .cell(interactions, 1);
+        .cell_sci(run.total)
+        .cell_sci(run.traversal)
+        .cell_sci(run.branch)
+        .cell_sci(run.let)
+        .cell(run.branches, 1)
+        .cell(run.interactions, 1);
     // Calibrate traversal work from the single-rank run: multi-rank
     // counts include the receiver-side *linear* evaluation of imported
     // LET entries (a conservative simplification of PEPC's hierarchical
     // request-driven traversal; see DESIGN.md) which would bias the fit.
-    if (p == 1) fit_interactions = interactions;
-    fit_branches_at_max = branches;
+    if (p == 1) fit_interactions = run.interactions;
+    fit_branches_at_max = run.branches;
+    runs.push_back(run);
   }
   measured.print("Fig. 5 (measured) — simulated-machine runs, N = " +
                  std::to_string(n));
@@ -141,5 +168,83 @@ int main(int argc, char** argv) {
   std::printf("expected shape: traversal falls ~1/P; branch exchange grows "
               "with P and dominates once N/P is small — strong scaling "
               "saturates (paper Fig. 5)\n");
+
+  // ---- machine-readable output -------------------------------------------
+  if (!json_path.empty()) {
+    std::ofstream os(json_path);
+    if (!os) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    JsonWriter w(os);
+    w.begin_object();
+    w.member("figure", "fig5_tree_scaling")
+        .member("n", n)
+        .member("theta", theta);
+    w.key("measured").begin_array();
+    static constexpr const char* kPhases[] = {
+        "tree.domain", "tree.build", "tree.branch_exchange",
+        "tree.let_exchange", "tree.traversal"};
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+      const auto& run = runs[i];
+      const auto& reg = *registries[i];
+      w.begin_object()
+          .member("ranks", run.ranks)
+          .member("particles_per_rank", n / run.ranks)
+          .member("total_s", run.total)
+          .member("traversal_s", run.traversal)
+          .member("branch_exchange_s", run.branch)
+          .member("let_exchange_s", run.let)
+          .member("branches_per_rank", run.branches)
+          .member("interactions_per_particle", run.interactions);
+      w.key("phases").begin_object();
+      for (const char* phase : kPhases) {
+        const auto stat = reg.span_total(phase);
+        w.key(phase)
+            .begin_object()
+            .member("total_time_s", stat.total)
+            .member("count", stat.count);
+        w.key("time_per_rank_s").begin_array();
+        for (int r = 0; r < run.ranks; ++r)
+          w.value(reg.span_stat(r, phase).total);
+        w.end_array();
+        w.end_object();
+      }
+      w.end_object();
+      w.member("eval_near", reg.counter_total("tree.eval.near"))
+          .member("eval_far", reg.counter_total("tree.eval.far"))
+          .member("collective_bytes",
+                  reg.counter_total("mpsim.collective.bytes"));
+      w.end_object();
+    }
+    w.end_array();
+    w.key("model").begin_object();
+    w.member("interactions_a", model.interactions_a)
+        .member("interactions_b", model.interactions_b)
+        .member("branches_a", model.branches_a)
+        .member("branches_d", model.branches_d);
+    w.key("extrapolation").begin_array();
+    for (double big_n : {0.125e6, 8e6, 2048e6}) {
+      w.begin_object().member("n", big_n);
+      w.key("points").begin_array();
+      for (double p = 1; p <= 262144; p *= 4) {
+        if (big_n / p < 1.0) break;
+        const auto times = model.evaluate(big_n, p);
+        w.begin_object()
+            .member("cores", p)
+            .member("total_s", times.total())
+            .member("traversal_s", times.traversal)
+            .member("branch_exchange_s", times.branch_exchange)
+            .end_object();
+      }
+      w.end_array();
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    w.end_object();
+    os << '\n';
+    std::printf("wrote %s\n", json_path.c_str());
+  }
   return 0;
 }

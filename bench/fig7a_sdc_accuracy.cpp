@@ -27,7 +27,7 @@ int main(int argc, char** argv) {
       "summation, spherical vortex sheet, 6th-order algebraic kernel");
 
   vortex::SheetConfig config;
-  config.n_particles = static_cast<std::size_t>(cli.integer("n"));
+  config.n_particles = cli.get<std::size_t>("n");
   // Pin sigma to the paper's physical core radius (18.53 h at N = 10^4,
   // i.e. sigma ~= 0.657) regardless of the bench-scale particle count:
   // scaling sigma with 1/sqrt(N) would over-smooth small-N runs into
@@ -37,11 +37,11 @@ int main(int argc, char** argv) {
   const ode::State u0 = vortex::spherical_vortex_sheet(config);
   const kernels::AlgebraicKernel kernel(config.kernel_order, config.sigma());
   vortex::DirectRhs rhs(kernel);
-  const double t_end = cli.num("tend");
+  const double t_end = cli.get<double>("tend");
 
   std::vector<double> dts;
-  for (int i = 0; i < cli.integer("dt-count"); ++i)
-    dts.push_back(cli.num("dt-max") / (1 << i));
+  for (int i = 0; i < cli.get<int>("dt-count"); ++i)
+    dts.push_back(cli.get<double>("dt-max") / (1 << i));
 
   // Reference: SDC(8) on 5 Lobatto nodes at half the smallest step.
   const double dt_ref = dts.back() / 2.0;

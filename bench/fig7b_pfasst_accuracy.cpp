@@ -52,14 +52,14 @@ int main(int argc, char** argv) {
       "3 fine + 2 coarse Lobatto nodes");
 
   vortex::SheetConfig config;
-  config.n_particles = static_cast<std::size_t>(cli.integer("n"));
+  config.n_particles = cli.get<std::size_t>("n");
   // Pin sigma to the paper's physical core radius (see fig7a).
   config.sigma_over_h =
       18.53 * std::sqrt(static_cast<double>(config.n_particles) / 1e4);
   const ode::State u0 = vortex::spherical_vortex_sheet(config);
   const kernels::AlgebraicKernel kernel(config.kernel_order, config.sigma());
   vortex::DirectRhs rhs(kernel);
-  const double t_end = cli.num("tend");
+  const double t_end = cli.get<double>("tend");
 
   // dt grid chosen so nsteps is a multiple of 16 (the largest P_T).
   const std::vector<double> dts = {t_end / 16, t_end / 32, t_end / 64};

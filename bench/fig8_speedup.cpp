@@ -9,15 +9,26 @@
 // Setups: "small" ~ the paper's 125k-particle/512-node case, "large" ~ the
 // 4M-particle/2048-node case, scaled to bench size by the --small-n /
 // --large-n / --*-ps / --max-pt flags (defaults fit a 1-core box).
+//
+// --json PATH writes machine-readable metrics (per-phase virtual-time
+// totals per rank and per time-slice group; alpha is computable from the
+// pfasst.sweep.coarse / pfasst.sweep.fine per-sweep averages) plus a
+// Chrome trace-event file of the widest PFASST run at
+// `<PATH minus .json>.trace.json` (one track per simulated rank; load in
+// Perfetto / chrome://tracing).
 #include <cmath>
+#include <fstream>
+#include <memory>
 #include <vector>
 
 #include "common.hpp"
 #include "mpsim/comm.hpp"
+#include "obs/obs.hpp"
 #include "ode/nodes.hpp"
 #include "ode/sdc.hpp"
 #include "perf/speedup.hpp"
 #include "pfasst/controller.hpp"
+#include "support/json.hpp"
 #include "vortex/rhs_parallel.hpp"
 #include "vortex/setup.hpp"
 #include "vortex/state.hpp"
@@ -32,6 +43,23 @@ struct Setup {
   int p_space;
 };
 
+struct PfasstRun {
+  int p_time = 0;
+  double t_pfasst = 0.0;
+  double speedup = 0.0;
+  double theory = 0.0;
+  double bound = 0.0;
+  std::unique_ptr<obs::Registry> registry;
+};
+
+struct SetupResult {
+  const Setup* setup = nullptr;
+  double rhs_ratio = 0.0;
+  double alpha = 0.0;
+  double t_serial = 0.0;
+  std::vector<PfasstRun> runs;
+};
+
 // One space-rank body: build the local slice of the sheet state.
 ode::State local_slice(const ode::State& global, std::size_t begin,
                        std::size_t end) {
@@ -41,6 +69,42 @@ ode::State local_slice(const ode::State& global, std::size_t begin,
     vortex::set_strength(u, p - begin, vortex::strength(global, p));
   }
   return u;
+}
+
+/// Per-phase breakdown for one run: totals plus per-rank and per
+/// time-slice-group series (world rank r belongs to slice r / ps).
+void write_phases(JsonWriter& w, const obs::Registry& reg, int ranks,
+                  int ps) {
+  static constexpr const char* kPhases[] = {
+      "pfasst.predictor", "pfasst.iteration",   "pfasst.sweep.fine",
+      "pfasst.sweep.coarse", "pfasst.fas",      "vortex.rhs.evaluate",
+      "tree.traversal",   "tree.let_exchange",  "tree.branch_exchange",
+      "tree.build",       "tree.domain",        "mpsim.send",
+      "mpsim.recv",       "mpsim.barrier"};
+  w.key("phases").begin_object();
+  for (const char* phase : kPhases) {
+    const auto total = reg.span_total(phase);
+    if (total.count == 0) continue;
+    w.key(phase).begin_object();
+    w.member("total_time_s", total.total).member("total_count", total.count);
+    w.key("time_per_rank_s").begin_array();
+    for (int r = 0; r < ranks; ++r) w.value(reg.span_stat(r, phase).total);
+    w.end_array();
+    w.key("count_per_rank").begin_array();
+    for (int r = 0; r < ranks; ++r) w.value(reg.span_stat(r, phase).count);
+    w.end_array();
+    // Rank group = time slice (Fig. 2: world ranks [t*ps, (t+1)*ps)).
+    w.key("time_per_slice_s").begin_array();
+    for (int t = 0; t < ranks / ps; ++t) {
+      double slice_total = 0.0;
+      for (int s = 0; s < ps; ++s)
+        slice_total += reg.span_stat(t * ps + s, phase).total;
+      w.value(slice_total);
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_object();
 }
 
 }  // namespace
@@ -54,6 +118,9 @@ int main(int argc, char** argv) {
   cli.add("large-ps", "2", "space ranks, large setup (paper: 2048 nodes)");
   cli.add("max-pt", "8", "largest time-parallel width (paper: 32)");
   cli.add("nsteps", "8", "time steps at dt = 0.5 (paper: T = 16)");
+  cli.add("json", "",
+          "write metrics JSON here + a Chrome trace of the widest run "
+          "next to it (<path minus .json>.trace.json)");
   if (!cli.parse(argc, argv)) return 1;
 
   bench::print_banner(
@@ -62,18 +129,22 @@ int main(int argc, char** argv) {
       "0.6; virtual time on the simulated machine");
 
   const double dt = 0.5;
-  const int nsteps = static_cast<int>(cli.integer("nsteps"));
-  const int max_pt = static_cast<int>(cli.integer("max-pt"));
+  const int nsteps = cli.get<int>("nsteps");
+  const int max_pt = cli.get<int>("max-pt");
+  const std::string json_path = cli.get<std::string>("json");
 
   std::vector<Setup> setups;
-  if (cli.str("setup") != "large")
-    setups.push_back({"small", static_cast<std::size_t>(cli.integer("small-n")),
-                      static_cast<int>(cli.integer("small-ps"))});
-  if (cli.str("setup") != "small")
-    setups.push_back({"large", static_cast<std::size_t>(cli.integer("large-n")),
-                      static_cast<int>(cli.integer("large-ps"))});
+  if (cli.get<std::string>("setup") != "large")
+    setups.push_back(
+        {"small", cli.get<std::size_t>("small-n"), cli.get<int>("small-ps")});
+  if (cli.get<std::string>("setup") != "small")
+    setups.push_back(
+        {"large", cli.get<std::size_t>("large-n"), cli.get<int>("large-ps")});
 
+  std::vector<SetupResult> results;
   for (const auto& setup : setups) {
+    SetupResult result;
+    result.setup = &setup;
     vortex::SheetConfig config;
     config.n_particles = setup.n_particles;
     const ode::State global = vortex::spherical_vortex_sheet(config);
@@ -108,6 +179,8 @@ int main(int argc, char** argv) {
     // alpha = (coarse sweep cost)/(fine sweep cost): 2 coarse vs 3 fine
     // node evaluations, each cheaper by the measured RHS ratio (Eq. 26).
     const double alpha = 2.0 / (rhs_ratio * 3.0);
+    result.rhs_ratio = rhs_ratio;
+    result.alpha = alpha;
     std::printf("\n[%s] N = %zu, P_S = %d: fine/coarse RHS cost ratio = "
                 "%.2f -> alpha = %.3f  (paper: 2.65/3.23 -> 0.252/0.206)\n",
                 setup.name, setup.n_particles, ps, rhs_ratio, alpha);
@@ -127,10 +200,12 @@ int main(int argc, char** argv) {
             ode::collocation_nodes(ode::NodeType::kGaussLobatto, 3),
             u.size());
         ode::sdc_integrate(sweeper, rhs.as_fn(), u, 0.0, dt, nsteps, 4);
-        const double t = comm.allreduce_max(comm.clock().now());
+        const double t =
+            comm.allreduce(comm.clock().now(), mpsim::ReduceOp::kMax);
         if (comm.rank() == 0) t_serial = t;
       });
     }
+    result.t_serial = t_serial;
     std::printf("[%s] serial SDC(4) baseline: %.2f virtual seconds on %d "
                 "space ranks\n",
                 setup.name, t_serial, ps);
@@ -145,8 +220,12 @@ int main(int argc, char** argv) {
     Table table({"P_T", "ranks", "t_pfasst[s]", "speedup", "theory S(PT;a)",
                  "bound Ks/Kp*PT", "efficiency"});
     for (int pt = 1; pt <= max_pt && pt <= nsteps; pt *= 2) {
+      PfasstRun run;
+      run.p_time = pt;
+      run.registry = std::make_unique<obs::Registry>();
       double t_pfasst = 0.0;
       mpsim::Runtime rt;
+      rt.set_registry(run.registry.get());
       rt.run(pt * ps, [&](mpsim::Comm& world) {
         const int time_slice = world.rank() / ps;
         const int space_rank = world.rank() % ps;
@@ -170,19 +249,24 @@ int main(int argc, char** argv) {
         };
         pfasst::Pfasst controller(time, levels, {2, true});
         controller.run(u0, 0.0, dt, nsteps);
-        const double t = world.allreduce_max(world.clock().now());
+        const double t =
+            world.allreduce(world.clock().now(), mpsim::ReduceOp::kMax);
         if (world.rank() == static_cast<int>(world.size()) - 1)
           t_pfasst = t;
       });
-      const double speedup = t_serial / t_pfasst;
+      run.t_pfasst = t_pfasst;
+      run.speedup = t_serial / t_pfasst;
+      run.theory = perf::pfasst_speedup(pt, costs);
+      run.bound = perf::pfasst_speedup_bound(pt, costs);
       table.begin_row()
           .cell(static_cast<long long>(pt))
           .cell(static_cast<long long>(pt * ps))
-          .cell(t_pfasst, 2)
-          .cell(speedup, 2)
-          .cell(perf::pfasst_speedup(pt, costs), 2)
-          .cell(perf::pfasst_speedup_bound(pt, costs), 2)
-          .cell(speedup / pt, 3);
+          .cell(run.t_pfasst, 2)
+          .cell(run.speedup, 2)
+          .cell(run.theory, 2)
+          .cell(run.bound, 2)
+          .cell(run.speedup / pt, 3);
+      result.runs.push_back(std::move(run));
     }
     char title[160];
     std::snprintf(title, sizeof(title),
@@ -190,9 +274,95 @@ int main(int argc, char** argv) {
                   "P_S = %d",
                   setup.name, setup.n_particles, ps);
     table.print(title);
+    results.push_back(std::move(result));
   }
   std::printf("expected shape: measured speedup follows S(P_T; alpha) and "
               "grows past P_T = 2 toward the K_s/(n_L alpha) asymptote "
               "(factor ~5 small / ~7 large in the paper)\n");
+
+  // ---- machine-readable output -------------------------------------------
+  if (!json_path.empty()) {
+    std::ofstream os(json_path);
+    if (!os) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    JsonWriter w(os);
+    w.begin_object();
+    w.member("figure", "fig8_speedup")
+        .member("dt", dt)
+        .member("nsteps", nsteps);
+    w.key("setups").begin_array();
+    for (const auto& result : results) {
+      const int ps = result.setup->p_space;
+      w.begin_object()
+          .member("name", result.setup->name)
+          .member("n", result.setup->n_particles)
+          .member("p_space", ps)
+          .member("rhs_ratio", result.rhs_ratio)
+          .member("alpha", result.alpha)
+          .member("t_serial_s", result.t_serial);
+      w.key("runs").begin_array();
+      for (const auto& run : result.runs) {
+        const int ranks = run.p_time * ps;
+        const auto& reg = *run.registry;
+        w.begin_object()
+            .member("p_time", run.p_time)
+            .member("ranks", ranks)
+            .member("t_pfasst_s", run.t_pfasst)
+            .member("speedup", run.speedup)
+            .member("theory", run.theory)
+            .member("bound", run.bound)
+            .member("efficiency", run.speedup / run.p_time);
+        // Sec. IV-B alpha straight from the instrumented sweeps: mean
+        // coarse-sweep time over mean fine-sweep time.
+        const auto fine = reg.span_total("pfasst.sweep.fine");
+        const auto coarse = reg.span_total("pfasst.sweep.coarse");
+        if (fine.count > 0 && coarse.count > 0) {
+          w.member("alpha_from_sweep_spans",
+                   (coarse.total / static_cast<double>(coarse.count)) /
+                       (fine.total / static_cast<double>(fine.count)));
+        }
+        write_phases(w, reg, ranks, ps);
+        w.key("counters").begin_object();
+        for (const char* name :
+             {"pfasst.forward_sends", "vortex.rhs.evaluations",
+              "tree.eval.near", "tree.eval.far", "mpsim.p2p.bytes_sent",
+              "mpsim.p2p.messages", "mpsim.collective.bytes"}) {
+          w.key(name).begin_object();
+          w.member("total", reg.counter_total(name));
+          w.key("per_rank").begin_array();
+          for (int r = 0; r < ranks; ++r) w.value(reg.counter_value(r, name));
+          w.end_array();
+          w.end_object();
+        }
+        w.end_object();
+        w.end_object();
+      }
+      w.end_array();
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    os << '\n';
+    std::printf("wrote %s\n", json_path.c_str());
+
+    // Chrome trace of the widest run of the last setup.
+    if (!results.empty() && !results.back().runs.empty()) {
+      std::string base = json_path;
+      if (base.size() > 5 && base.compare(base.size() - 5, 5, ".json") == 0)
+        base.resize(base.size() - 5);
+      const std::string trace_path = base + ".trace.json";
+      const auto& widest = results.back().runs.back();
+      if (widest.registry->write_chrome_trace(trace_path)) {
+        std::printf("wrote %s (PFASST P_T = %d; load in Perfetto or "
+                    "chrome://tracing)\n",
+                    trace_path.c_str(), widest.p_time);
+      } else {
+        std::fprintf(stderr, "cannot write %s\n", trace_path.c_str());
+        return 1;
+      }
+    }
+  }
   return 0;
 }

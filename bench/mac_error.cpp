@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "common.hpp"
+#include "obs/obs.hpp"
 #include "vortex/rhs_direct.hpp"
 #include "vortex/rhs_tree.hpp"
 #include "vortex/setup.hpp"
@@ -22,7 +23,7 @@ int main(int argc, char** argv) {
       "kernel");
 
   vortex::SheetConfig config;
-  config.n_particles = static_cast<std::size_t>(cli.integer("n"));
+  config.n_particles = cli.get<std::size_t>("n");
   const ode::State u = vortex::spherical_vortex_sheet(config);
   const kernels::AlgebraicKernel kernel(config.kernel_order, config.sigma());
 
@@ -34,17 +35,19 @@ int main(int argc, char** argv) {
                "work vs direct"});
   const double n = static_cast<double>(config.n_particles);
   for (double theta : {0.2, 0.3, 0.45, 0.6, 0.8, 1.0}) {
-    vortex::TreeRhs rhs(kernel, {.theta = theta});
+    obs::Registry reg;
+    vortex::TreeRhs rhs(kernel, {.theta = theta, .obs = reg.scope(0)});
     ode::State f(u.size());
     rhs(0.0, u, f);
     const double err = stnb::bench::rel_max_position_error(f, f_ref);
-    const auto& c = rhs.counters();
+    const auto near = reg.counter_total("tree.eval.near");
+    const auto far = reg.counter_total("tree.eval.far");
     table.begin_row()
         .cell(theta, 2)
         .cell_sci(err)
-        .cell(static_cast<double>(c.near) / n, 1)
-        .cell(static_cast<double>(c.far) / n, 1)
-        .cell(static_cast<double>(c.near + 3 * c.far) / (n * (n - 1)), 4);
+        .cell(static_cast<double>(near) / n, 1)
+        .cell(static_cast<double>(far) / n, 1)
+        .cell(static_cast<double>(near + 3 * far) / (n * (n - 1)), 4);
   }
   table.print("force error and interaction counts vs theta");
   std::printf("expected: error ~ theta^3 (quadrupole truncation); work "

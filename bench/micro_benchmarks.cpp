@@ -4,6 +4,10 @@
 // t_tree_node) — measure them on your host to recalibrate CostModel.
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
+#include <string>
+#include <vector>
+
 #include "kernels/algebraic.hpp"
 #include "support/rng.hpp"
 #include "tree/evaluate.hpp"
@@ -88,20 +92,49 @@ void BM_MacTraversalPerParticle(benchmark::State& state) {
   const auto ps = cloud(20000);
   tree::Octree octree(ps, {{0, 0, 0}, 1.0});
   const kernels::AlgebraicKernel kernel(kernels::AlgebraicOrder::k6, 0.01);
-  tree::EvalCounters counters;
+  std::uint64_t interactions = 0;
   std::size_t i = 0;
   for (auto _ : state) {
     const auto& target = octree.particles()[i++ % 20000];
-    auto s = tree::sample_vortex(octree, target.x, target.id, theta, kernel,
-                                 counters);
+    auto s = tree::sample_vortex(octree, target.x, target.id, theta, kernel);
+    interactions += s.near + s.far;
     benchmark::DoNotOptimize(s);
   }
   state.counters["interactions/particle"] = benchmark::Counter(
-      static_cast<double>(counters.near + counters.far) /
+      static_cast<double>(interactions) /
       static_cast<double>(state.iterations()));
 }
 BENCHMARK(BM_MacTraversalPerParticle)->Arg(3)->Arg(6)->Arg(9);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main: `--json[=]PATH` is translated into google-benchmark's
+// machine-readable output flags, so all bench binaries share one
+// structured-output convention.
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv, argv + argc);
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    std::string path;
+    if (args[i].rfind("--json=", 0) == 0) {
+      path = args[i].substr(7);
+      args.erase(args.begin() + i);
+    } else if (args[i] == "--json" && i + 1 < args.size()) {
+      path = args[i + 1];
+      args.erase(args.begin() + i, args.begin() + i + 2);
+    } else {
+      continue;
+    }
+    args.push_back("--benchmark_out=" + path);
+    args.push_back("--benchmark_out_format=json");
+    break;
+  }
+  std::vector<char*> cargs;
+  cargs.reserve(args.size());
+  for (auto& a : args) cargs.push_back(a.data());
+  int cargc = static_cast<int>(cargs.size());
+  benchmark::Initialize(&cargc, cargs.data());
+  if (benchmark::ReportUnrecognizedArguments(cargc, cargs.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -29,15 +29,15 @@ int main(int argc, char** argv) {
       "the ablation behind the paper's choice of PFASST (Sec. III-B4)");
 
   vortex::SheetConfig config;
-  config.n_particles = static_cast<std::size_t>(cli.integer("n"));
+  config.n_particles = cli.get<std::size_t>("n");
   // Pin sigma to the paper's physical core radius so the bench-scale
   // problem has nontrivial dynamics (see bench/fig7a_sdc_accuracy.cpp).
   config.sigma_over_h =
       18.53 * std::sqrt(static_cast<double>(config.n_particles) / 1e4);
   const ode::State u0 = vortex::spherical_vortex_sheet(config);
   const kernels::AlgebraicKernel kernel(config.kernel_order, config.sigma());
-  const int pt = static_cast<int>(cli.integer("pt"));
-  const double tol = cli.num("tol");
+  const int pt = cli.get<int>("pt");
+  const double tol = cli.get<double>("tol");
   const double dt = 0.5;
 
   // Serial fine reference: converged SDC on 3 Lobatto nodes.

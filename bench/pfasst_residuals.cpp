@@ -59,11 +59,11 @@ int main(int argc, char** argv) {
       "(MAC coarsening); convergence must be preserved");
 
   vortex::SheetConfig config;
-  config.n_particles = static_cast<std::size_t>(cli.integer("n"));
+  config.n_particles = cli.get<std::size_t>("n");
   const ode::State u0 = vortex::spherical_vortex_sheet(config);
   const kernels::AlgebraicKernel kernel(config.kernel_order, config.sigma());
-  const double dt = cli.num("dt");
-  const int max_pt = static_cast<int>(cli.integer("max-pt"));
+  const double dt = cli.get<double>("dt");
+  const int max_pt = cli.get<int>("max-pt");
 
   for (int pt = 2; pt <= max_pt; pt *= 4) {
     const auto same = run_residuals(u0, kernel, pt, 0.3, dt, pt);

@@ -8,6 +8,7 @@
 
 #include "common.hpp"
 #include "mpsim/costmodel.hpp"
+#include "obs/obs.hpp"
 #include "vortex/rhs_tree.hpp"
 #include "vortex/setup.hpp"
 
@@ -15,10 +16,12 @@ using namespace stnb;
 
 namespace {
 
-double modeled_cost(const tree::EvalCounters& c,
-                    const mpsim::CostModel& machine) {
-  return static_cast<double>(c.near) * machine.t_near_interaction +
-         static_cast<double>(c.far) * machine.t_far_interaction;
+/// Modeled evaluation cost from the obs counters of one TreeRhs instance.
+double modeled_cost(const obs::Registry& reg, const mpsim::CostModel& machine) {
+  return static_cast<double>(reg.counter_total("tree.eval.near")) *
+             machine.t_near_interaction +
+         static_cast<double>(reg.counter_total("tree.eval.far")) *
+             machine.t_far_interaction;
 }
 
 }  // namespace
@@ -39,9 +42,8 @@ int main(int argc, char** argv) {
   const mpsim::CostModel machine;
   Table table({"setup", "N", "cost(0.3)[s]", "cost(0.6)[s]", "ratio",
                "alpha=2/(3r)"});
-  for (auto [name, n] :
-       {std::pair{"small", cli.integer("small-n")},
-        {"large", cli.integer("large-n")}}) {
+  for (auto [name, n] : {std::pair{"small", cli.get<long>("small-n")},
+                         {"large", cli.get<long>("large-n")}}) {
     vortex::SheetConfig config;
     config.n_particles = static_cast<std::size_t>(n);
     const ode::State u = vortex::spherical_vortex_sheet(config);
@@ -49,13 +51,15 @@ int main(int argc, char** argv) {
                                           config.sigma());
     ode::State f(u.size());
 
-    vortex::TreeRhs fine(kernel, {.theta = 0.3});
+    obs::Registry fine_reg;
+    vortex::TreeRhs fine(kernel, {.theta = 0.3, .obs = fine_reg.scope(0)});
     fine(0.0, u, f);
-    const double cost_fine = modeled_cost(fine.counters(), machine);
+    const double cost_fine = modeled_cost(fine_reg, machine);
 
-    vortex::TreeRhs coarse(kernel, {.theta = 0.6});
+    obs::Registry coarse_reg;
+    vortex::TreeRhs coarse(kernel, {.theta = 0.6, .obs = coarse_reg.scope(0)});
     coarse(0.0, u, f);
-    const double cost_coarse = modeled_cost(coarse.counters(), machine);
+    const double cost_coarse = modeled_cost(coarse_reg, machine);
 
     const double ratio = cost_fine / cost_coarse;
     table.begin_row()
@@ -69,36 +73,41 @@ int main(int argc, char** argv) {
   table.print("theta coarsening cost ratio (cf. paper's 2.65 / 3.23)");
 
   // ---- Sec. V ablation: far-field splitting on the coarse propagator ----
-  const int refresh = static_cast<int>(cli.integer("farfield-refresh"));
+  const int refresh = cli.get<int>("farfield-refresh");
   Table ab({"variant", "evals", "near-ints", "far-ints", "cost[s]",
             "vs full"});
   vortex::SheetConfig config;
-  config.n_particles = static_cast<std::size_t>(cli.integer("small-n"));
+  config.n_particles = cli.get<std::size_t>("small-n");
   const ode::State u = vortex::spherical_vortex_sheet(config);
   const kernels::AlgebraicKernel kernel(config.kernel_order, config.sigma());
   ode::State f(u.size());
 
-  vortex::TreeRhs full(kernel, {.theta = 0.6});
+  obs::Registry full_reg;
+  vortex::TreeRhs full(kernel, {.theta = 0.6, .obs = full_reg.scope(0)});
   for (int i = 0; i < refresh; ++i) full(0.0, u, f);
-  const double cost_full = modeled_cost(full.counters(), machine);
+  const double cost_full = modeled_cost(full_reg, machine);
   ab.begin_row()
       .cell(std::string("full (refresh=1)"))
-      .cell(static_cast<long long>(full.evaluation_count()))
-      .cell(static_cast<long long>(full.counters().near))
-      .cell(static_cast<long long>(full.counters().far))
+      .cell(static_cast<long long>(
+          full_reg.counter_total("vortex.rhs.evaluations")))
+      .cell(static_cast<long long>(full_reg.counter_total("tree.eval.near")))
+      .cell(static_cast<long long>(full_reg.counter_total("tree.eval.far")))
       .cell_sci(cost_full)
       .cell(1.0, 2);
 
-  vortex::TreeRhs cached(kernel,
-                         {.theta = 0.6, .farfield_refresh = refresh});
+  obs::Registry cached_reg;
+  vortex::TreeRhs cached(kernel, {.theta = 0.6,
+                                  .farfield_refresh = refresh,
+                                  .obs = cached_reg.scope(0)});
   for (int i = 0; i < refresh; ++i) cached(0.0, u, f);
-  const double cost_cached = modeled_cost(cached.counters(), machine);
+  const double cost_cached = modeled_cost(cached_reg, machine);
   ab.begin_row()
       .cell(std::string("far-field cache (refresh=") +
             std::to_string(refresh) + ")")
-      .cell(static_cast<long long>(cached.evaluation_count()))
-      .cell(static_cast<long long>(cached.counters().near))
-      .cell(static_cast<long long>(cached.counters().far))
+      .cell(static_cast<long long>(
+          cached_reg.counter_total("vortex.rhs.evaluations")))
+      .cell(static_cast<long long>(cached_reg.counter_total("tree.eval.near")))
+      .cell(static_cast<long long>(cached_reg.counter_total("tree.eval.far")))
       .cell_sci(cost_cached)
       .cell(cost_cached / cost_full, 2);
   ab.print("Sec. V ablation — proximity-split coarse propagator");

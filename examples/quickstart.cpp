@@ -5,6 +5,7 @@
 //   ./examples/quickstart [--n 500] [--dt 0.5] [--steps 8]
 #include <cstdio>
 
+#include "obs/obs.hpp"
 #include "ode/nodes.hpp"
 #include "ode/sdc.hpp"
 #include "support/cli.hpp"
@@ -25,29 +26,32 @@ int main(int argc, char** argv) {
 
   // 1. Initial condition: the paper's spherical vortex sheet (Sec. II).
   vortex::SheetConfig config;
-  config.n_particles = static_cast<std::size_t>(cli.integer("n"));
+  config.n_particles = cli.get<std::size_t>("n");
   ode::State u = vortex::spherical_vortex_sheet(config);
   std::printf("spherical vortex sheet: N = %zu, h = %.4f, sigma = %.4f\n",
               config.n_particles, config.h(), config.sigma());
 
   // 2. Force evaluation: Barnes-Hut tree with the 6th-order algebraic
-  //    kernel (theta controls the speed/accuracy trade-off).
+  //    kernel (theta controls the speed/accuracy trade-off). The obs
+  //    registry collects evaluation/interaction counters as we go.
   const kernels::AlgebraicKernel kernel(config.kernel_order, config.sigma());
-  vortex::TreeRhs rhs(kernel, {.theta = cli.num("theta")});
+  obs::Registry registry;
+  vortex::TreeRhs rhs(kernel, {.theta = cli.get<double>("theta"),
+                               .obs = registry.scope(0)});
 
   // 3. Time integration: SDC on 3 Gauss-Lobatto nodes.
   const auto before = vortex::compute_invariants(u);
   ode::SdcSweeper sweeper(
       ode::collocation_nodes(ode::NodeType::kGaussLobatto, 3), u.size());
   u = ode::sdc_integrate(sweeper, rhs.as_fn(), u,
-                         /*t0=*/0.0, cli.num("dt"),
-                         static_cast<int>(cli.integer("steps")),
-                         static_cast<int>(cli.integer("sweeps")));
+                         /*t0=*/0.0, cli.get<double>("dt"),
+                         cli.get<int>("steps"), cli.get<int>("sweeps"));
 
   // 4. Diagnostics: inviscid invariants should be conserved.
   const auto after = vortex::compute_invariants(u);
-  std::printf("integrated to T = %.2f with SDC(%ld)\n",
-              cli.num("dt") * cli.integer("steps"), cli.integer("sweeps"));
+  std::printf("integrated to T = %.2f with SDC(%d)\n",
+              cli.get<double>("dt") * cli.get<int>("steps"),
+              cli.get<int>("sweeps"));
   std::printf("  linear impulse  before (%.5f, %.5f, %.5f)\n",
               before.linear_impulse.x, before.linear_impulse.y,
               before.linear_impulse.z);
@@ -57,8 +61,11 @@ int main(int argc, char** argv) {
   std::printf("  |total vorticity| %.2e -> %.2e (zero up to lattice error)\n",
               norm(before.total_vorticity), norm(after.total_vorticity));
   std::printf("  tree evaluations: %llu (near %llu / far %llu interactions)\n",
-              static_cast<unsigned long long>(rhs.evaluation_count()),
-              static_cast<unsigned long long>(rhs.counters().near),
-              static_cast<unsigned long long>(rhs.counters().far));
+              static_cast<unsigned long long>(
+                  registry.counter_total("vortex.rhs.evaluations")),
+              static_cast<unsigned long long>(
+                  registry.counter_total("tree.eval.near")),
+              static_cast<unsigned long long>(
+                  registry.counter_total("tree.eval.far")));
   return 0;
 }

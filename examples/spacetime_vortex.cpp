@@ -4,11 +4,20 @@
 // with MAC coarsening on the coarse level. Prints per-iteration residuals
 // and the virtual-time speedup over serial SDC(4).
 //
+// With --trace PATH the PFASST run additionally dumps a Chrome
+// trace-event file (one track per simulated rank — open it in Perfetto or
+// chrome://tracing) and prints the top per-phase virtual-time totals.
+//
 //   ./examples/spacetime_vortex [--pt 4] [--ps 2] [--n 1200]
+//                               [--trace spacetime.trace.json]
+#include <algorithm>
 #include <cstdio>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "mpsim/comm.hpp"
+#include "obs/obs.hpp"
 #include "ode/nodes.hpp"
 #include "ode/sdc.hpp"
 #include "pfasst/controller.hpp"
@@ -26,13 +35,15 @@ int main(int argc, char** argv) {
   cli.add("n", "1200", "total particles");
   cli.add("dt", "0.5", "time step");
   cli.add("iterations", "2", "PFASST iterations");
+  cli.add("trace", "", "write a Chrome trace of the PFASST run here");
   if (!cli.parse(argc, argv)) return 1;
 
-  const int pt = static_cast<int>(cli.integer("pt"));
-  const int ps = static_cast<int>(cli.integer("ps"));
-  const auto n = static_cast<std::size_t>(cli.integer("n"));
-  const double dt = cli.num("dt");
-  const int iterations = static_cast<int>(cli.integer("iterations"));
+  const int pt = cli.get<int>("pt");
+  const int ps = cli.get<int>("ps");
+  const auto n = cli.get<std::size_t>("n");
+  const double dt = cli.get<double>("dt");
+  const int iterations = cli.get<int>("iterations");
+  const std::string trace_path = cli.get<std::string>("trace");
 
   vortex::SheetConfig config;
   config.n_particles = n;
@@ -61,13 +72,16 @@ int main(int argc, char** argv) {
       ode::SdcSweeper sweeper(
           ode::collocation_nodes(ode::NodeType::kGaussLobatto, 3), u.size());
       ode::sdc_integrate(sweeper, rhs.as_fn(), u, 0.0, dt, pt, 4);
-      const double t = comm.allreduce_max(comm.clock().now());
+      const double t = comm.allreduce(comm.clock().now(),
+                                      mpsim::ReduceOp::kMax);
       if (comm.rank() == 0) t_serial = t;
     });
   }
 
   double t_parallel = 0.0;
+  obs::Registry registry;
   mpsim::Runtime rt;
+  rt.set_registry(&registry);
   rt.run(pt * ps, [&](mpsim::Comm& world) {
     const int time_slice = world.rank() / ps;
     const int space_rank = world.rank() % ps;
@@ -109,12 +123,37 @@ int main(int argc, char** argv) {
         }
       }
     }
-    const double t = world.allreduce_max(world.clock().now());
+    const double t = world.allreduce(world.clock().now(),
+                                     mpsim::ReduceOp::kMax);
     if (world.rank() == 0) t_parallel = t;
   });
 
   std::printf("virtual time: serial SDC(4) = %.2f s, PFASST = %.2f s -> "
               "speedup %.2f on %dx more cores\n",
               t_serial, t_parallel, t_serial / t_parallel, pt);
+
+  if (!trace_path.empty()) {
+    if (!registry.write_chrome_trace(trace_path)) {
+      std::fprintf(stderr, "cannot write %s\n", trace_path.c_str());
+      return 1;
+    }
+    std::printf("wrote %s (open in Perfetto or chrome://tracing; one track "
+                "per simulated rank)\n",
+                trace_path.c_str());
+    // Top phases by total virtual time across all ranks.
+    std::vector<std::pair<double, std::string>> totals;
+    for (const auto& name : registry.span_names()) {
+      const auto stat = registry.span_total(name);
+      totals.emplace_back(stat.total, name);
+    }
+    std::sort(totals.rbegin(), totals.rend());
+    std::printf("top phases by total virtual time (all ranks):\n");
+    for (std::size_t i = 0; i < totals.size() && i < 6; ++i) {
+      const auto stat = registry.span_total(totals[i].second);
+      std::printf("  %-22s %10.3f s  (%llu spans)\n",
+                  totals[i].second.c_str(), totals[i].first,
+                  static_cast<unsigned long long>(stat.count));
+    }
+  }
   return 0;
 }

@@ -7,6 +7,7 @@
 #include <cmath>
 #include <cstdio>
 
+#include "obs/obs.hpp"
 #include "support/cli.hpp"
 #include "support/table.hpp"
 #include "vortex/rhs_direct.hpp"
@@ -22,7 +23,7 @@ int main(int argc, char** argv) {
   if (!cli.parse(argc, argv)) return 1;
 
   vortex::SheetConfig config;
-  config.n_particles = static_cast<std::size_t>(cli.integer("n"));
+  config.n_particles = cli.get<std::size_t>("n");
   const ode::State u = vortex::spherical_vortex_sheet(config);
   const kernels::AlgebraicKernel kernel(config.kernel_order, config.sigma());
 
@@ -39,19 +40,21 @@ int main(int argc, char** argv) {
   const double direct_work =
       static_cast<double>(config.n_particles) * (config.n_particles - 1);
   for (double theta : {0.0, 0.3, 0.6, 0.9}) {
-    vortex::TreeRhs rhs(kernel, {.theta = theta});
+    obs::Registry registry;
+    vortex::TreeRhs rhs(kernel, {.theta = theta, .obs = registry.scope(0)});
     ode::State f(u.size());
     rhs(0.0, u, f);
     double err = 0.0;
     for (std::size_t p = 0; p < config.n_particles; ++p)
       err = std::max(err, norm(vortex::position(f, p) -
                                vortex::position(f_ref, p)));
-    const auto& c = rhs.counters();
+    const auto near = registry.counter_total("tree.eval.near");
+    const auto far = registry.counter_total("tree.eval.far");
     table.begin_row()
         .cell(theta, 2)
         .cell_sci(err / v_scale)
-        .cell(static_cast<long long>(c.near + c.far))
-        .cell(direct_work / static_cast<double>(c.near + 3 * c.far), 1);
+        .cell(static_cast<long long>(near + far))
+        .cell(direct_work / static_cast<double>(near + 3 * far), 1);
   }
   table.print("theta sweep (theta = 0 reproduces direct summation)");
   std::printf("PFASST uses theta = 0.3 (fine) / 0.6 (coarse): the coarse "

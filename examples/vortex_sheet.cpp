@@ -51,25 +51,26 @@ int main(int argc, char** argv) {
   if (!cli.parse(argc, argv)) return 1;
 
   vortex::SheetConfig config;
-  config.n_particles = static_cast<std::size_t>(cli.integer("n"));
+  config.n_particles = cli.get<std::size_t>("n");
   ode::State u = vortex::spherical_vortex_sheet(config);
   const kernels::AlgebraicKernel kernel(config.kernel_order, config.sigma());
-  vortex::TreeRhs rhs(kernel, {.theta = cli.num("theta")});
+  vortex::TreeRhs rhs(kernel, {.theta = cli.get<double>("theta")});
 
-  const double dt = cli.num("dt");
-  const int steps = static_cast<int>(cli.num("tend") / dt);
+  const double dt = cli.get<double>("dt");
+  const int steps = static_cast<int>(cli.get<double>("tend") / dt);
   ode::RungeKutta rk(ode::ButcherTableau::heun2(), u.size());
   ode::State f(u.size());
 
   std::printf("spherical vortex sheet, N = %zu, RK2, dt = %g, T = %g, "
               "6th-order kernel, sigma = %.4f (= 18.53 h)\n",
-              config.n_particles, dt, cli.num("tend"), config.sigma());
+              config.n_particles, dt, cli.get<double>("tend"),
+              config.sigma());
 
   for (int step = 0; step <= steps; ++step) {
     const double t = step * dt;
     if (step == 1 || step == steps || step == 0) {
       rhs(t, u, f);
-      write_snapshot(u, f, t, cli.str("prefix"));
+      write_snapshot(u, f, t, cli.get<std::string>("prefix"));
       const auto inv = vortex::compute_invariants(u);
       std::printf("  t = %5.1f: I_z = %.5f, mean roll-up speed <= %.4f\n", t,
                   inv.linear_impulse.z, vortex::max_speed(f));

@@ -29,6 +29,8 @@ struct CommImpl {
   int size = 0;
   CostModel model;
   std::vector<VirtualClock*> clocks;  // per local rank, owned by Runtime
+  std::vector<obs::Recorder*> recorders;  // per local rank, owned by Registry
+                                          // (nullptr = instrumentation off)
   std::vector<std::unique_ptr<Mailbox>> mailboxes;
 
   // Collective rendezvous (reusable two-phase barrier).
@@ -48,6 +50,7 @@ struct CommImpl {
       split_published;
 
   explicit CommImpl(int n, CostModel m) : size(n), model(m) {
+    recorders.assign(n, nullptr);
     mailboxes.reserve(n);
     for (int i = 0; i < n; ++i) mailboxes.push_back(std::make_unique<Mailbox>());
     inputs.resize(n);
@@ -106,10 +109,18 @@ VirtualClock& Comm::clock() { return *impl_->clocks[rank_]; }
 
 const CostModel& Comm::cost() const { return impl_->model; }
 
+obs::Scope Comm::obs_scope() const {
+  return obs::Scope(impl_ != nullptr ? impl_->recorders[rank_] : nullptr);
+}
+
 void Comm::send_bytes(int dest, int tag, const void* data,
                       std::size_t bytes) {
   if (dest < 0 || dest >= impl_->size)
     throw std::out_of_range("send: bad destination rank");
+  const obs::Scope scope = obs_scope();
+  obs::Span span = scope.span("mpsim.send");
+  scope.add("mpsim.p2p.messages");
+  scope.add("mpsim.p2p.bytes_sent", bytes);
   Message msg;
   msg.payload.resize(bytes);
   if (bytes > 0) std::memcpy(msg.payload.data(), data, bytes);
@@ -127,6 +138,9 @@ void Comm::send_bytes(int dest, int tag, const void* data,
 std::vector<std::byte> Comm::recv_bytes(int source, int tag) {
   if (source < 0 || source >= impl_->size)
     throw std::out_of_range("recv: bad source rank");
+  // The recv span covers matching + the causal clock merge, so its width
+  // is this rank's modeled wait for the message.
+  obs::Span span = obs_scope().span("mpsim.recv");
   Mailbox& box = *impl_->mailboxes[rank_];
   std::unique_lock lock(box.mu);
   auto& queue = box.queues[{source, tag}];
@@ -135,10 +149,12 @@ std::vector<std::byte> Comm::recv_bytes(int source, int tag) {
   queue.pop_front();
   lock.unlock();
   clock().merge(msg.send_time + impl_->model.p2p(msg.payload.size()));
+  obs_scope().add("mpsim.p2p.bytes_received", msg.payload.size());
   return std::move(msg.payload);
 }
 
 void Comm::barrier() {
+  obs::Span span = obs_scope().span("mpsim.barrier");
   std::vector<std::byte> out;
   impl_->collective(
       rank_, {},
@@ -147,6 +163,9 @@ void Comm::barrier() {
 
 std::vector<std::byte> Comm::allgatherv_bytes(
     const std::vector<std::byte>& mine, std::vector<std::size_t>& counts) {
+  const obs::Scope scope = obs_scope();
+  obs::Span span = scope.span("mpsim.allgatherv");
+  scope.add("mpsim.collective.bytes", mine.size());
   const int n = impl_->size;
   std::vector<std::byte> out;
   impl_->collective(
@@ -175,54 +194,33 @@ std::vector<std::byte> Comm::allgatherv_bytes(
   return data;
 }
 
-namespace {
-
-double reduce_collective(CommImpl& impl, int rank, double value,
-                         double (*op)(double, double)) {
-  std::vector<std::byte> in(sizeof(double));
-  std::memcpy(in.data(), &value, sizeof(double));
+std::vector<std::byte> Comm::allreduce_bytes(
+    std::vector<std::byte> value,
+    const std::function<void(std::byte*, const std::byte*)>& combine) {
+  const obs::Scope scope = obs_scope();
+  obs::Span span = scope.span("mpsim.allreduce");
+  scope.add("mpsim.collective.bytes", value.size());
   std::vector<std::byte> out;
-  impl.collective(
-      rank, std::move(in),
-      [op](std::vector<std::vector<std::byte>>& inputs,
-           std::vector<std::vector<std::byte>>& outputs) -> std::size_t {
-        double acc = 0.0;
-        bool first = true;
-        for (auto& i : inputs) {
-          double v;
-          std::memcpy(&v, i.data(), sizeof(double));
-          acc = first ? v : op(acc, v);
-          first = false;
-        }
-        std::vector<std::byte> bytes(sizeof(double));
-        std::memcpy(bytes.data(), &acc, sizeof(double));
-        for (auto& o : outputs) o = bytes;
-        return sizeof(double) * inputs.size();
+  impl_->collective(
+      rank_, std::move(value),
+      [&combine](std::vector<std::vector<std::byte>>& inputs,
+                 std::vector<std::vector<std::byte>>& outputs) -> std::size_t {
+        // Fold in rank order: acc starts as rank 0's value so the result
+        // is deterministic regardless of arrival order.
+        std::vector<std::byte> acc = inputs[0];
+        for (std::size_t i = 1; i < inputs.size(); ++i)
+          combine(acc.data(), inputs[i].data());
+        for (auto& o : outputs) o = acc;
+        return acc.size() * inputs.size();
       },
       out);
-  double result;
-  std::memcpy(&result, out.data(), sizeof(double));
-  return result;
-}
-
-}  // namespace
-
-double Comm::allreduce_sum(double value) {
-  return reduce_collective(*impl_, rank_, value,
-                           [](double a, double b) { return a + b; });
-}
-
-double Comm::allreduce_max(double value) {
-  return reduce_collective(*impl_, rank_, value,
-                           [](double a, double b) { return std::max(a, b); });
-}
-
-double Comm::allreduce_min(double value) {
-  return reduce_collective(*impl_, rank_, value,
-                           [](double a, double b) { return std::min(a, b); });
+  return out;
 }
 
 void Comm::broadcast_bytes(std::vector<std::byte>& bytes, int root) {
+  const obs::Scope scope = obs_scope();
+  obs::Span span = scope.span("mpsim.broadcast");
+  if (rank_ == root) scope.add("mpsim.collective.bytes", bytes.size());
   std::vector<std::byte> out;
   impl_->collective(
       rank_, bytes,
@@ -239,6 +237,10 @@ std::vector<std::vector<std::byte>> Comm::alltoallv_bytes(
     const std::vector<std::vector<std::byte>>& to_each) {
   if (static_cast<int>(to_each.size()) != impl_->size)
     throw std::invalid_argument("alltoallv: need one payload per rank");
+  const obs::Scope scope = obs_scope();
+  obs::Span span = scope.span("mpsim.alltoallv");
+  for (const auto& payload : to_each)
+    scope.add("mpsim.collective.bytes", payload.size());
   // Flatten with a (count per destination) header.
   std::vector<std::byte> flat;
   for (const auto& payload : to_each) {
@@ -298,6 +300,7 @@ std::vector<std::vector<std::byte>> Comm::alltoallv_bytes(
 }
 
 Comm Comm::split(int color, int key) {
+  obs::Span span = obs_scope().span("mpsim.split");
   // Gather (color, key, old rank) from everyone.
   struct Entry {
     int color, key, old_rank;
@@ -336,8 +339,13 @@ Comm Comm::split(int color, int key) {
   if (my_new_rank == 0) {
     child = std::make_shared<CommImpl>(static_cast<int>(group.size()),
                                        impl_->model);
-    for (std::size_t i = 0; i < group.size(); ++i)
+    child->recorders.clear();
+    for (std::size_t i = 0; i < group.size(); ++i) {
       child->clocks.push_back(impl_->clocks[group[i].old_rank]);
+      // Sub-communicator ranks keep reporting to their world-rank recorder,
+      // so a trace shows one track per simulated world rank.
+      child->recorders.push_back(impl_->recorders[group[i].old_rank]);
+    }
     {
       std::lock_guard lock(impl_->split_mu);
       impl_->split_published[map_key] = child;
@@ -358,6 +366,9 @@ std::vector<double> Runtime::run(
   std::vector<VirtualClock> clocks(n_ranks);
   auto world = std::make_shared<CommImpl>(n_ranks, model_);
   for (auto& c : clocks) world->clocks.push_back(&c);
+  if (registry_ != nullptr)
+    for (int r = 0; r < n_ranks; ++r)
+      world->recorders[r] = registry_->attach_rank(r, &clocks[r]);
 
   std::vector<std::thread> threads;
   std::vector<std::exception_ptr> errors(n_ranks);
@@ -373,6 +384,7 @@ std::vector<double> Runtime::run(
     });
   }
   for (auto& t : threads) t.join();
+  if (registry_ != nullptr) registry_->detach_clocks();
   for (auto& e : errors)
     if (e) std::rethrow_exception(e);
 

@@ -21,11 +21,17 @@
 
 #include "mpsim/clock.hpp"
 #include "mpsim/costmodel.hpp"
+#include "obs/obs.hpp"
 
 namespace stnb::mpsim {
 
 class Runtime;
 struct CommImpl;
+
+/// Reduction operator for Comm::allreduce. All operators route through the
+/// same collective cost-model path (one payload per rank, folded once by
+/// the last arriving rank).
+enum class ReduceOp { kSum, kMax, kMin };
 
 /// Lightweight value handle to a communicator; copyable, thread-compatible
 /// (each rank uses its own local-rank view via the owning thread).
@@ -38,6 +44,12 @@ class Comm {
 
   VirtualClock& clock();
   const CostModel& cost() const;
+
+  /// This rank's instrumentation handle (disabled unless a Registry was
+  /// attached to the Runtime). Spans opened through it record virtual
+  /// times from this rank's clock; `obs::Span s(comm, "tree.build")` is
+  /// the idiomatic per-phase form.
+  obs::Scope obs_scope() const;
 
   /// Advances this rank's clock by modeled compute time.
   void compute(double seconds) { clock().advance(seconds); }
@@ -83,9 +95,34 @@ class Comm {
     return out;
   }
 
-  double allreduce_sum(double value);
-  double allreduce_max(double value);
-  double allreduce_min(double value);
+  /// Reduction over all ranks; every rank receives the result. `T` must be
+  /// a trivially copyable arithmetic type.
+  template <typename T>
+  T allreduce(T value, ReduceOp op) {
+    static_assert(std::is_arithmetic_v<T>);
+    std::vector<std::byte> in(sizeof(T));
+    std::memcpy(in.data(), &value, sizeof(T));
+    const auto out = allreduce_bytes(
+        std::move(in), [op](std::byte* acc_bytes, const std::byte* in_bytes) {
+          T acc, v;
+          std::memcpy(&acc, acc_bytes, sizeof(T));
+          std::memcpy(&v, in_bytes, sizeof(T));
+          switch (op) {
+            case ReduceOp::kSum: acc = acc + v; break;
+            case ReduceOp::kMax: acc = acc < v ? v : acc; break;
+            case ReduceOp::kMin: acc = v < acc ? v : acc; break;
+          }
+          std::memcpy(acc_bytes, &acc, sizeof(T));
+        });
+    T result;
+    std::memcpy(&result, out.data(), sizeof(T));
+    return result;
+  }
+
+  // Thin legacy wrappers over allreduce().
+  double allreduce_sum(double value) { return allreduce(value, ReduceOp::kSum); }
+  double allreduce_max(double value) { return allreduce(value, ReduceOp::kMax); }
+  double allreduce_min(double value) { return allreduce(value, ReduceOp::kMin); }
 
   template <typename T>
   void broadcast(std::vector<T>& data, int root) {
@@ -116,6 +153,9 @@ class Comm {
   std::vector<std::byte> allgatherv_bytes(const std::vector<std::byte>& mine,
                                           std::vector<std::size_t>& counts);
   void broadcast_bytes(std::vector<std::byte>& bytes, int root);
+  std::vector<std::byte> allreduce_bytes(
+      std::vector<std::byte> value,
+      const std::function<void(std::byte*, const std::byte*)>& combine);
 
   std::shared_ptr<CommImpl> impl_;
   int rank_ = 0;
@@ -128,11 +168,22 @@ class Runtime {
  public:
   explicit Runtime(CostModel model = {}) : model_(model) {}
 
+  /// Attaches an observability registry: each rank gets a Recorder bound
+  /// to its virtual clock for the duration of run(), reachable from rank
+  /// bodies as comm.obs_scope(). Use a fresh Registry per run() when
+  /// exporting traces (clocks restart at 0 each run). Not owned; must
+  /// outlive run().
+  Runtime& set_registry(obs::Registry* registry) {
+    registry_ = registry;
+    return *this;
+  }
+
   std::vector<double> run(int n_ranks,
                           const std::function<void(Comm&)>& rank_main);
 
  private:
   CostModel model_;
+  obs::Registry* registry_ = nullptr;
 };
 
 }  // namespace stnb::mpsim

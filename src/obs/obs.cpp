@@ -1,0 +1,316 @@
+#include "obs/obs.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <set>
+
+#include "support/json.hpp"
+
+namespace stnb::obs {
+
+// ---- Span -------------------------------------------------------------------
+
+Span::Span(Recorder* recorder, std::string_view name)
+    : recorder_(recorder), name_(name) {
+  if (recorder_ != nullptr) begin_ = recorder_->now();
+}
+
+void Span::end() {
+  if (recorder_ == nullptr) return;
+  recorder_->record_span(name_, begin_, recorder_->now());
+  recorder_ = nullptr;
+}
+
+// ---- Recorder ---------------------------------------------------------------
+
+void Recorder::add(std::string_view name, std::uint64_t delta) {
+  std::lock_guard lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    counters_.emplace(std::string(name), delta);
+  } else {
+    it->second += delta;
+  }
+}
+
+void Recorder::gauge(std::string_view name, double value) {
+  std::lock_guard lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    gauges_.emplace(std::string(name), value);
+  } else {
+    it->second = value;
+  }
+}
+
+void Recorder::record_span(std::string_view name, double begin, double end) {
+  std::lock_guard lock(mu_);
+  events_.push_back({std::string(name), begin, end});
+}
+
+std::uint64_t Recorder::counter(std::string_view name) const {
+  std::lock_guard lock(mu_);
+  auto it = counters_.find(name);
+  return it != counters_.end() ? it->second : 0;
+}
+
+std::map<std::string, std::uint64_t> Recorder::counters() const {
+  std::lock_guard lock(mu_);
+  return {counters_.begin(), counters_.end()};
+}
+
+std::map<std::string, double> Recorder::gauges() const {
+  std::lock_guard lock(mu_);
+  return {gauges_.begin(), gauges_.end()};
+}
+
+std::vector<TraceEvent> Recorder::events() const {
+  std::lock_guard lock(mu_);
+  return events_;
+}
+
+// ---- Registry ---------------------------------------------------------------
+
+Recorder* Registry::recorder_locked(int rank) {
+  auto it = recorders_.find(rank);
+  if (it == recorders_.end())
+    it = recorders_.emplace(rank, std::make_unique<Recorder>(rank)).first;
+  return it->second.get();
+}
+
+Scope Registry::scope(int rank) {
+  std::lock_guard lock(mu_);
+  return Scope(recorder_locked(rank));
+}
+
+Recorder* Registry::attach_rank(int rank, const mpsim::VirtualClock* clock) {
+  std::lock_guard lock(mu_);
+  Recorder* rec = recorder_locked(rank);
+  rec->bind_clock(clock);
+  return rec;
+}
+
+void Registry::detach_clocks() {
+  std::lock_guard lock(mu_);
+  for (auto& [rank, rec] : recorders_) rec->bind_clock(nullptr);
+}
+
+std::vector<int> Registry::ranks() const {
+  std::lock_guard lock(mu_);
+  std::vector<int> out;
+  out.reserve(recorders_.size());
+  for (const auto& [rank, rec] : recorders_) out.push_back(rank);
+  return out;
+}
+
+std::vector<std::string> Registry::counter_names() const {
+  std::lock_guard lock(mu_);
+  std::set<std::string> names;
+  for (const auto& [rank, rec] : recorders_)
+    for (const auto& [name, v] : rec->counters()) names.insert(name);
+  return {names.begin(), names.end()};
+}
+
+std::vector<std::string> Registry::span_names() const {
+  std::lock_guard lock(mu_);
+  std::set<std::string> names;
+  for (const auto& [rank, rec] : recorders_)
+    for (const auto& ev : rec->events()) names.insert(ev.name);
+  return {names.begin(), names.end()};
+}
+
+std::uint64_t Registry::counter_value(int rank, std::string_view name) const {
+  std::lock_guard lock(mu_);
+  auto it = recorders_.find(rank);
+  return it != recorders_.end() ? it->second->counter(name) : 0;
+}
+
+std::uint64_t Registry::counter_total(std::string_view name) const {
+  std::lock_guard lock(mu_);
+  std::uint64_t total = 0;
+  for (const auto& [rank, rec] : recorders_) total += rec->counter(name);
+  return total;
+}
+
+SpanStat Registry::span_stat(int rank, std::string_view name) const {
+  std::lock_guard lock(mu_);
+  SpanStat stat;
+  auto it = recorders_.find(rank);
+  if (it == recorders_.end()) return stat;
+  for (const auto& ev : it->second->events()) {
+    if (ev.name != name) continue;
+    stat.total += ev.end - ev.begin;
+    ++stat.count;
+  }
+  return stat;
+}
+
+SpanStat Registry::span_total(std::string_view name) const {
+  SpanStat stat;
+  for (int rank : ranks()) {
+    const SpanStat s = span_stat(rank, name);
+    stat.total += s.total;
+    stat.count += s.count;
+  }
+  return stat;
+}
+
+void Registry::write_chrome_trace(std::ostream& os) const {
+  // Chrome trace-event format, "X" (complete) events, ts/dur in
+  // microseconds of *virtual* time. pid 0 = the simulated machine; one
+  // tid (track) per simulated rank.
+  JsonWriter w(os);
+  w.begin_object();
+  w.key("traceEvents").begin_array();
+  std::vector<int> rank_ids = ranks();
+  for (int rank : rank_ids) {
+    w.begin_object()
+        .member("name", "thread_name")
+        .member("ph", "M")
+        .member("pid", 0)
+        .member("tid", rank)
+        .key("args")
+        .begin_object()
+        .member("name", "rank " + std::to_string(rank))
+        .end_object()
+        .end_object();
+  }
+  for (int rank : rank_ids) {
+    std::vector<TraceEvent> events;
+    {
+      std::lock_guard lock(mu_);
+      events = recorders_.at(rank)->events();
+    }
+    // Events are appended at span *end*; emit them ordered by begin time
+    // so per-track timestamps are monotone. Longer spans first on ties so
+    // viewers nest children under parents.
+    std::stable_sort(events.begin(), events.end(),
+                     [](const TraceEvent& a, const TraceEvent& b) {
+                       if (a.begin != b.begin) return a.begin < b.begin;
+                       return (a.end - a.begin) > (b.end - b.begin);
+                     });
+    for (const auto& ev : events) {
+      w.begin_object()
+          .member("name", ev.name)
+          .member("ph", "X")
+          .member("ts", ev.begin * 1e6)
+          .member("dur", (ev.end - ev.begin) * 1e6)
+          .member("pid", 0)
+          .member("tid", rank)
+          .end_object();
+    }
+  }
+  w.end_array();
+  w.member("displayTimeUnit", "ms");
+  w.end_object();
+  os << '\n';
+}
+
+void Registry::write_metrics_json(std::ostream& os) const {
+  const std::vector<int> rank_ids = ranks();
+  JsonWriter w(os);
+  w.begin_object();
+  w.key("ranks").begin_array();
+  for (int rank : rank_ids) w.value(rank);
+  w.end_array();
+
+  w.key("counters").begin_object();
+  for (const auto& name : counter_names()) {
+    w.key(name).begin_object();
+    std::uint64_t total = 0;
+    w.key("per_rank").begin_array();
+    for (int rank : rank_ids) {
+      const std::uint64_t v = counter_value(rank, name);
+      total += v;
+      w.value(v);
+    }
+    w.end_array();
+    w.member("total", total);
+    w.end_object();
+  }
+  w.end_object();
+
+  w.key("spans").begin_object();
+  for (const auto& name : span_names()) {
+    w.key(name).begin_object();
+    SpanStat total;
+    std::vector<SpanStat> per_rank;
+    per_rank.reserve(rank_ids.size());
+    for (int rank : rank_ids) {
+      per_rank.push_back(span_stat(rank, name));
+      total.total += per_rank.back().total;
+      total.count += per_rank.back().count;
+    }
+    w.key("time_per_rank").begin_array();
+    for (const auto& s : per_rank) w.value(s.total);
+    w.end_array();
+    w.key("count_per_rank").begin_array();
+    for (const auto& s : per_rank) w.value(s.count);
+    w.end_array();
+    w.member("total_time", total.total);
+    w.member("total_count", total.count);
+    w.end_object();
+  }
+  w.end_object();
+
+  w.key("gauges").begin_object();
+  {
+    std::set<std::string> names;
+    std::lock_guard lock(mu_);
+    for (const auto& [rank, rec] : recorders_)
+      for (const auto& [name, v] : rec->gauges()) names.insert(name);
+    for (const auto& name : names) {
+      w.key(name).begin_array();
+      for (int rank : rank_ids) {
+        const auto gauges = recorders_.at(rank)->gauges();
+        auto it = gauges.find(name);
+        w.value(it != gauges.end() ? it->second : 0.0);
+      }
+      w.end_array();
+    }
+  }
+  w.end_object();
+  w.end_object();
+  os << '\n';
+}
+
+void Registry::write_metrics_csv(std::ostream& os) const {
+  os << "kind,name,rank,value,count\n";
+  const std::vector<int> rank_ids = ranks();
+  for (const auto& name : counter_names())
+    for (int rank : rank_ids)
+      os << "counter," << name << ',' << rank << ','
+         << counter_value(rank, name) << ",\n";
+  for (const auto& name : span_names())
+    for (int rank : rank_ids) {
+      const SpanStat s = span_stat(rank, name);
+      os << "span," << name << ',' << rank << ',' << s.total << ','
+         << s.count << '\n';
+    }
+}
+
+namespace {
+
+template <typename Fn>
+bool write_file(const std::string& path, Fn&& fn) {
+  std::ofstream os(path);
+  if (!os) return false;
+  fn(os);
+  return os.good();
+}
+
+}  // namespace
+
+bool Registry::write_chrome_trace(const std::string& path) const {
+  return write_file(path, [&](std::ostream& os) { write_chrome_trace(os); });
+}
+
+bool Registry::write_metrics_json(const std::string& path) const {
+  return write_file(path, [&](std::ostream& os) { write_metrics_json(os); });
+}
+
+bool Registry::write_metrics_csv(const std::string& path) const {
+  return write_file(path, [&](std::ostream& os) { write_metrics_csv(os); });
+}
+
+}  // namespace stnb::obs

@@ -1,0 +1,210 @@
+// Observability layer: virtual-clock tracing and unified instrumentation.
+//
+// Every subsystem reports through one interface — an `obs::Scope` handle —
+// instead of ad-hoc counter getters scattered across classes:
+//
+//   obs::Registry registry;                 // one per Runtime::run for traces
+//   runtime.set_registry(&registry);        // attaches a Recorder per rank
+//   ...
+//   obs::Span phase(comm, "tree.build");    // RAII span on the rank's
+//                                           // virtual clock (subsystem.phase)
+//   comm.obs_scope().add("tree.eval.near", n);   // monotonic counter
+//   comm.obs_scope().gauge("tree.local_particles", n);
+//   ...
+//   registry.write_chrome_trace(os);        // Perfetto-loadable trace, one
+//                                           // track (tid) per simulated rank
+//   registry.write_metrics_json(os);        // flat per-rank + total summary
+//
+// Span times are *virtual* seconds of the simulated machine (mpsim's
+// deterministic LogP cost model), so traces are bit-identical across runs
+// and hosts. A default-constructed Scope is disabled: every operation is a
+// cheap no-op, which is how instrumentation stays optional in serial code
+// paths (e.g. vortex::TreeRhs outside any Runtime).
+//
+// Threading contract: one Recorder per simulated rank. Spans must be
+// opened/closed by the rank's own thread; counters may additionally be
+// bumped from that rank's worker pool (all mutations take the recorder
+// mutex). The Registry itself is only mutated while ranks are parked
+// (attach at run start, aggregate after join).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "mpsim/clock.hpp"
+
+namespace stnb::obs {
+
+class Recorder;
+class Scope;
+
+/// One completed span on a rank's virtual timeline.
+struct TraceEvent {
+  std::string name;
+  double begin = 0.0;  // virtual seconds
+  double end = 0.0;
+};
+
+/// RAII span: records [construction, destruction) on the recorder's
+/// virtual clock under a `subsystem.phase` name. Move-only; `end()` closes
+/// early. Inert when created from a disabled Scope.
+class Span {
+ public:
+  Span() = default;
+  Span(Recorder* recorder, std::string_view name);
+
+  /// Convenience for the common `obs::Span phase(comm, "tree.build")`
+  /// pattern: any source exposing `obs_scope()` (e.g. mpsim::Comm) works.
+  template <typename Source,
+            typename = decltype(std::declval<Source&>().obs_scope())>
+  Span(Source& source, std::string_view name)
+      : Span(source.obs_scope().span(name)) {}
+
+  Span(Span&& o) noexcept { *this = std::move(o); }
+  Span& operator=(Span&& o) noexcept {
+    if (this != &o) {
+      end();
+      recorder_ = o.recorder_;
+      name_ = std::move(o.name_);
+      begin_ = o.begin_;
+      o.recorder_ = nullptr;
+    }
+    return *this;
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  ~Span() { end(); }
+
+  /// Closes the span now (idempotent).
+  void end();
+
+ private:
+  Recorder* recorder_ = nullptr;
+  std::string name_;
+  double begin_ = 0.0;
+};
+
+/// Per-rank recording sink. Owned by a Registry; bound to the rank's
+/// VirtualClock for the duration of a Runtime::run (times read 0.0 when no
+/// clock is bound, e.g. serial standalone use where only counters matter).
+class Recorder {
+ public:
+  explicit Recorder(int rank) : rank_(rank) {}
+
+  int rank() const { return rank_; }
+  void bind_clock(const mpsim::VirtualClock* clock) { clock_ = clock; }
+  double now() const { return clock_ != nullptr ? clock_->now() : 0.0; }
+
+  void add(std::string_view name, std::uint64_t delta);
+  void gauge(std::string_view name, double value);
+  void record_span(std::string_view name, double begin, double end);
+
+  std::uint64_t counter(std::string_view name) const;
+
+  // Snapshots (copy under lock; intended for post-run aggregation).
+  std::map<std::string, std::uint64_t> counters() const;
+  std::map<std::string, double> gauges() const;
+  std::vector<TraceEvent> events() const;
+
+ private:
+  const int rank_;
+  const mpsim::VirtualClock* clock_ = nullptr;  // not owned
+  mutable std::mutex mu_;
+  std::map<std::string, std::uint64_t, std::less<>> counters_;
+  std::map<std::string, double, std::less<>> gauges_;
+  std::vector<TraceEvent> events_;
+};
+
+/// Lightweight nullable handle to a Recorder — the single instrumentation
+/// interface passed through configs. Copyable; disabled by default.
+class Scope {
+ public:
+  Scope() = default;
+  explicit Scope(Recorder* recorder) : recorder_(recorder) {}
+
+  bool enabled() const { return recorder_ != nullptr; }
+
+  /// Opens a span; returns an inert Span when disabled.
+  Span span(std::string_view name) const {
+    return enabled() ? Span(recorder_, name) : Span();
+  }
+
+  /// Bumps a named monotonic counter.
+  void add(std::string_view name, std::uint64_t delta = 1) const {
+    if (enabled()) recorder_->add(name, delta);
+  }
+
+  /// Sets a named gauge (last write wins).
+  void gauge(std::string_view name, double value) const {
+    if (enabled()) recorder_->gauge(name, value);
+  }
+
+  /// Reads a counter back (0 when disabled or never written).
+  std::uint64_t counter(std::string_view name) const {
+    return enabled() ? recorder_->counter(name) : 0;
+  }
+
+  Recorder* recorder() const { return recorder_; }
+
+ private:
+  Recorder* recorder_ = nullptr;
+};
+
+/// Aggregated view of one span name on one rank.
+struct SpanStat {
+  double total = 0.0;        // summed virtual seconds
+  std::uint64_t count = 0;   // number of spans
+};
+
+/// Owns the per-rank recorders and aggregates them after a run into
+/// machine-readable exports: Chrome trace-event JSON (one track per
+/// simulated rank, loadable in Perfetto / chrome://tracing) and a flat
+/// metrics summary (JSON or CSV). Use one Registry per Runtime::run when
+/// exporting traces — virtual clocks restart at 0 each run, and reusing a
+/// registry would interleave timelines (counters, by contrast, accumulate
+/// harmlessly).
+class Registry {
+ public:
+  /// Returns the rank's scope, creating the recorder on first use (with no
+  /// clock bound — serial standalone usage).
+  Scope scope(int rank);
+
+  /// Creates (or rebinds) the rank's recorder to `clock`. Called by
+  /// mpsim::Runtime at run start.
+  Recorder* attach_rank(int rank, const mpsim::VirtualClock* clock);
+
+  /// Unbinds every recorder's clock (the clocks die with Runtime::run).
+  void detach_clocks();
+
+  std::vector<int> ranks() const;
+  std::vector<std::string> counter_names() const;
+  std::vector<std::string> span_names() const;
+
+  std::uint64_t counter_value(int rank, std::string_view name) const;
+  std::uint64_t counter_total(std::string_view name) const;
+  SpanStat span_stat(int rank, std::string_view name) const;
+  SpanStat span_total(std::string_view name) const;
+
+  // -- exports --------------------------------------------------------------
+  void write_chrome_trace(std::ostream& os) const;
+  void write_metrics_json(std::ostream& os) const;
+  void write_metrics_csv(std::ostream& os) const;
+  bool write_chrome_trace(const std::string& path) const;
+  bool write_metrics_json(const std::string& path) const;
+  bool write_metrics_csv(const std::string& path) const;
+
+ private:
+  Recorder* recorder_locked(int rank);
+
+  mutable std::mutex mu_;
+  std::map<int, std::unique_ptr<Recorder>> recorders_;
+};
+
+}  // namespace stnb::obs

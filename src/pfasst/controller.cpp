@@ -97,6 +97,8 @@ Result Pfasst::run(const ode::State& u0, double t0, double dt, int nsteps) {
 }
 
 void Pfasst::predictor(double t_slice, double dt) {
+  const obs::Scope scope = comm_.obs_scope();
+  obs::Span predictor_span = scope.span("pfasst.predictor");
   const int pt = comm_.size();
   const int rank = comm_.rank();
   auto& coarse = levels_.back();
@@ -115,10 +117,15 @@ void Pfasst::predictor(double t_slice, double dt) {
       sweeper.set_initial(u_in);
       refreshed = true;
     }
-    sweeper.sweep(t_slice, dt, coarse.config.rhs,
-                  /*refresh_left_f=*/refreshed);
-    if (rank < pt - 1)
+    {
+      obs::Span sweep_span = scope.span("pfasst.sweep.coarse");
+      sweeper.sweep(t_slice, dt, coarse.config.rhs,
+                    /*refresh_left_f=*/refreshed);
+    }
+    if (rank < pt - 1) {
+      scope.add("pfasst.forward_sends");
       comm_.send(rank + 1, kTagPredictor + j + 1, sweeper.end_value());
+    }
   }
 
   // Interpolate the provisional coarse solution up the hierarchy.
@@ -135,6 +142,7 @@ void Pfasst::predictor(double t_slice, double dt) {
 }
 
 void Pfasst::compute_fas(int lc, double dt) {
+  obs::Span span = comm_.obs_scope().span("pfasst.fas");
   // tau_C = restrict(I_F incl. tau_F) - I_C(F(restrict U_F)), node-to-node
   // (paper Eqs. (16)-(17); cumulative across levels through tau_F).
   auto& fine = *levels_[lc - 1].sweeper;
@@ -149,20 +157,29 @@ void Pfasst::compute_fas(int lc, double dt) {
 }
 
 void Pfasst::iteration(int k, double t_slice, double dt) {
+  const obs::Scope scope = comm_.obs_scope();
+  obs::Span iteration_span = scope.span("pfasst.iteration");
   const int num_levels = static_cast<int>(levels_.size());
   const int pt = comm_.size();
   const int rank = comm_.rank();
   const auto tag = [&](int level) { return kTagMain + k * num_levels + level; };
+  const auto sweep_name = [&](int level) {
+    return level == 0 ? "pfasst.sweep.fine" : "pfasst.sweep.coarse";
+  };
 
   // ---- down the V-cycle: sweep, send forward, restrict, FAS ----
   for (int l = 0; l < num_levels - 1; ++l) {
     auto& level = levels_[l];
     // F at node 0 is fresh here: the predictor / previous up-cycle ends
     // with evaluate_all after the last initial-value update.
-    for (int s = 0; s < level.config.sweeps; ++s)
+    for (int s = 0; s < level.config.sweeps; ++s) {
+      obs::Span sweep_span = scope.span(sweep_name(l));
       level.sweeper->sweep(t_slice, dt, level.config.rhs);
-    if (rank < pt - 1)
+    }
+    if (rank < pt - 1) {
+      scope.add("pfasst.forward_sends");
       comm_.send(rank + 1, tag(l), level.sweeper->end_value());
+    }
 
     auto& coarse = levels_[l + 1];
     std::vector<ode::State> fine_u(level.sweeper->num_nodes());
@@ -187,11 +204,15 @@ void Pfasst::iteration(int k, double t_slice, double dt) {
       level.sweeper->set_initial(u_in);
       refreshed = true;
     }
-    for (int s = 0; s < level.config.sweeps; ++s)
+    for (int s = 0; s < level.config.sweeps; ++s) {
+      obs::Span sweep_span = scope.span(sweep_name(num_levels - 1));
       level.sweeper->sweep(t_slice, dt, level.config.rhs,
                            /*refresh_left_f=*/refreshed && s == 0);
-    if (rank < pt - 1)
+    }
+    if (rank < pt - 1) {
+      scope.add("pfasst.forward_sends");
       comm_.send(rank + 1, tag(num_levels - 1), level.sweeper->end_value());
+    }
   }
 
   // ---- up the V-cycle: interpolate corrections, receive new initials ----
@@ -230,7 +251,10 @@ void Pfasst::iteration(int k, double t_slice, double dt) {
     // Interior levels sweep on the way up (Algorithm 1); the finest level
     // sweeps at the start of the next iteration. Forward sends happen in
     // the down-cycle only.
-    if (l > 0) level.sweeper->sweep(t_slice, dt, level.config.rhs);
+    if (l > 0) {
+      obs::Span sweep_span = scope.span(sweep_name(l));
+      level.sweeper->sweep(t_slice, dt, level.config.rhs);
+    }
   }
 }
 

@@ -5,6 +5,7 @@
 // default configuration.
 #pragma once
 
+#include <cstddef>
 #include <map>
 #include <string>
 #include <vector>
@@ -20,6 +21,12 @@ class Cli {
   /// Parses argv. On `--help` prints usage and returns false; on unknown
   /// flags prints an error + usage and returns false.
   bool parse(int argc, const char* const* argv);
+
+  /// Typed accessor: `cli.get<int>("ranks")`, `cli.get<double>("theta")`,
+  /// `cli.get<std::size_t>("particles")`, ... — no call-site casting.
+  /// Supported T: std::string, bool, double, and the integer widths below.
+  template <typename T>
+  T get(const std::string& name) const;
 
   std::string str(const std::string& name) const;
   double num(const std::string& name) const;
@@ -37,5 +44,30 @@ class Cli {
   std::map<std::string, std::string> values_;
   std::string program_;
 };
+
+template <>
+inline std::string Cli::get<std::string>(const std::string& name) const {
+  return str(name);
+}
+template <>
+inline bool Cli::get<bool>(const std::string& name) const {
+  return flag(name);
+}
+template <>
+inline double Cli::get<double>(const std::string& name) const {
+  return num(name);
+}
+template <>
+inline long Cli::get<long>(const std::string& name) const {
+  return integer(name);
+}
+template <>
+inline int Cli::get<int>(const std::string& name) const {
+  return static_cast<int>(integer(name));
+}
+template <>
+inline std::size_t Cli::get<std::size_t>(const std::string& name) const {
+  return static_cast<std::size_t>(integer(name));
+}
 
 }  // namespace stnb

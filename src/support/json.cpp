@@ -1,0 +1,111 @@
+#include "support/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace stnb {
+
+void JsonWriter::separator() {
+  if (stack_.empty()) return;
+  Frame& f = stack_.back();
+  if (f.pending_key) {
+    f.pending_key = false;
+    return;
+  }
+  if (f.items > 0) os_ << ',';
+  ++f.items;
+}
+
+void JsonWriter::write_escaped(std::string_view s) {
+  os_ << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': os_ << "\\\""; break;
+      case '\\': os_ << "\\\\"; break;
+      case '\n': os_ << "\\n"; break;
+      case '\r': os_ << "\\r"; break;
+      case '\t': os_ << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          os_ << buf;
+        } else {
+          os_ << c;
+        }
+    }
+  }
+  os_ << '"';
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  separator();
+  os_ << '{';
+  stack_.push_back({});
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  stack_.pop_back();
+  os_ << '}';
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  separator();
+  os_ << '[';
+  stack_.push_back({});
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  stack_.pop_back();
+  os_ << ']';
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view k) {
+  separator();
+  write_escaped(k);
+  os_ << ':';
+  stack_.back().pending_key = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view s) {
+  separator();
+  write_escaped(s);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  separator();
+  if (!std::isfinite(v)) {
+    os_ << "null";
+    return *this;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  os_ << buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  separator();
+  os_ << (v ? "true" : "false");
+  return *this;
+}
+
+JsonWriter& JsonWriter::write_int(long long v) {
+  separator();
+  os_ << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::write_uint(unsigned long long v) {
+  separator();
+  os_ << v;
+  return *this;
+}
+
+}  // namespace stnb

@@ -1,0 +1,65 @@
+// Minimal streaming JSON writer for machine-readable bench/metrics output.
+// Handles separators and string escaping; the caller provides structure
+// (begin_object/key/value/...). Numbers are emitted with enough digits to
+// round-trip doubles; non-finite values degrade to null (valid JSON).
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string_view>
+#include <type_traits>
+#include <vector>
+
+namespace stnb {
+
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& os) : os_(os) {}
+
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Object member key; must be followed by a value or begin_*.
+  JsonWriter& key(std::string_view k);
+
+  JsonWriter& value(std::string_view s);
+  JsonWriter& value(const char* s) { return value(std::string_view(s)); }
+  JsonWriter& value(double v);
+  JsonWriter& value(bool v);
+
+  /// Any non-bool integral type (signedness preserved).
+  template <typename T, std::enable_if_t<std::is_integral_v<T> &&
+                                             !std::is_same_v<T, bool>,
+                                         int> = 0>
+  JsonWriter& value(T v) {
+    if constexpr (std::is_signed_v<T>)
+      return write_int(static_cast<long long>(v));
+    else
+      return write_uint(static_cast<unsigned long long>(v));
+  }
+
+  /// key() + value() in one call.
+  template <typename T>
+  JsonWriter& member(std::string_view k, const T& v) {
+    key(k);
+    return value(v);
+  }
+
+ private:
+  struct Frame {
+    bool pending_key = false;  // a key was just written; next token is its value
+    int items = 0;
+  };
+
+  void separator();
+  void write_escaped(std::string_view s);
+  JsonWriter& write_int(long long v);
+  JsonWriter& write_uint(unsigned long long v);
+
+  std::ostream& os_;
+  std::vector<Frame> stack_;
+};
+
+}  // namespace stnb

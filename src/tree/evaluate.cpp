@@ -4,39 +4,37 @@ namespace stnb::tree {
 
 VortexSample sample_vortex(const Octree& tree, const Vec3& x,
                            std::uint32_t self_id, double theta,
-                           const kernels::AlgebraicKernel& kernel,
-                           EvalCounters& counters) {
+                           const kernels::AlgebraicKernel& kernel) {
   VortexSample out;
   tree.walk(
       x, theta,
       [&](const Node& node) {
         node.mp.evaluate_biot_savart(x, out.u, out.grad, &kernel);
-        ++counters.far;
+        ++out.far;
       },
       [&](const TreeParticle& p) {
         if (p.id == self_id) return;
         kernel.accumulate_velocity_and_gradient(x - p.x, p.a, out.u,
                                                 out.grad);
-        ++counters.near;
+        ++out.near;
       });
   return out;
 }
 
 CoulombSample sample_coulomb(const Octree& tree, const Vec3& x,
                              std::uint32_t self_id, double theta,
-                             const kernels::CoulombKernel& kernel,
-                             EvalCounters& counters) {
+                             const kernels::CoulombKernel& kernel) {
   CoulombSample out;
   tree.walk(
       x, theta,
       [&](const Node& node) {
         node.mp.evaluate_coulomb(x, out.phi, out.e);
-        ++counters.far;
+        ++out.far;
       },
       [&](const TreeParticle& p) {
         if (p.id == self_id) return;
         kernel.accumulate_field(x - p.x, p.q, out.phi, out.e);
-        ++counters.near;
+        ++out.near;
       });
   return out;
 }

@@ -1,6 +1,12 @@
 // Force/field evaluation through MAC traversal of an Octree. These are
 // the serial building blocks; the distributed solver (tree/parallel.hpp)
 // combines them with imported locally-essential data.
+//
+// Each sample returns its own near/far interaction tallies. They are part
+// of the result (not an optional side channel) because they drive the
+// virtual-time cost model and the Sec. IV-B alpha measurement; callers
+// that also want them in the observability layer forward them to an
+// obs::Scope (e.g. counters "tree.eval.near" / "tree.eval.far").
 #pragma once
 
 #include <cstdint>
@@ -11,22 +17,11 @@
 
 namespace stnb::tree {
 
-/// Interaction counters: the basis of both the virtual-time cost model and
-/// the Sec. IV-B alpha measurement (coarse/fine sweep cost ratio).
-struct EvalCounters {
-  std::uint64_t near = 0;  // particle-particle kernel evaluations
-  std::uint64_t far = 0;   // particle-multipole evaluations
-
-  EvalCounters& operator+=(const EvalCounters& o) {
-    near += o.near;
-    far += o.far;
-    return *this;
-  }
-};
-
 struct VortexSample {
   Vec3 u{};
   Mat3 grad{};
+  std::uint64_t near = 0;  // particle-particle kernel evaluations
+  std::uint64_t far = 0;   // particle-multipole evaluations
 };
 
 /// Velocity + velocity gradient at `x` induced by all tree particles
@@ -34,19 +29,19 @@ struct VortexSample {
 /// everything). theta = 0 reproduces direct summation exactly.
 VortexSample sample_vortex(const Octree& tree, const Vec3& x,
                            std::uint32_t self_id, double theta,
-                           const kernels::AlgebraicKernel& kernel,
-                           EvalCounters& counters);
+                           const kernels::AlgebraicKernel& kernel);
 
 struct CoulombSample {
   double phi = 0.0;
   Vec3 e{};
+  std::uint64_t near = 0;
+  std::uint64_t far = 0;
 };
 
 /// Potential + field at `x` from scalar charges (Plummer-softened near
 /// field, singular multipole far field).
 CoulombSample sample_coulomb(const Octree& tree, const Vec3& x,
                              std::uint32_t self_id, double theta,
-                             const kernels::CoulombKernel& kernel,
-                             EvalCounters& counters);
+                             const kernels::CoulombKernel& kernel);
 
 }  // namespace stnb::tree

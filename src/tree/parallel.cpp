@@ -82,9 +82,11 @@ ParallelTree::Exchanged ParallelTree::exchange(
   const int p_ranks = comm_.size();
   const int rank = comm_.rank();
   const auto& cost = comm_.cost();
+  const obs::Scope scope = comm_.obs_scope();
   Exchanged ex;
 
   // ---- phase 1+2: global domain + SFC repartition ------------------------
+  obs::Span domain_span = scope.span("tree.domain");
   const double t0 = comm_.clock().now();
   Vec3 lo{1e300, 1e300, 1e300}, hi{-1e300, -1e300, -1e300};
   for (const auto& p : local) {
@@ -93,8 +95,8 @@ ParallelTree::Exchanged ParallelTree::exchange(
   }
   Vec3 glo, ghi;
   for (int c = 0; c < 3; ++c) {
-    glo[c] = comm_.allreduce_min(lo[c]);
-    ghi[c] = comm_.allreduce_max(hi[c]);
+    glo[c] = comm_.allreduce(lo[c], mpsim::ReduceOp::kMin);
+    ghi[c] = comm_.allreduce(hi[c], mpsim::ReduceOp::kMax);
   }
   const Vec3 mid = 0.5 * (glo + ghi);
   double size = std::max(
@@ -158,8 +160,12 @@ ParallelTree::Exchanged ParallelTree::exchange(
   }
   timings.local_particles = partitioned.size();
   timings.domain = comm_.clock().now() - t0;
+  domain_span.end();
+  scope.gauge("tree.local_particles",
+              static_cast<double>(timings.local_particles));
 
   // ---- phase 3: local tree build -----------------------------------------
+  obs::Span build_span = scope.span("tree.build");
   const double t1 = comm_.clock().now();
   ex.tree = std::make_unique<Octree>(
       std::move(partitioned), domain,
@@ -167,8 +173,10 @@ ParallelTree::Exchanged ParallelTree::exchange(
   comm_.compute(static_cast<double>(ex.tree->nodes().size()) *
                 cost.t_tree_node);
   timings.tree_build = comm_.clock().now() - t1;
+  build_span.end();
 
   // ---- phase 4: branch exchange ------------------------------------------
+  obs::Span branch_span = scope.span("tree.branch_exchange");
   const double t2 = comm_.clock().now();
   struct BranchWire {
     std::uint64_t key;
@@ -195,8 +203,11 @@ ParallelTree::Exchanged ParallelTree::exchange(
   (void)global_root;  // diagnostics hook; forces flow through the LET
   comm_.compute(static_cast<double>(all_branches.size()) * cost.t_tree_node);
   timings.branch_exchange = comm_.clock().now() - t2;
+  branch_span.end();
+  scope.add("tree.branches", timings.branch_count);
 
   // ---- phase 5: locally-essential-tree exchange ---------------------------
+  obs::Span let_span = scope.span("tree.let_exchange");
   const double t3 = comm_.clock().now();
   std::vector<RankBox> boxes(p_ranks);
   {
@@ -248,6 +259,8 @@ ParallelTree::Exchanged ParallelTree::exchange(
       unpack_into(payload, ex.import_p);
   }
   timings.let_exchange = comm_.clock().now() - t3;
+  let_span.end();
+  scope.add("tree.let.sent", timings.let_sent);
   return ex;
 }
 
@@ -260,39 +273,43 @@ VortexForces ParallelTree::solve_vortex(
   const int p_ranks = comm_.size();
 
   // ---- traversal -----------------------------------------------------------
+  const obs::Scope scope = comm_.obs_scope();
+  obs::Span traversal_span = scope.span("tree.traversal");
   const double t4 = comm_.clock().now();
   const auto& targets = ex.tree->particles();
   std::vector<VortexWire> results(targets.size());
   std::atomic<std::uint64_t> near{0}, far{0};
   auto body = [&](std::size_t i) {
-    EvalCounters counters;
     const Vec3 x = targets[i].x;
-    VortexSample s = sample_vortex(*ex.tree, x, targets[i].id, config_.theta,
-                                   kernel, counters);
+    VortexSample s =
+        sample_vortex(*ex.tree, x, targets[i].id, config_.theta, kernel);
     for (const auto& mp : ex.import_mp) {
       mp.evaluate_biot_savart(x, s.u, s.grad, &kernel);
-      ++counters.far;
+      ++s.far;
     }
     for (const auto& p : ex.import_p) {
       if (p.id == targets[i].id) continue;
       kernel.accumulate_velocity_and_gradient(x - p.x, p.a, s.u, s.grad);
-      ++counters.near;
+      ++s.near;
     }
     results[i] = {static_cast<std::int32_t>(0), s.u, s.grad};
-    near.fetch_add(counters.near, std::memory_order_relaxed);
-    far.fetch_add(counters.far, std::memory_order_relaxed);
+    near.fetch_add(s.near, std::memory_order_relaxed);
+    far.fetch_add(s.far, std::memory_order_relaxed);
   };
   if (config_.pool != nullptr) {
     config_.pool->parallel_for(0, targets.size(), body);
   } else {
     for (std::size_t i = 0; i < targets.size(); ++i) body(i);
   }
-  out.timings.counters.near = near.load();
-  out.timings.counters.far = far.load();
+  out.timings.near = near.load();
+  out.timings.far = far.load();
+  scope.add("tree.eval.near", out.timings.near);
+  scope.add("tree.eval.far", out.timings.far);
   comm_.compute((near.load() * cost.t_near_interaction +
                  far.load() * cost.t_far_interaction) /
                 std::max(1, config_.model_threads));
   out.timings.traversal = comm_.clock().now() - t4;
+  traversal_span.end();
 
   // ---- route results back to the callers' layout ---------------------------
   std::vector<std::vector<VortexWire>> back(p_ranks);
@@ -324,39 +341,43 @@ CoulombForces ParallelTree::solve_coulomb(
   const auto& cost = comm_.cost();
   const int p_ranks = comm_.size();
 
+  const obs::Scope scope = comm_.obs_scope();
+  obs::Span traversal_span = scope.span("tree.traversal");
   const double t4 = comm_.clock().now();
   const auto& targets = ex.tree->particles();
   std::vector<CoulombWire> results(targets.size());
   std::atomic<std::uint64_t> near{0}, far{0};
   auto body = [&](std::size_t i) {
-    EvalCounters counters;
     const Vec3 x = targets[i].x;
-    CoulombSample s = sample_coulomb(*ex.tree, x, targets[i].id,
-                                     config_.theta, kernel, counters);
+    CoulombSample s =
+        sample_coulomb(*ex.tree, x, targets[i].id, config_.theta, kernel);
     for (const auto& mp : ex.import_mp) {
       mp.evaluate_coulomb(x, s.phi, s.e);
-      ++counters.far;
+      ++s.far;
     }
     for (const auto& p : ex.import_p) {
       if (p.id == targets[i].id) continue;
       kernel.accumulate_field(x - p.x, p.q, s.phi, s.e);
-      ++counters.near;
+      ++s.near;
     }
     results[i] = {0, s.phi, s.e};
-    near.fetch_add(counters.near, std::memory_order_relaxed);
-    far.fetch_add(counters.far, std::memory_order_relaxed);
+    near.fetch_add(s.near, std::memory_order_relaxed);
+    far.fetch_add(s.far, std::memory_order_relaxed);
   };
   if (config_.pool != nullptr) {
     config_.pool->parallel_for(0, targets.size(), body);
   } else {
     for (std::size_t i = 0; i < targets.size(); ++i) body(i);
   }
-  out.timings.counters.near = near.load();
-  out.timings.counters.far = far.load();
+  out.timings.near = near.load();
+  out.timings.far = far.load();
+  scope.add("tree.eval.near", out.timings.near);
+  scope.add("tree.eval.far", out.timings.far);
   comm_.compute((near.load() * cost.t_near_interaction +
                  far.load() * cost.t_far_interaction) /
                 std::max(1, config_.model_threads));
   out.timings.traversal = comm_.clock().now() - t4;
+  traversal_span.end();
 
   std::vector<std::vector<CoulombWire>> back(p_ranks);
   for (std::size_t i = 0; i < targets.size(); ++i) {

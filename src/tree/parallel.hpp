@@ -55,7 +55,8 @@ struct SolveTimings {
     return domain + tree_build + branch_exchange + let_exchange + traversal;
   }
 
-  EvalCounters counters;
+  std::uint64_t near = 0;  // particle-particle kernel evaluations
+  std::uint64_t far = 0;   // particle-multipole evaluations
   std::size_t local_particles = 0;  // after repartition
   std::size_t branch_count = 0;     // this rank's branches
   std::size_t let_sent = 0;         // shipped LET entries (all remotes)

@@ -20,6 +20,8 @@ ParallelTreeRhs::ParallelTreeRhs(mpsim::Comm space_comm,
 void ParallelTreeRhs::operator()(double /*t*/, const ode::State& u,
                                  ode::State& f) {
   if (f.size() != u.size()) throw std::invalid_argument("bad f size");
+  obs::Span span = obs_scope().span("vortex.rhs.evaluate");
+  obs_scope().add("vortex.rhs.evaluations");
   const std::size_t n = num_particles(u);
   std::vector<tree::TreeParticle> local(n);
   for (std::size_t p = 0; p < n; ++p) {
@@ -31,7 +33,6 @@ void ParallelTreeRhs::operator()(double /*t*/, const ode::State& u,
   tree::ParallelTree solver(comm_, config_);
   auto forces = solver.solve_vortex(local, kernel_);
   last_timings_ = forces.timings;
-  ++evaluations_;
 
   for (std::size_t p = 0; p < n; ++p) {
     const Vec3 dalpha = scheme_ == StretchingScheme::kTranspose

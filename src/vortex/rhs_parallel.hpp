@@ -28,8 +28,11 @@ class ParallelTreeRhs {
   ode::RhsFn as_fn();
 
   const tree::SolveTimings& last_timings() const { return last_timings_; }
-  std::uint64_t evaluation_count() const { return evaluations_; }
   double theta() const { return config_.theta; }
+
+  /// Instrumentation rides on the space communicator's recorder (span
+  /// "vortex.rhs.evaluate", counter "vortex.rhs.evaluations").
+  obs::Scope obs_scope() const { return comm_.obs_scope(); }
 
  private:
   mpsim::Comm comm_;
@@ -38,7 +41,6 @@ class ParallelTreeRhs {
   std::size_t global_offset_;
   StretchingScheme scheme_;
   tree::SolveTimings last_timings_;
-  std::uint64_t evaluations_ = 0;
 };
 
 }  // namespace stnb::vortex

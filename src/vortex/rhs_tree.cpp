@@ -52,7 +52,8 @@ TreeRhs::TreeRhs(kernels::AlgebraicKernel kernel, Config config,
 
 void TreeRhs::operator()(double /*t*/, const ode::State& u, ode::State& f) {
   if (f.size() != u.size()) throw std::invalid_argument("bad f size");
-  ++evaluations_;
+  obs::Span span = config_.obs.span("vortex.rhs.evaluate");
+  config_.obs.add("vortex.rhs.evaluations");
   if (config_.farfield_refresh == 1) {
     evaluate_full(u, f);
   } else {
@@ -64,26 +65,24 @@ void TreeRhs::evaluate_full(const ode::State& u, ode::State& f) {
   const std::size_t n = num_particles(u);
   tree::Octree octree(to_tree_particles(u), domain_of(u),
                       {config_.leaf_capacity, tree::kMaxLevel});
-  ++tree_builds_;
+  config_.obs.add("vortex.rhs.tree_builds");
 
   std::atomic<std::uint64_t> near{0}, far{0};
   auto body = [&](std::size_t p) {
-    tree::EvalCounters local;
     const Vec3 x = position(u, p);
-    const auto sample =
-        tree::sample_vortex(octree, x, static_cast<std::uint32_t>(p),
-                            config_.theta, kernel_, local);
+    const auto sample = tree::sample_vortex(
+        octree, x, static_cast<std::uint32_t>(p), config_.theta, kernel_);
     write_rhs(f, p, sample.u, sample.grad, strength(u, p), config_.scheme);
-    near.fetch_add(local.near, std::memory_order_relaxed);
-    far.fetch_add(local.far, std::memory_order_relaxed);
+    near.fetch_add(sample.near, std::memory_order_relaxed);
+    far.fetch_add(sample.far, std::memory_order_relaxed);
   };
   if (pool_ != nullptr) {
     pool_->parallel_for(0, n, body);
   } else {
     for (std::size_t p = 0; p < n; ++p) body(p);
   }
-  counters_.near += near.load();
-  counters_.far += far.load();
+  config_.obs.add("tree.eval.near", near.load());
+  config_.obs.add("tree.eval.far", far.load());
 }
 
 void TreeRhs::evaluate_with_cached_farfield(const ode::State& u,
@@ -94,13 +93,14 @@ void TreeRhs::evaluate_with_cached_farfield(const ode::State& u,
 
   tree::Octree octree(to_tree_particles(u), domain_of(u),
                       {config_.leaf_capacity, tree::kMaxLevel});
-  ++tree_builds_;
+  config_.obs.add("vortex.rhs.tree_builds");
 
   if (refresh) {
     cached_far_u_.assign(n, Vec3{});
     cached_far_grad_.assign(n, Mat3{});
   }
 
+  std::uint64_t near = 0, far = 0;
   for (std::size_t p = 0; p < n; ++p) {
     const Vec3 x = position(u, p);
     Vec3 vel{};
@@ -111,19 +111,21 @@ void TreeRhs::evaluate_with_cached_farfield(const ode::State& u,
           if (refresh) {
             node.mp.evaluate_biot_savart(x, cached_far_u_[p],
                                          cached_far_grad_[p], &kernel_);
-            ++counters_.far;
+            ++far;
           }
           // Non-refresh calls reuse the frozen far field: no work here.
         },
         [&](const tree::TreeParticle& tp) {
           if (tp.id == p) return;
           kernel_.accumulate_velocity_and_gradient(x - tp.x, tp.a, vel, grad);
-          ++counters_.near;
+          ++near;
         });
     vel += cached_far_u_[p];
     grad += cached_far_grad_[p];
     write_rhs(f, p, vel, grad, strength(u, p), config_.scheme);
   }
+  config_.obs.add("tree.eval.near", near);
+  config_.obs.add("tree.eval.far", far);
 }
 
 ode::RhsFn TreeRhs::as_fn() {

@@ -10,6 +10,7 @@
 #include <optional>
 
 #include "kernels/algebraic.hpp"
+#include "obs/obs.hpp"
 #include "ode/sdc.hpp"
 #include "support/thread_pool.hpp"
 #include "tree/evaluate.hpp"
@@ -18,6 +19,9 @@
 
 namespace stnb::vortex {
 
+/// Instrumentation goes through Config::obs (counters "tree.eval.near",
+/// "tree.eval.far", "vortex.rhs.evaluations", "vortex.rhs.tree_builds";
+/// span "vortex.rhs.evaluate") instead of per-class counter getters.
 class TreeRhs {
  public:
   struct Config {
@@ -29,6 +33,8 @@ class TreeRhs {
     /// particle clusters less frequently"). 1 = recompute every call;
     /// k > 1 freezes each particle's far-field contribution for k calls.
     int farfield_refresh = 1;
+    /// Instrumentation sink; disabled by default.
+    obs::Scope obs{};
   };
 
   TreeRhs(kernels::AlgebraicKernel kernel, Config config,
@@ -37,9 +43,7 @@ class TreeRhs {
   void operator()(double t, const ode::State& u, ode::State& f);
   ode::RhsFn as_fn();
 
-  const tree::EvalCounters& counters() const { return counters_; }
-  std::uint64_t evaluation_count() const { return evaluations_; }
-  std::uint64_t tree_builds() const { return tree_builds_; }
+  obs::Scope obs_scope() const { return config_.obs; }
   double theta() const { return config_.theta; }
 
  private:
@@ -49,9 +53,6 @@ class TreeRhs {
   kernels::AlgebraicKernel kernel_;
   Config config_;
   ThreadPool* pool_;  // optional, not owned
-  tree::EvalCounters counters_;
-  std::uint64_t evaluations_ = 0;
-  std::uint64_t tree_builds_ = 0;
 
   // Far-field cache (per-particle frozen far contributions).
   std::vector<Vec3> cached_far_u_;

@@ -70,6 +70,23 @@ TEST_P(MpsimCollectives, AllreduceSumMaxMin) {
   });
 }
 
+TEST_P(MpsimCollectives, TypedAllreduceWorksForIntegerAndSizeTypes) {
+  const int n = GetParam();
+  Runtime rt;
+  rt.run(n, [&](Comm& comm) {
+    const int r = comm.rank() + 1;
+    EXPECT_EQ(comm.allreduce(r, ReduceOp::kSum), n * (n + 1) / 2);
+    EXPECT_EQ(comm.allreduce(r, ReduceOp::kMax), n);
+    EXPECT_EQ(comm.allreduce(r, ReduceOp::kMin), 1);
+    const auto big =
+        static_cast<std::size_t>(comm.rank()) + (std::size_t{1} << 40);
+    EXPECT_EQ(comm.allreduce(big, ReduceOp::kMax),
+              (std::size_t{1} << 40) + static_cast<std::size_t>(n - 1));
+    EXPECT_DOUBLE_EQ(comm.allreduce(0.5 * r, ReduceOp::kSum),
+                     0.5 * n * (n + 1) / 2.0);
+  });
+}
+
 TEST_P(MpsimCollectives, AllgathervConcatenatesInRankOrder) {
   const int n = GetParam();
   Runtime rt;

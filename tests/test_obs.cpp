@@ -1,0 +1,390 @@
+// Observability layer: span recording on the virtual clock, per-rank
+// counter aggregation under Runtime::run, and Chrome trace-event export
+// (valid JSON, one monotone track per simulated rank).
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <map>
+#include <sstream>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "mpsim/comm.hpp"
+#include "obs/obs.hpp"
+
+namespace stnb::obs {
+namespace {
+
+using mpsim::Comm;
+using mpsim::Runtime;
+
+// ---- minimal recursive-descent JSON parser (test-only) ----------------------
+// Just enough to validate the exported trace: objects, arrays, strings,
+// numbers, true/false/null. Throws std::runtime_error on malformed input.
+
+struct JsonValue;
+using JsonObject = std::map<std::string, JsonValue>;
+using JsonArray = std::vector<JsonValue>;
+
+struct JsonValue {
+  std::variant<std::nullptr_t, bool, double, std::string, JsonArray,
+               JsonObject>
+      v;
+
+  const JsonObject& obj() const { return std::get<JsonObject>(v); }
+  const JsonArray& arr() const { return std::get<JsonArray>(v); }
+  const std::string& str() const { return std::get<std::string>(v); }
+  double num() const { return std::get<double>(v); }
+  const JsonValue& at(const std::string& k) const { return obj().at(k); }
+  bool has(const std::string& k) const { return obj().count(k) > 0; }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : s_(text) {}
+
+  JsonValue parse() {
+    JsonValue v = value();
+    skip_ws();
+    if (pos_ != s_.size()) throw std::runtime_error("trailing characters");
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < s_.size() && std::isspace(static_cast<unsigned char>(s_[pos_])))
+      ++pos_;
+  }
+
+  char peek() {
+    if (pos_ >= s_.size()) throw std::runtime_error("unexpected end");
+    return s_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c)
+      throw std::runtime_error(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  JsonValue value() {
+    skip_ws();
+    switch (peek()) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return JsonValue{string()};
+      case 't': literal("true"); return JsonValue{true};
+      case 'f': literal("false"); return JsonValue{false};
+      case 'n': literal("null"); return JsonValue{nullptr};
+      default: return JsonValue{number()};
+    }
+  }
+
+  void literal(const std::string& lit) {
+    if (s_.compare(pos_, lit.size(), lit) != 0)
+      throw std::runtime_error("bad literal");
+    pos_ += lit.size();
+  }
+
+  JsonValue object() {
+    expect('{');
+    JsonObject out;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return JsonValue{out};
+    }
+    while (true) {
+      skip_ws();
+      std::string k = string();
+      skip_ws();
+      expect(':');
+      out.emplace(std::move(k), value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return JsonValue{out};
+    }
+  }
+
+  JsonValue array() {
+    expect('[');
+    JsonArray out;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return JsonValue{out};
+    }
+    while (true) {
+      out.push_back(value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return JsonValue{out};
+    }
+  }
+
+  std::string string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      char c = peek();
+      ++pos_;
+      if (c == '"') return out;
+      if (c == '\\') {
+        char e = peek();
+        ++pos_;
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u':
+            if (pos_ + 4 > s_.size()) throw std::runtime_error("bad \\u");
+            pos_ += 4;  // validated but not decoded; fine for this test
+            out += '?';
+            break;
+          default: throw std::runtime_error("bad escape");
+        }
+      } else {
+        out += c;
+      }
+    }
+  }
+
+  double number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+            s_[pos_] == '+' || s_[pos_] == '-'))
+      ++pos_;
+    if (pos_ == start) throw std::runtime_error("bad number");
+    return std::stod(s_.substr(start, pos_ - start));
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+// ---- spans on the virtual clock ---------------------------------------------
+
+TEST(Obs, SpansRecordVirtualClockIntervalsAndNest) {
+  Registry registry;
+  Runtime rt;
+  rt.set_registry(&registry);
+  rt.run(2, [](Comm& comm) {
+    obs::Span outer(comm, "test.outer");
+    comm.compute(1.0);
+    {
+      obs::Span inner(comm, "test.inner");
+      comm.compute(2.0);
+    }
+    comm.compute(0.5);
+  });
+
+  for (int rank : {0, 1}) {
+    const auto inner = registry.span_stat(rank, "test.inner");
+    const auto outer = registry.span_stat(rank, "test.outer");
+    ASSERT_EQ(inner.count, 1u);
+    ASSERT_EQ(outer.count, 1u);
+    EXPECT_DOUBLE_EQ(inner.total, 2.0);
+    EXPECT_DOUBLE_EQ(outer.total, 3.5);
+    // Nesting: the inner interval lies inside the outer one.
+    const auto events = registry.scope(rank).recorder()->events();
+    ASSERT_EQ(events.size(), 2u);
+    const auto& ev_inner =
+        events[0].name == "test.inner" ? events[0] : events[1];
+    const auto& ev_outer =
+        events[0].name == "test.outer" ? events[0] : events[1];
+    EXPECT_GE(ev_inner.begin, ev_outer.begin);
+    EXPECT_LE(ev_inner.end, ev_outer.end);
+  }
+}
+
+TEST(Obs, SpanEndIsIdempotentAndMoveTransfersOwnership) {
+  Registry registry;
+  Scope scope = registry.scope(0);
+  {
+    Span a = scope.span("test.a");
+    Span b = std::move(a);
+    a.end();  // moved-from: no-op
+    b.end();
+    b.end();  // second end: no-op
+  }
+  EXPECT_EQ(registry.span_stat(0, "test.a").count, 1u);
+}
+
+TEST(Obs, DisabledScopeIsInert) {
+  Scope scope;  // no recorder
+  EXPECT_FALSE(scope.enabled());
+  scope.add("x", 5);
+  scope.gauge("g", 1.0);
+  Span s = scope.span("y");
+  s.end();
+  EXPECT_EQ(scope.counter("x"), 0u);
+}
+
+// ---- counter aggregation under Runtime::run ---------------------------------
+
+TEST(Obs, CountersAggregateAcrossRanksUnderRuntime) {
+  Registry registry;
+  Runtime rt;
+  rt.set_registry(&registry);
+  rt.run(4, [](Comm& comm) {
+    comm.obs_scope().add("test.work", comm.rank() + 1);
+    comm.obs_scope().gauge("test.rank_gauge", comm.rank() * 10.0);
+  });
+
+  EXPECT_EQ(registry.counter_total("test.work"), 1u + 2u + 3u + 4u);
+  for (int r = 0; r < 4; ++r) {
+    EXPECT_EQ(registry.counter_value(r, "test.work"),
+              static_cast<std::uint64_t>(r + 1));
+  }
+  EXPECT_EQ(registry.ranks().size(), 4u);
+}
+
+TEST(Obs, CommOperationsAreInstrumented) {
+  Registry registry;
+  Runtime rt;
+  rt.set_registry(&registry);
+  rt.run(2, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send(1, 7, std::vector<double>{1.0, 2.0});
+    } else {
+      (void)comm.recv<double>(0, 7);
+    }
+    (void)comm.allreduce(1, mpsim::ReduceOp::kSum);
+    comm.barrier();
+  });
+
+  EXPECT_EQ(registry.counter_value(0, "mpsim.p2p.messages"), 1u);
+  EXPECT_EQ(registry.counter_value(0, "mpsim.p2p.bytes_sent"),
+            2 * sizeof(double));
+  EXPECT_EQ(registry.counter_value(1, "mpsim.p2p.bytes_received"),
+            2 * sizeof(double));
+  EXPECT_EQ(registry.span_stat(0, "mpsim.send").count, 1u);
+  EXPECT_EQ(registry.span_stat(1, "mpsim.recv").count, 1u);
+  EXPECT_EQ(registry.span_total("mpsim.allreduce").count, 2u);
+  EXPECT_EQ(registry.span_total("mpsim.barrier").count, 2u);
+  EXPECT_GT(registry.counter_total("mpsim.collective.bytes"), 0u);
+}
+
+TEST(Obs, SubCommunicatorSpansLandOnWorldRankTracks) {
+  // Instrumentation from split communicators must aggregate under the
+  // world rank (one track per simulated rank, per Fig. 2's space-time
+  // split).
+  Registry registry;
+  Runtime rt;
+  rt.set_registry(&registry);
+  rt.run(4, [](Comm& world) {
+    Comm space = world.split(world.rank() / 2, world.rank() % 2);
+    space.obs_scope().add("test.space_work");
+    obs::Span s(space, "test.space_span");
+    space.barrier();
+  });
+
+  EXPECT_EQ(registry.ranks().size(), 4u);  // no extra per-subcomm tracks
+  for (int r = 0; r < 4; ++r) {
+    EXPECT_EQ(registry.counter_value(r, "test.space_work"), 1u);
+    EXPECT_EQ(registry.span_stat(r, "test.space_span").count, 1u);
+  }
+}
+
+// ---- Chrome trace export ----------------------------------------------------
+
+TEST(Obs, ChromeTraceIsValidJsonWithMonotoneTracks) {
+  Registry registry;
+  Runtime rt;
+  rt.set_registry(&registry);
+  rt.run(3, [](Comm& comm) {
+    for (int i = 0; i < 3; ++i) {
+      obs::Span s(comm, "test.phase");
+      comm.compute(0.25 * (comm.rank() + 1));
+    }
+    comm.barrier();
+  });
+
+  std::ostringstream os;
+  registry.write_chrome_trace(os);
+  const JsonValue root = JsonParser(os.str()).parse();
+
+  ASSERT_TRUE(root.has("traceEvents"));
+  EXPECT_EQ(root.at("displayTimeUnit").str(), "ms");
+  const auto& events = root.at("traceEvents").arr();
+  ASSERT_FALSE(events.empty());
+
+  std::map<int, double> last_ts;       // per tid monotonicity
+  std::map<int, int> complete_events;  // "X" events per track
+  for (const auto& ev : events) {
+    const std::string ph = ev.at("ph").str();
+    const int tid = static_cast<int>(ev.at("tid").num());
+    if (ph == "M") {
+      EXPECT_EQ(ev.at("name").str(), "thread_name");
+      EXPECT_EQ(ev.at("args").at("name").str(),
+                "rank " + std::to_string(tid));
+      continue;
+    }
+    ASSERT_EQ(ph, "X");
+    const double ts = ev.at("ts").num();
+    EXPECT_GE(ev.at("dur").num(), 0.0);
+    auto it = last_ts.find(tid);
+    if (it != last_ts.end()) EXPECT_GE(ts, it->second) << "tid " << tid;
+    last_ts[tid] = ts;
+    ++complete_events[tid];
+  }
+  ASSERT_EQ(complete_events.size(), 3u);  // one track per rank
+  for (const auto& [tid, count] : complete_events)
+    EXPECT_GE(count, 4);  // 3 phases + barrier span
+}
+
+TEST(Obs, MetricsJsonIsValidAndConsistentWithRegistry) {
+  Registry registry;
+  Runtime rt;
+  rt.set_registry(&registry);
+  rt.run(2, [](Comm& comm) {
+    comm.obs_scope().add("test.n", 10 * (comm.rank() + 1));
+    obs::Span s(comm, "test.span");
+    comm.compute(1.0);
+  });
+
+  std::ostringstream os;
+  registry.write_metrics_json(os);
+  const JsonValue root = JsonParser(os.str()).parse();
+
+  ASSERT_EQ(root.at("ranks").arr().size(), 2u);
+  const auto& counter = root.at("counters").at("test.n");
+  EXPECT_DOUBLE_EQ(counter.at("per_rank").arr()[0].num(), 10.0);
+  EXPECT_DOUBLE_EQ(counter.at("per_rank").arr()[1].num(), 20.0);
+  EXPECT_DOUBLE_EQ(counter.at("total").num(), 30.0);
+  const auto& span = root.at("spans").at("test.span");
+  EXPECT_DOUBLE_EQ(span.at("total_count").num(), 2.0);
+  EXPECT_DOUBLE_EQ(span.at("total_time").num(),
+                   registry.span_total("test.span").total);
+}
+
+TEST(Obs, RegistryScopeWorksStandaloneWithoutClock) {
+  // Serial (no-Runtime) usage: counters work, span times read 0.
+  Registry registry;
+  Scope scope = registry.scope(0);
+  scope.add("standalone.count", 3);
+  {
+    Span s = scope.span("standalone.span");
+  }
+  EXPECT_EQ(registry.counter_value(0, "standalone.count"), 3u);
+  EXPECT_EQ(registry.span_stat(0, "standalone.span").count, 1u);
+  EXPECT_DOUBLE_EQ(registry.span_stat(0, "standalone.span").total, 0.0);
+}
+
+}  // namespace
+}  // namespace stnb::obs

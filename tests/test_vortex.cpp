@@ -6,9 +6,11 @@
 #include <cmath>
 #include <numbers>
 
+#include "obs/obs.hpp"
 #include "ode/rk.hpp"
 #include "vortex/diagnostics.hpp"
 #include "vortex/rhs_direct.hpp"
+#include "vortex/rhs_tree.hpp"
 #include "vortex/setup.hpp"
 #include "vortex/state.hpp"
 
@@ -141,6 +143,70 @@ TEST(DirectRhs, InteractionCountsAreExact) {
   rhs(0.0, u, f);
   EXPECT_EQ(rhs.interaction_count(), 2u * 50u * 49u);
   EXPECT_EQ(rhs.evaluation_count(), 2u);
+}
+
+TEST(TreeRhs, FarFieldFrozenBetweenRefreshesAndRecomputedOnRefresh) {
+  // farfield_refresh = 3: multipole (far) work happens on calls 1 and 4
+  // only; calls 2-3 reuse the frozen far field. Counters are read through
+  // the obs scope wired into the config.
+  SheetConfig config;
+  config.n_particles = 300;
+  const ode::State u = spherical_vortex_sheet(config);
+  const kernels::AlgebraicKernel kernel(config.kernel_order, config.sigma());
+
+  obs::Registry registry;
+  TreeRhs::Config tc;
+  tc.theta = 0.6;
+  tc.farfield_refresh = 3;
+  tc.obs = registry.scope(0);
+  TreeRhs rhs(kernel, tc);
+
+  ode::State f(u.size());
+  rhs(0.0, u, f);
+  const auto far_first = registry.counter_value(0, "tree.eval.far");
+  const auto near_first = registry.counter_value(0, "tree.eval.near");
+  EXPECT_GT(far_first, 0u);
+  EXPECT_GT(near_first, 0u);
+
+  rhs(0.0, u, f);
+  rhs(0.0, u, f);
+  // Far field frozen; near field still evaluated every call.
+  EXPECT_EQ(registry.counter_value(0, "tree.eval.far"), far_first);
+  EXPECT_EQ(registry.counter_value(0, "tree.eval.near"), 3 * near_first);
+
+  rhs(0.0, u, f);  // 4th call: refresh interval elapsed
+  EXPECT_EQ(registry.counter_value(0, "tree.eval.far"), 2 * far_first);
+  EXPECT_EQ(registry.counter_value(0, "vortex.rhs.evaluations"), 4u);
+  EXPECT_EQ(registry.counter_value(0, "vortex.rhs.tree_builds"), 4u);
+}
+
+TEST(TreeRhs, CachedFarFieldMatchesFullEvaluationAtSamePositions) {
+  // At unchanged positions the frozen far field is exact, so a cached-path
+  // evaluation must match the recompute-every-call path to rounding.
+  SheetConfig config;
+  config.n_particles = 300;
+  const ode::State u = spherical_vortex_sheet(config);
+  const kernels::AlgebraicKernel kernel(config.kernel_order, config.sigma());
+
+  TreeRhs::Config full_cfg;
+  full_cfg.theta = 0.5;
+  TreeRhs full(kernel, full_cfg);
+  ode::State f_full(u.size());
+  full(0.0, u, f_full);
+
+  TreeRhs::Config cached_cfg;
+  cached_cfg.theta = 0.5;
+  cached_cfg.farfield_refresh = 2;
+  TreeRhs cached(kernel, cached_cfg);
+  ode::State f_cached(u.size());
+  cached(0.0, u, f_cached);  // refresh call: fills the cache
+  cached(0.0, u, f_cached);  // cached call: frozen far + fresh near
+
+  double f_scale = 0.0;
+  for (std::size_t i = 0; i < u.size(); ++i)
+    f_scale = std::max(f_scale, std::abs(f_full[i]));
+  for (std::size_t i = 0; i < u.size(); ++i)
+    EXPECT_NEAR(f_cached[i], f_full[i], 1e-12 * f_scale) << "i=" << i;
 }
 
 TEST(Invariants, LinearImpulseConservedUnderRk4) {
