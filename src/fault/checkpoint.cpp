@@ -1,0 +1,105 @@
+#include "fault/checkpoint.hpp"
+
+#include <cstddef>
+#include <cstring>
+#include <fstream>
+#include <vector>
+
+namespace stnb::fault {
+
+namespace {
+
+constexpr char kMagic[8] = {'S', 'T', 'N', 'B', 'C', 'K', 'P', 'T'};
+
+std::uint64_t fnv1a64(const std::byte* data, std::size_t size) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (std::size_t i = 0; i < size; ++i) {
+    h ^= static_cast<std::uint64_t>(data[i]);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+template <typename T>
+void append(std::vector<std::byte>& buffer, const T& value) {
+  const auto* p = reinterpret_cast<const std::byte*>(&value);
+  buffer.insert(buffer.end(), p, p + sizeof(T));
+}
+
+template <typename T>
+T read_at(const std::vector<std::byte>& buffer, std::size_t offset) {
+  T value;
+  std::memcpy(&value, buffer.data() + offset, sizeof(T));
+  return value;
+}
+
+}  // namespace
+
+void write_checkpoint(std::ostream& os, const Checkpoint& checkpoint) {
+  std::vector<std::byte> buffer;
+  buffer.reserve(40 + checkpoint.state.size() * sizeof(double) + 8);
+  const auto* magic = reinterpret_cast<const std::byte*>(kMagic);
+  buffer.insert(buffer.end(), magic, magic + sizeof(kMagic));
+  append(buffer, kCheckpointVersion);
+  append(buffer, std::uint32_t{0});
+  append(buffer, checkpoint.step);
+  append(buffer, checkpoint.time);
+  append(buffer, static_cast<std::uint64_t>(checkpoint.state.size()));
+  for (const double v : checkpoint.state) append(buffer, v);
+  append(buffer, fnv1a64(buffer.data(), buffer.size()));
+  os.write(reinterpret_cast<const char*>(buffer.data()),
+           static_cast<std::streamsize>(buffer.size()));
+  if (!os) throw CheckpointError("checkpoint: stream write failed");
+}
+
+Checkpoint read_checkpoint(std::istream& is) {
+  std::vector<std::byte> buffer;
+  {
+    char chunk[1 << 16];
+    while (is.read(chunk, sizeof(chunk)) || is.gcount() > 0) {
+      const auto* p = reinterpret_cast<const std::byte*>(chunk);
+      buffer.insert(buffer.end(), p, p + is.gcount());
+    }
+  }
+  if (buffer.size() < 48)  // header + checksum of an empty state
+    throw CheckpointError("checkpoint: truncated (no complete header)");
+  if (std::memcmp(buffer.data(), kMagic, sizeof(kMagic)) != 0)
+    throw CheckpointError("checkpoint: bad magic (not a stnb checkpoint)");
+  const auto version = read_at<std::uint32_t>(buffer, 8);
+  if (version != kCheckpointVersion)
+    throw CheckpointError("checkpoint: unsupported version " +
+                          std::to_string(version));
+  const auto count = read_at<std::uint64_t>(buffer, 32);
+  const std::size_t expected = 40 + count * sizeof(double) + 8;
+  if (buffer.size() != expected)
+    throw CheckpointError(
+        "checkpoint: size mismatch (header promises " +
+        std::to_string(expected) + " bytes, file has " +
+        std::to_string(buffer.size()) + ")");
+  const auto stored = read_at<std::uint64_t>(buffer, buffer.size() - 8);
+  if (stored != fnv1a64(buffer.data(), buffer.size() - 8))
+    throw CheckpointError("checkpoint: checksum mismatch (corrupted)");
+
+  Checkpoint checkpoint;
+  checkpoint.step = read_at<std::uint64_t>(buffer, 16);
+  checkpoint.time = read_at<double>(buffer, 24);
+  checkpoint.state.resize(count);
+  if (count > 0)
+    std::memcpy(checkpoint.state.data(), buffer.data() + 40,
+                count * sizeof(double));
+  return checkpoint;
+}
+
+void write_checkpoint(const std::string& path, const Checkpoint& checkpoint) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  if (!os) throw CheckpointError("checkpoint: cannot open " + path);
+  write_checkpoint(os, checkpoint);
+}
+
+Checkpoint read_checkpoint(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw CheckpointError("checkpoint: cannot open " + path);
+  return read_checkpoint(is);
+}
+
+}  // namespace stnb::fault

@@ -1,0 +1,53 @@
+// Compact binary checkpoint/restart for integrator states (ode::State /
+// packed vortex particle sets).
+//
+// Format (little-endian host layout, like every other byte payload in the
+// repo):
+//
+//   offset  size  field
+//   0       8     magic "STNBCKPT"
+//   8       4     version (currently 1), uint32
+//   12      4     reserved (zero), uint32
+//   16      8     step index, uint64
+//   24      8     simulated time, float64
+//   32      8     state element count, uint64
+//   40      8*n   state payload (raw doubles -> bit-identical round trip)
+//   40+8*n  8     FNV-1a 64-bit checksum of all preceding bytes, uint64
+//
+// Readers fail loudly (CheckpointError) on bad magic, unknown version,
+// truncation, trailing garbage, or checksum mismatch — a half-written
+// checkpoint must never silently restore.
+#pragma once
+
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+#include <string>
+
+#include "ode/vspace.hpp"
+
+namespace stnb::fault {
+
+inline constexpr std::uint32_t kCheckpointVersion = 1;
+
+class CheckpointError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+struct Checkpoint {
+  std::uint64_t step = 0;  // completed integration steps
+  double time = 0.0;       // simulated time reached
+  ode::State state;
+};
+
+void write_checkpoint(std::ostream& os, const Checkpoint& checkpoint);
+Checkpoint read_checkpoint(std::istream& is);
+
+/// File convenience wrappers; throw CheckpointError when the file cannot
+/// be opened or written.
+void write_checkpoint(const std::string& path, const Checkpoint& checkpoint);
+Checkpoint read_checkpoint(const std::string& path);
+
+}  // namespace stnb::fault

@@ -1,0 +1,105 @@
+#include "fault/plan.hpp"
+
+#include "support/rng.hpp"
+
+namespace stnb::fault {
+
+namespace {
+
+/// Stateless uniform draw in [0, 1) from the decision coordinates. Each
+/// field is folded through splitmix64 so nearby (seq, attempt) pairs give
+/// independent draws.
+double uniform_hash(std::uint64_t seed, std::size_t rule,
+                    const mpsim::MessageEvent& ev) {
+  std::uint64_t state = seed ^ 0x9e3779b97f4a7c15ULL;
+  const std::uint64_t fields[] = {
+      static_cast<std::uint64_t>(rule),
+      static_cast<std::uint64_t>(static_cast<std::int64_t>(ev.source)),
+      static_cast<std::uint64_t>(static_cast<std::int64_t>(ev.dest)),
+      static_cast<std::uint64_t>(static_cast<std::int64_t>(ev.tag)),
+      ev.seq,
+      static_cast<std::uint64_t>(static_cast<std::int64_t>(ev.attempt)),
+  };
+  std::uint64_t h = 0;
+  for (const std::uint64_t f : fields) {
+    state ^= f;
+    h = splitmix64(state);
+  }
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+bool rule_matches(const MessageFaultRule& rule,
+                  const mpsim::MessageEvent& ev) {
+  if (rule.source != -1 && rule.source != ev.source) return false;
+  if (rule.dest != -1 && rule.dest != ev.dest) return false;
+  if (rule.tag != -1 && rule.tag != ev.tag) return false;
+  return ev.send_time >= rule.begin && ev.send_time < rule.end;
+}
+
+}  // namespace
+
+PlanInjector::PlanInjector(FaultPlan plan, std::uint64_t seed)
+    : plan_(std::move(plan)), seed_(seed) {}
+
+mpsim::SendDecision PlanInjector::on_send(const mpsim::MessageEvent& ev) {
+  for (std::size_t i = 0; i < plan_.rules.size(); ++i) {
+    const MessageFaultRule& rule = plan_.rules[i];
+    if (!rule_matches(rule, ev)) continue;
+
+    const double u = uniform_hash(seed_, i, ev);
+    mpsim::SendDecision decision;
+    if (u < rule.drop) {
+      decision.action = mpsim::FaultAction::kDrop;
+    } else if (u < rule.drop + rule.duplicate) {
+      decision.action = mpsim::FaultAction::kDuplicate;
+    } else if (u < rule.drop + rule.duplicate + rule.delay) {
+      decision.action = mpsim::FaultAction::kDelay;
+      decision.delay = rule.delay_seconds;
+    } else {
+      continue;  // dice did not fire; later rules may still apply
+    }
+
+    if (rule.max_events >= 0) {
+      std::lock_guard lock(events_mu_);
+      int& fired = events_fired_[{i, ev.source, ev.dest, ev.tag}];
+      if (fired >= rule.max_events) continue;
+      ++fired;
+    }
+
+    switch (decision.action) {
+      case mpsim::FaultAction::kDrop: drops_.fetch_add(1); break;
+      case mpsim::FaultAction::kDuplicate: duplicates_.fetch_add(1); break;
+      case mpsim::FaultAction::kDelay: delays_.fetch_add(1); break;
+      case mpsim::FaultAction::kDeliver: break;
+    }
+    return decision;
+  }
+  return {};
+}
+
+bool PlanInjector::failed_at(int world_rank, double time) const {
+  for (const SoftFailWindow& w : plan_.soft_fails)
+    if (w.rank == world_rank && time >= w.begin && time < w.end) return true;
+  return false;
+}
+
+bool PlanInjector::failed_in(int world_rank, double t_begin,
+                             double t_end) const {
+  for (const SoftFailWindow& w : plan_.soft_fails)
+    if (w.rank == world_rank && w.begin <= t_end && w.end > t_begin)
+      return true;
+  return false;
+}
+
+bool PlanInjector::collective_failed(int world_rank, double time) const {
+  for (const SoftFailWindow& w : plan_.soft_fails)
+    if (w.hard && w.rank == world_rank && time >= w.begin && time < w.end)
+      return true;
+  return false;
+}
+
+PlanInjector::Stats PlanInjector::stats() const {
+  return {drops_.load(), duplicates_.load(), delays_.load()};
+}
+
+}  // namespace stnb::fault

@@ -1,0 +1,107 @@
+// Scriptable, seeded fault plans for the simulated runtime.
+//
+// A FaultPlan describes *what can go wrong*: probabilistic message faults
+// (drop / delay / duplication) scoped by rank, tag, and virtual-time
+// window, plus transient rank soft-fail windows keyed to virtual time.
+// PlanInjector turns a (plan, seed) pair into the mpsim::FaultInjector
+// hook installed on a Runtime.
+//
+// Determinism: every probabilistic decision is a pure hash of
+// (seed, rule index, source, dest, tag, seq, attempt) — stateless, so it
+// is independent of host thread scheduling; two runs with the same
+// (seed, plan) inject byte-identical fault sequences and produce
+// bit-identical virtual clocks. Rules with a max_events cap count events
+// per (source, dest, tag) stream (each stream is driven by one sender
+// thread in program order), which keeps the cap deterministic too.
+//
+//   fault::FaultPlan plan;
+//   plan.rules.push_back({.drop = 0.05});                  // 5% of all p2p
+//   plan.soft_fails.push_back({.rank = 2, .begin = 1.0, .end = 1.5});
+//   fault::PlanInjector injector(plan, /*seed=*/42);
+//   runtime.set_fault_injector(&injector);
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <mutex>
+#include <tuple>
+#include <vector>
+
+#include "mpsim/fault.hpp"
+
+namespace stnb::fault {
+
+/// One probabilistic point-to-point fault rule. Rules are evaluated in
+/// plan order; the first matching rule whose dice fire wins. Ranks are
+/// world ranks; -1 matches any rank/tag. Probabilities are cumulative per
+/// message attempt: drop, then duplicate, then delay are tried against one
+/// uniform draw, so drop + duplicate + delay must be <= 1.
+struct MessageFaultRule {
+  int source = -1;
+  int dest = -1;
+  int tag = -1;
+  double drop = 0.0;
+  double duplicate = 0.0;
+  double delay = 0.0;
+  double delay_seconds = 0.0;  // extra latency when the delay branch fires
+  // Active window on the *sender's* virtual clock: [begin, end).
+  double begin = 0.0;
+  double end = std::numeric_limits<double>::infinity();
+  // Cap on fired events per (source, dest, tag) stream; -1 = unlimited.
+  // `{.drop = 1.0, .max_events = 1}` scripts "drop exactly the first
+  // message of every stream".
+  int max_events = -1;
+};
+
+/// Transient rank failure on [begin, end) of virtual time: the rank's
+/// slice state counts as lost (mpsim drops its outgoing p2p messages; the
+/// algorithm layer queries failed_in and rebuilds). When `hard` is set,
+/// collectives the rank joins during the window additionally raise
+/// FaultError on every participant.
+struct SoftFailWindow {
+  int rank = 0;
+  double begin = 0.0;
+  double end = 0.0;
+  bool hard = false;
+};
+
+struct FaultPlan {
+  std::vector<MessageFaultRule> rules;
+  std::vector<SoftFailWindow> soft_fails;
+};
+
+class PlanInjector final : public mpsim::FaultInjector {
+ public:
+  PlanInjector(FaultPlan plan, std::uint64_t seed);
+
+  mpsim::SendDecision on_send(const mpsim::MessageEvent& event) override;
+  bool failed_at(int world_rank, double time) const override;
+  bool failed_in(int world_rank, double t_begin,
+                 double t_end) const override;
+  bool collective_failed(int world_rank, double time) const override;
+
+  /// Monotonic totals of injected events (deterministic for a fixed
+  /// (seed, plan) because every per-stream decision is).
+  struct Stats {
+    std::uint64_t drops = 0;
+    std::uint64_t duplicates = 0;
+    std::uint64_t delays = 0;
+  };
+  Stats stats() const;
+
+ private:
+  const FaultPlan plan_;
+  const std::uint64_t seed_;
+
+  std::atomic<std::uint64_t> drops_{0};
+  std::atomic<std::uint64_t> duplicates_{0};
+  std::atomic<std::uint64_t> delays_{0};
+
+  // (rule index, source, dest, tag) -> events fired, for max_events caps.
+  mutable std::mutex events_mu_;
+  std::map<std::tuple<std::size_t, int, int, int>, int> events_fired_;
+};
+
+}  // namespace stnb::fault

@@ -12,12 +12,21 @@ namespace {
 struct Message {
   std::vector<std::byte> payload;
   double send_time = 0.0;
+  std::uint64_t seq = 0;  // per-(src, dest, tag) index (fault bookkeeping)
+  bool dropped = false;   // tombstone: the message was lost in transit but
+                          // still travels so the receiver can observe the
+                          // loss deterministically instead of deadlocking
+  bool duplicate = false;  // set by match_message when a stale re-delivery
+                           // is handed back instead of silently skipped
 };
 
 struct Mailbox {
   std::mutex mu;
   std::condition_variable cv;
   std::map<std::pair<int, int>, std::deque<Message>> queues;  // (src, tag)
+  // Reliable-mode duplicate suppression: (src, tag) -> last delivered
+  // seq + 1. Only touched by the owning (receiving) rank under mu.
+  std::map<std::pair<int, int>, std::uint64_t> delivered;
 };
 
 }  // namespace
@@ -31,7 +40,15 @@ struct CommImpl {
   std::vector<VirtualClock*> clocks;  // per local rank, owned by Runtime
   std::vector<obs::Recorder*> recorders;  // per local rank, owned by Registry
                                           // (nullptr = instrumentation off)
+  std::vector<int> world_ranks;  // local rank -> original world rank
   std::vector<std::unique_ptr<Mailbox>> mailboxes;
+
+  // Fault machinery (inherited by split children; nullptr = fault free).
+  FaultInjector* injector = nullptr;
+  ReliableConfig reliable;
+  // Per-sender (dest, tag) -> next message seq. Each slot is touched only
+  // by its own rank's thread, so counting is race-free and deterministic.
+  std::vector<std::map<std::pair<int, int>, std::uint64_t>> send_seq;
 
   // Collective rendezvous (reusable two-phase barrier).
   std::mutex mu;
@@ -42,6 +59,7 @@ struct CommImpl {
   std::vector<std::vector<std::byte>> inputs;
   std::vector<std::vector<std::byte>> outputs;
   double done_time = 0.0;
+  bool round_faulted = false;  // a hard-failed rank joined this round
 
   // split() publication: (generation, color) -> child communicator.
   std::mutex split_mu;
@@ -53,6 +71,7 @@ struct CommImpl {
     recorders.assign(n, nullptr);
     mailboxes.reserve(n);
     for (int i = 0; i < n; ++i) mailboxes.push_back(std::make_unique<Mailbox>());
+    send_seq.resize(n);
     inputs.resize(n);
     outputs.resize(n);
   }
@@ -80,6 +99,11 @@ struct CommImpl {
       // NOTE: reading other ranks' clocks is safe: they are all blocked in
       // this collective (arrived == size) and clocks are only mutated by
       // their owner rank.
+      round_faulted = false;
+      if (injector != nullptr)
+        for (int r = 0; r < size; ++r)
+          if (injector->collective_failed(world_ranks[r], clocks[r]->now()))
+            round_faulted = true;
       const std::size_t bytes = reduce(inputs, outputs);
       done_time = t_max + model.collective(size, bytes);
       ++generation;
@@ -91,6 +115,7 @@ struct CommImpl {
       gen = expected;
     }
     (void)my_time;
+    const bool faulted = round_faulted;
     output = outputs[rank];
     clocks[rank]->merge(done_time);
     if (++departed == size) {
@@ -99,15 +124,32 @@ struct CommImpl {
       for (auto& in : inputs) in.clear();
       cv.notify_all();
     }
+    if (faulted) {
+      if (recorders[rank] != nullptr)
+        recorders[rank]->add("fault.collective.abort", 1);
+      throw FaultError(FaultError::Kind::kRankFailed,
+                       "collective joined by a hard-failed rank");
+    }
     return gen;
   }
 };
 
 int Comm::size() const { return impl_->size; }
 
+int Comm::world_rank() const { return impl_->world_ranks[rank_]; }
+
 VirtualClock& Comm::clock() { return *impl_->clocks[rank_]; }
 
 const CostModel& Comm::cost() const { return impl_->model; }
+
+FaultInjector* Comm::fault_injector() const {
+  return impl_ != nullptr ? impl_->injector : nullptr;
+}
+
+bool Comm::soft_failed_in(double t_begin, double t_end) const {
+  return impl_->injector != nullptr &&
+         impl_->injector->failed_in(world_rank(), t_begin, t_end);
+}
 
 obs::Scope Comm::obs_scope() const {
   return obs::Scope(impl_ != nullptr ? impl_->recorders[rank_] : nullptr);
@@ -121,33 +163,139 @@ void Comm::send_bytes(int dest, int tag, const void* data,
   obs::Span span = scope.span("mpsim.send");
   scope.add("mpsim.p2p.messages");
   scope.add("mpsim.p2p.bytes_sent", bytes);
+
   Message msg;
   msg.payload.resize(bytes);
   if (bytes > 0) std::memcpy(msg.payload.data(), data, bytes);
-  msg.send_time = clock().now();
+
+  bool duplicate = false;
+  double delay = 0.0;
+  FaultInjector* injector = impl_->injector;
+  if (injector != nullptr) {
+    msg.seq = impl_->send_seq[rank_][{dest, tag}]++;
+    if (injector->failed_at(world_rank(), clock().now())) {
+      // Messages of a soft-failed rank vanish; retries cannot help.
+      msg.dropped = true;
+      scope.add("fault.send.drop");
+    } else {
+      const ReliableConfig& rel = impl_->reliable;
+      const int attempts = rel.enabled ? rel.max_retries + 1 : 1;
+      const MessageEvent base{world_rank(), impl_->world_ranks[dest], tag,
+                              bytes, msg.seq, 0, 0.0};
+      for (int attempt = 0; attempt < attempts; ++attempt) {
+        MessageEvent event = base;
+        event.attempt = attempt;
+        event.send_time = clock().now();
+        const SendDecision decision = injector->on_send(event);
+        if (decision.action == FaultAction::kDrop) {
+          scope.add("fault.send.drop");
+          if (attempt + 1 == attempts) {
+            msg.dropped = true;
+          } else {
+            // Wait out the missing ack, back off, resend.
+            scope.add("fault.send.retry");
+            clock().advance(rel.ack_timeout + rel.backoff * attempt);
+          }
+          continue;
+        }
+        msg.dropped = false;
+        if (decision.action == FaultAction::kDelay) {
+          delay = decision.delay;
+          scope.add("fault.send.delay");
+        } else if (decision.action == FaultAction::kDuplicate) {
+          duplicate = true;
+          scope.add("fault.send.duplicate");
+        }
+        break;
+      }
+    }
+  }
+
+  msg.send_time = clock().now() + delay;
   Mailbox& box = *impl_->mailboxes[dest];
   {
     std::lock_guard lock(box.mu);
-    box.queues[{rank_, tag}].push_back(std::move(msg));
+    auto& queue = box.queues[{rank_, tag}];
+    if (duplicate) queue.push_back(msg);
+    queue.push_back(std::move(msg));
   }
   box.cv.notify_all();
   // Sender-side overhead of posting the message.
   clock().advance(impl_->model.t_latency);
 }
 
-std::vector<std::byte> Comm::recv_bytes(int source, int tag) {
-  if (source < 0 || source >= impl_->size)
+namespace {
+
+/// Blocks until the next message matching (source, tag) in `rank`'s
+/// mailbox, honoring reliable-mode duplicate suppression (a re-delivered
+/// seq is skipped). With skip_duplicates = false a duplicate is returned
+/// to the caller (marked via Message::duplicate) instead of re-blocking —
+/// try_recv needs that to resolve "only a stale copy arrived" as a timeout
+/// rather than waiting for a message that may never come.
+Message match_message(CommImpl& impl, int rank, int source, int tag,
+                      const obs::Scope& scope, bool skip_duplicates = true) {
+  if (source < 0 || source >= impl.size)
     throw std::out_of_range("recv: bad source rank");
+  Mailbox& box = *impl.mailboxes[rank];
+  const bool dedup = impl.injector != nullptr && impl.reliable.enabled;
+  for (;;) {
+    std::unique_lock lock(box.mu);
+    auto& queue = box.queues[{source, tag}];
+    box.cv.wait(lock, [&] { return !queue.empty(); });
+    Message msg = std::move(queue.front());
+    queue.pop_front();
+    if (dedup) {
+      auto& next_seq = box.delivered[{source, tag}];
+      if (msg.seq + 1 <= next_seq) {
+        lock.unlock();
+        scope.add("fault.recv.dedup");
+        if (skip_duplicates) continue;
+        msg.duplicate = true;
+        return msg;
+      }
+      next_seq = msg.seq + 1;
+    }
+    return msg;
+  }
+}
+
+}  // namespace
+
+std::vector<std::byte> Comm::recv_bytes(int source, int tag) {
   // The recv span covers matching + the causal clock merge, so its width
   // is this rank's modeled wait for the message.
   obs::Span span = obs_scope().span("mpsim.recv");
-  Mailbox& box = *impl_->mailboxes[rank_];
-  std::unique_lock lock(box.mu);
-  auto& queue = box.queues[{source, tag}];
-  box.cv.wait(lock, [&] { return !queue.empty(); });
-  Message msg = std::move(queue.front());
-  queue.pop_front();
-  lock.unlock();
+  Message msg = match_message(*impl_, rank_, source, tag, obs_scope());
+  clock().merge(msg.send_time + impl_->model.p2p(msg.payload.size()));
+  if (msg.dropped) {
+    obs_scope().add("fault.recv.lost");
+    throw FaultError(FaultError::Kind::kMessageLost,
+                     "recv: message from rank " + std::to_string(source) +
+                         " tag " + std::to_string(tag) +
+                         " was lost in transit");
+  }
+  obs_scope().add("mpsim.p2p.bytes_received", msg.payload.size());
+  return std::move(msg.payload);
+}
+
+std::optional<std::vector<std::byte>> Comm::try_recv_bytes(int source,
+                                                           int tag,
+                                                           double timeout) {
+  obs::Span span = obs_scope().span("mpsim.recv");
+  Message msg = match_message(*impl_, rank_, source, tag, obs_scope(),
+                              /*skip_duplicates=*/false);
+  if (msg.duplicate) {
+    // Only a stale re-delivery arrived; to the caller that is a timeout.
+    clock().advance(timeout);
+    return std::nullopt;
+  }
+  if (msg.dropped) {
+    // Model the receiver waiting out its timeout for a message that never
+    // arrives. No causal merge: nothing was observed from the sender.
+    obs_scope().add("fault.recv.lost");
+    clock().advance(timeout);
+    return std::nullopt;
+  }
   clock().merge(msg.send_time + impl_->model.p2p(msg.payload.size()));
   obs_scope().add("mpsim.p2p.bytes_received", msg.payload.size());
   return std::move(msg.payload);
@@ -340,11 +488,15 @@ Comm Comm::split(int color, int key) {
     child = std::make_shared<CommImpl>(static_cast<int>(group.size()),
                                        impl_->model);
     child->recorders.clear();
+    child->injector = impl_->injector;
+    child->reliable = impl_->reliable;
     for (std::size_t i = 0; i < group.size(); ++i) {
       child->clocks.push_back(impl_->clocks[group[i].old_rank]);
       // Sub-communicator ranks keep reporting to their world-rank recorder,
       // so a trace shows one track per simulated world rank.
       child->recorders.push_back(impl_->recorders[group[i].old_rank]);
+      // Fault plans address ranks by world rank, stable across splits.
+      child->world_ranks.push_back(impl_->world_ranks[group[i].old_rank]);
     }
     {
       std::lock_guard lock(impl_->split_mu);
@@ -366,6 +518,9 @@ std::vector<double> Runtime::run(
   std::vector<VirtualClock> clocks(n_ranks);
   auto world = std::make_shared<CommImpl>(n_ranks, model_);
   for (auto& c : clocks) world->clocks.push_back(&c);
+  world->injector = injector_;
+  world->reliable = reliable_;
+  for (int r = 0; r < n_ranks; ++r) world->world_ranks.push_back(r);
   if (registry_ != nullptr)
     for (int r = 0; r < n_ranks; ++r)
       world->recorders[r] = registry_->attach_rank(r, &clocks[r]);

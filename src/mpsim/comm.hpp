@@ -17,10 +17,13 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
+#include <stdexcept>
 #include <vector>
 
 #include "mpsim/clock.hpp"
 #include "mpsim/costmodel.hpp"
+#include "mpsim/fault.hpp"
 #include "obs/obs.hpp"
 
 namespace stnb::mpsim {
@@ -33,6 +36,20 @@ struct CommImpl;
 /// the last arriving rank).
 enum class ReduceOp { kSum, kMax, kMin };
 
+namespace detail {
+/// Typed views over byte payloads must cover the bytes exactly; silent
+/// truncation of a trailing partial element hides protocol bugs (e.g. two
+/// ranks disagreeing on the element type of a collective).
+inline void check_element_size(const char* what, std::size_t bytes,
+                               std::size_t elem) {
+  if (bytes % elem != 0)
+    throw std::runtime_error(std::string(what) + ": payload of " +
+                             std::to_string(bytes) +
+                             " bytes is not a multiple of the element size " +
+                             std::to_string(elem));
+}
+}  // namespace detail
+
 /// Lightweight value handle to a communicator; copyable, thread-compatible
 /// (each rank uses its own local-rank view via the owning thread).
 class Comm {
@@ -42,8 +59,21 @@ class Comm {
   int rank() const { return rank_; }
   int size() const;
 
+  /// Rank in the original world communicator (== rank() on the world comm,
+  /// stable across split()). Fault plans and traces key on world ranks.
+  int world_rank() const;
+
   VirtualClock& clock();
   const CostModel& cost() const;
+
+  /// The fault injector installed on the owning Runtime (nullptr = fault
+  /// free). Shared by all communicators split from the same world.
+  FaultInjector* fault_injector() const;
+
+  /// True if this rank's slice state was lost to a soft-fail window
+  /// overlapping [t_begin, t_end] (virtual seconds). Always false without
+  /// an injector.
+  bool soft_failed_in(double t_begin, double t_end) const;
 
   /// This rank's instrumentation handle (disabled unless a Registry was
   /// attached to the Runtime). Spans opened through it record virtual
@@ -56,7 +86,19 @@ class Comm {
 
   // -- point-to-point ------------------------------------------------------
   void send_bytes(int dest, int tag, const void* data, std::size_t bytes);
+
+  /// Blocking receive. Throws FaultError (kMessageLost) when the matching
+  /// message was dropped by the fault injector — the loss surfaces as a
+  /// typed error instead of an eternal wait.
   std::vector<std::byte> recv_bytes(int source, int tag);
+
+  /// Receive with a modeled timeout: blocks until the next matching
+  /// message (or its loss tombstone) arrives. A lost message charges
+  /// `timeout` virtual seconds to this rank's clock and yields nullopt; a
+  /// delivered message behaves exactly like recv_bytes. Deterministic —
+  /// the timeout is modeled cost, not wall-clock waiting.
+  std::optional<std::vector<std::byte>> try_recv_bytes(int source, int tag,
+                                                       double timeout);
 
   template <typename T>
   void send(int dest, int tag, const std::vector<T>& values) {
@@ -68,8 +110,21 @@ class Comm {
   std::vector<T> recv(int source, int tag) {
     static_assert(std::is_trivially_copyable_v<T>);
     const auto raw = recv_bytes(source, tag);
+    detail::check_element_size("recv", raw.size(), sizeof(T));
     std::vector<T> values(raw.size() / sizeof(T));
     std::memcpy(values.data(), raw.data(), raw.size());
+    return values;
+  }
+
+  template <typename T>
+  std::optional<std::vector<T>> try_recv(int source, int tag,
+                                         double timeout) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    auto raw = try_recv_bytes(source, tag, timeout);
+    if (!raw.has_value()) return std::nullopt;
+    detail::check_element_size("try_recv", raw->size(), sizeof(T));
+    std::vector<T> values(raw->size() / sizeof(T));
+    std::memcpy(values.data(), raw->data(), raw->size());
     return values;
   }
 
@@ -86,6 +141,10 @@ class Comm {
     std::memcpy(bytes.data(), mine.data(), bytes.size());
     std::vector<std::size_t> byte_counts;
     const auto all = allgatherv_bytes(bytes, byte_counts);
+    // Check per contribution, not just the total: mixed element types
+    // across ranks can sum to a clean multiple while every slice is torn.
+    for (auto b : byte_counts)
+      detail::check_element_size("allgatherv", b, sizeof(T));
     std::vector<T> out(all.size() / sizeof(T));
     std::memcpy(out.data(), all.data(), all.size());
     if (counts != nullptr) {
@@ -119,11 +178,6 @@ class Comm {
     return result;
   }
 
-  // Thin legacy wrappers over allreduce().
-  double allreduce_sum(double value) { return allreduce(value, ReduceOp::kSum); }
-  double allreduce_max(double value) { return allreduce(value, ReduceOp::kMax); }
-  double allreduce_min(double value) { return allreduce(value, ReduceOp::kMin); }
-
   template <typename T>
   void broadcast(std::vector<T>& data, int root) {
     static_assert(std::is_trivially_copyable_v<T>);
@@ -133,6 +187,7 @@ class Comm {
       std::memcpy(bytes.data(), data.data(), bytes.size());
     }
     broadcast_bytes(bytes, root);
+    detail::check_element_size("broadcast", bytes.size(), sizeof(T));
     data.assign(bytes.size() / sizeof(T), T{});
     std::memcpy(data.data(), bytes.data(), bytes.size());
   }
@@ -178,12 +233,29 @@ class Runtime {
     return *this;
   }
 
+  /// Installs a fault injector consulted on every point-to-point send and
+  /// at collectives; split communicators inherit it. Not owned; must
+  /// outlive run(). nullptr restores fault-free operation.
+  Runtime& set_fault_injector(FaultInjector* injector) {
+    injector_ = injector;
+    return *this;
+  }
+
+  /// Opt-in reliable delivery (ack + bounded retry with modeled backoff);
+  /// see ReliableConfig. Only meaningful together with a fault injector.
+  Runtime& set_reliable(ReliableConfig reliable) {
+    reliable_ = reliable;
+    return *this;
+  }
+
   std::vector<double> run(int n_ranks,
                           const std::function<void(Comm&)>& rank_main);
 
  private:
   CostModel model_;
   obs::Registry* registry_ = nullptr;
+  FaultInjector* injector_ = nullptr;
+  ReliableConfig reliable_;
 };
 
 }  // namespace stnb::mpsim

@@ -1,0 +1,109 @@
+// Fault-injection mechanism for the simulated message-passing runtime.
+//
+// mpsim owns only the *hook*: an abstract FaultInjector consulted on every
+// point-to-point send (and, for soft-failed ranks, at collectives), plus
+// the typed error surfaced to callers. Policy — which messages fail, when
+// a rank soft-fails, how decisions stay deterministic — lives in
+// src/fault (fault::FaultPlan / fault::PlanInjector), keeping the
+// dependency direction mpsim <- fault.
+//
+// Determinism contract: an injector's on_send decision must be a pure
+// function of (its own seed/plan, the MessageEvent) — in particular it
+// must not depend on wall clock or cross-thread arrival order. mpsim
+// guarantees MessageEvent::seq is a per-(source, dest, tag) sequence
+// number maintained by the sending rank's own thread, so decisions keyed
+// on it are reproducible across runs regardless of host scheduling.
+//
+// Failure semantics ("soft-fail"): a rank inside a failure window models a
+// transient node loss in the paper's 262k-core regime. Its slice *state*
+// is considered lost (the algorithm layer queries failed_in and recovers),
+// and its outgoing point-to-point messages are dropped — but the simulated
+// process keeps executing, so deterministic replay stays possible. A
+// window may additionally be marked hard (collective_failed), in which
+// case collectives it overlaps raise FaultError on every participating
+// rank instead of silently folding stale contributions.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace stnb::mpsim {
+
+/// What the injector decided for one delivery attempt.
+enum class FaultAction {
+  kDeliver,    // message goes through unharmed
+  kDrop,       // message is lost (receiver sees a tombstone / retry fires)
+  kDelay,      // delivered, but arrival is late by SendDecision::delay
+  kDuplicate,  // delivered twice (at-least-once network)
+};
+
+struct SendDecision {
+  FaultAction action = FaultAction::kDeliver;
+  double delay = 0.0;  // extra virtual seconds when action == kDelay
+};
+
+/// Everything the injector may key a decision on. Ranks are *world* ranks
+/// (stable across Comm::split), times are virtual seconds.
+struct MessageEvent {
+  int source = 0;
+  int dest = 0;
+  int tag = 0;
+  std::size_t bytes = 0;
+  std::uint64_t seq = 0;   // per-(source, dest, tag) message index
+  int attempt = 0;         // 0 = first send, >0 = reliable-mode retries
+  double send_time = 0.0;  // sender's virtual clock (incl. retry backoff)
+};
+
+class FaultInjector {
+ public:
+  virtual ~FaultInjector() = default;
+
+  /// Decision for one delivery attempt of a point-to-point message.
+  /// Called concurrently from rank threads; must be thread-safe.
+  virtual SendDecision on_send(const MessageEvent& event) = 0;
+
+  /// True while `world_rank`'s slice state is lost (soft-fail window).
+  virtual bool failed_at(int world_rank, double time) const = 0;
+
+  /// True if a soft-fail window for `world_rank` overlaps [t_begin, t_end].
+  virtual bool failed_in(int world_rank, double t_begin,
+                         double t_end) const = 0;
+
+  /// True if `world_rank` is hard-failed at `time`: collectives it joins
+  /// must surface FaultError instead of completing.
+  virtual bool collective_failed(int world_rank, double time) const = 0;
+};
+
+/// Typed error raised by Comm when a fault becomes visible to the caller:
+/// a plain recv consuming a dropped message's tombstone (instead of
+/// deadlocking forever on a message that will never come), or a collective
+/// joined by a hard-failed rank.
+class FaultError : public std::runtime_error {
+ public:
+  enum class Kind { kMessageLost, kRankFailed };
+
+  FaultError(Kind kind, const std::string& what)
+      : std::runtime_error(what), kind_(kind) {}
+
+  Kind kind() const { return kind_; }
+
+ private:
+  Kind kind_;
+};
+
+/// Opt-in reliable delivery (installed via Runtime::set_reliable): every
+/// send is acknowledged; a dropped message is re-sent up to max_retries
+/// times, each failed attempt charging the sender a modeled ack timeout
+/// plus linear backoff. Duplicated messages are de-duplicated on the
+/// receive side by sequence number. A message dropped on every attempt
+/// still surfaces as FaultError at the receiver.
+struct ReliableConfig {
+  bool enabled = false;
+  int max_retries = 3;        // resends after the first attempt
+  double ack_timeout = 5e-5;  // virtual seconds waiting for the missing ack
+  double backoff = 2.5e-5;    // extra wait added per retry attempt
+};
+
+}  // namespace stnb::mpsim

@@ -27,6 +27,16 @@ Pfasst::Pfasst(mpsim::Comm time_comm, std::vector<Level> levels,
                            levels_[l + 1].config.nodes);
 }
 
+void Pfasst::set_recovery_comm(mpsim::Comm comm) {
+  recovery_comm_ = comm;
+  has_recovery_comm_ = true;
+}
+
+void Pfasst::set_slice_comm(mpsim::Comm comm) {
+  slice_comm_ = comm;
+  has_slice_comm_ = true;
+}
+
 Result Pfasst::run(const ode::State& u0, double t0, double dt, int nsteps) {
   const int pt = comm_.size();
   const int rank = comm_.rank();
@@ -41,6 +51,11 @@ Result Pfasst::run(const ode::State& u0, double t0, double dt, int nsteps) {
         std::make_unique<ode::SdcSweeper>(level.config.nodes, dof_);
     level.u_pre.assign(level.config.nodes.size(), ode::State(dof_, 0.0));
   }
+  fault_aware_ = config_.recover && comm_.fault_injector() != nullptr;
+  t_fail_check_ = comm_.clock().now();
+  k_extra_ = 0;
+  slice_rebuilds_ = 0;
+  lost_messages_ = 0;
 
   Result result;
   result.stats.resize(blocks);
@@ -48,6 +63,8 @@ Result Pfasst::run(const ode::State& u0, double t0, double dt, int nsteps) {
 
   for (int b = 0; b < blocks; ++b) {
     const double t_slice = t0 + (static_cast<double>(b) * pt + rank) * dt;
+    block_recovered_ = false;
+    u_restart_ = u_block;
 
     // Initialize all levels from the block's initial value.
     for (auto& level : levels_) level.sweeper->set_initial(u_block);
@@ -56,25 +73,14 @@ Result Pfasst::run(const ode::State& u0, double t0, double dt, int nsteps) {
     } else {
       levels_.front().sweeper->spread(t_slice, dt,
                                       levels_.front().config.rhs);
-      // Mirror the fine state on the coarser levels.
-      for (std::size_t l = 0; l + 1 < levels_.size(); ++l) {
-        auto& fine = *levels_[l].sweeper;
-        auto& coarse = *levels_[l + 1].sweeper;
-        std::vector<ode::State> fine_u(fine.num_nodes());
-        for (int m = 0; m < fine.num_nodes(); ++m) fine_u[m] = fine.u(m);
-        std::vector<ode::State> coarse_u(coarse.num_nodes(),
-                                         ode::State(dof_, 0.0));
-        transfer_[l].restrict_values(fine_u, coarse_u);
-        for (int m = 0; m < coarse.num_nodes(); ++m)
-          coarse.u(m) = coarse_u[m];
-        coarse.evaluate_all(t_slice, dt, levels_[l + 1].config.rhs);
-      }
+      mirror_to_coarse(t_slice, dt);
     }
 
     ode::State prev_end = levels_.front().sweeper->end_value();
     auto& block_stats = result.stats[b];
     block_stats.clear();
-    for (int k = 0; k < config_.iterations; ++k) {
+    const auto run_iteration = [&](int k) {
+      if (fault_aware_) maybe_rebuild(t_slice, dt);
       iteration(k, t_slice, dt);
       IterationStats it;
       it.fine_residual = levels_.front().sweeper->residual(dt);
@@ -82,6 +88,21 @@ Result Pfasst::run(const ode::State& u0, double t0, double dt, int nsteps) {
           ode::inf_distance(levels_.front().sweeper->end_value(), prev_end);
       prev_end = levels_.front().sweeper->end_value();
       block_stats.push_back(it);
+    };
+    for (int k = 0; k < config_.iterations; ++k) run_iteration(k);
+
+    if (fault_aware_) {
+      // Re-converge after recoveries: the pipeline must agree on the extra
+      // iteration count (lockstep sends/recvs), over the widest
+      // communicator whose collectives interleave with our sweeps.
+      mpsim::Comm& agree = has_recovery_comm_ ? recovery_comm_ : comm_;
+      const int extra =
+          agree.allreduce(block_recovered_ ? config_.recovery_iterations : 0,
+                          mpsim::ReduceOp::kMax);
+      if (extra > 0) comm_.obs_scope().add("pfasst.recovery.k_extra", extra);
+      for (int e = 0; e < extra; ++e)
+        run_iteration(config_.iterations + e);
+      k_extra_ += extra;
     }
 
     // The last rank's fine end value seeds the next block on every rank.
@@ -93,7 +114,25 @@ Result Pfasst::run(const ode::State& u0, double t0, double dt, int nsteps) {
   result.u_end = u_block;
   for (const auto& level : levels_)
     result.rhs_evaluations += level.sweeper->rhs_evaluations();
+  result.k_extra = k_extra_;
+  result.slice_rebuilds = slice_rebuilds_;
+  result.lost_messages = lost_messages_;
   return result;
+}
+
+void Pfasst::mirror_to_coarse(double t_slice, double dt) {
+  // Mirror the fine state on the coarser levels.
+  for (std::size_t l = 0; l + 1 < levels_.size(); ++l) {
+    auto& fine = *levels_[l].sweeper;
+    auto& coarse = *levels_[l + 1].sweeper;
+    std::vector<ode::State> fine_u(fine.num_nodes());
+    for (int m = 0; m < fine.num_nodes(); ++m) fine_u[m] = fine.u(m);
+    std::vector<ode::State> coarse_u(coarse.num_nodes(),
+                                     ode::State(dof_, 0.0));
+    transfer_[l].restrict_values(fine_u, coarse_u);
+    for (int m = 0; m < coarse.num_nodes(); ++m) coarse.u(m) = coarse_u[m];
+    coarse.evaluate_all(t_slice, dt, levels_[l + 1].config.rhs);
+  }
 }
 
 void Pfasst::predictor(double t_slice, double dt) {
@@ -112,10 +151,10 @@ void Pfasst::predictor(double t_slice, double dt) {
   for (int j = 0; j <= rank; ++j) {
     bool refreshed = false;
     if (j > 0) {
-      const auto u_in =
-          comm_.recv<double>(rank - 1, kTagPredictor + j);
-      sweeper.set_initial(u_in);
-      refreshed = true;
+      if (const auto u_in = recv_initial(rank - 1, kTagPredictor + j)) {
+        sweeper.set_initial(*u_in);
+        refreshed = true;
+      }
     }
     {
       obs::Span sweep_span = scope.span("pfasst.sweep.coarse");
@@ -128,6 +167,10 @@ void Pfasst::predictor(double t_slice, double dt) {
     }
   }
 
+  interpolate_to_fine(t_slice, dt);
+}
+
+void Pfasst::interpolate_to_fine(double t_slice, double dt) {
   // Interpolate the provisional coarse solution up the hierarchy.
   for (int l = static_cast<int>(levels_.size()) - 2; l >= 0; --l) {
     auto& fine = *levels_[l].sweeper;
@@ -138,6 +181,70 @@ void Pfasst::predictor(double t_slice, double dt) {
     transfer_[l].interpolate_correction(coarse_u, fine_u);  // from zero
     for (int m = 0; m < fine.num_nodes(); ++m) fine.u(m) = fine_u[m];
     fine.evaluate_all(t_slice, dt, levels_[l].config.rhs);
+  }
+}
+
+std::optional<ode::State> Pfasst::recv_initial(int source, int tag) {
+  if (!fault_aware_) return comm_.recv<double>(source, tag);
+  try {
+    return comm_.recv<double>(source, tag);
+  } catch (const mpsim::FaultError&) {
+    // The forward-send was lost: fall back to the value already in place
+    // (the predecessor's last *delivered* forward-send) and flag the block
+    // for extra re-convergence iterations.
+    comm_.obs_scope().add("pfasst.recovery.lost_recv");
+    ++lost_messages_;
+    block_recovered_ = true;
+    return std::nullopt;
+  }
+}
+
+void Pfasst::maybe_rebuild(double t_slice, double dt) {
+  const double now = comm_.clock().now();
+  int failed = comm_.soft_failed_in(t_fail_check_, now) ? 1 : 0;
+  // A distributed slice rebuilds on all of its owners or none: the rebuild
+  // sweeps evaluate the RHS, and a space-collective RHS deadlocks if only
+  // some owners sweep. All owners reach this agreement point every
+  // iteration (the iteration count per block is itself agreed), so the
+  // collective is always matched.
+  if (has_slice_comm_)
+    failed = slice_comm_.allreduce(failed, mpsim::ReduceOp::kMax);
+  t_fail_check_ = now;  // pre-allreduce: keeps the check intervals gapless
+  if (failed != 0) rebuild_slice(t_slice, dt);
+}
+
+void Pfasst::rebuild_slice(double t_slice, double dt) {
+  const obs::Scope scope = comm_.obs_scope();
+  obs::Span span = scope.span("pfasst.recovery.rebuild");
+  scope.add("pfasst.recovery.rebuilds");
+  ++slice_rebuilds_;
+  block_recovered_ = true;
+
+  // The soft-fail wiped this slice's node values. Rebuild the hierarchy
+  // from the last known-good initial value (the predecessor's last
+  // delivered forward-send, or the block initial): spread on the fine
+  // level, restrict down, then sharpen with cheap coarse sweeps before
+  // rejoining the pipeline — the same machinery as the predictor, applied
+  // mid-flight.
+  for (auto& level : levels_) {
+    level.sweeper->clear_tau();
+    level.sweeper->set_initial(u_restart_);
+  }
+  auto& fine = levels_.front();
+  fine.sweeper->spread(t_slice, dt, fine.config.rhs);
+  mirror_to_coarse(t_slice, dt);
+  if (levels_.size() > 1) {
+    auto& coarse = levels_.back();
+    for (int s = 0; s < config_.recovery_sweeps; ++s) {
+      obs::Span sweep_span = scope.span("pfasst.sweep.coarse");
+      coarse.sweeper->sweep(t_slice, dt, coarse.config.rhs);
+    }
+    interpolate_to_fine(t_slice, dt);
+  } else {
+    for (int s = 0; s < config_.recovery_sweeps; ++s) {
+      obs::Span sweep_span = scope.span("pfasst.sweep.fine");
+      fine.sweeper->sweep(t_slice, dt, fine.config.rhs);
+    }
   }
 }
 
@@ -200,9 +307,13 @@ void Pfasst::iteration(int k, double t_slice, double dt) {
     auto& level = levels_.back();
     bool refreshed = false;
     if (rank > 0) {
-      const auto u_in = comm_.recv<double>(rank - 1, tag(num_levels - 1));
-      level.sweeper->set_initial(u_in);
-      refreshed = true;
+      if (const auto u_in = recv_initial(rank - 1, tag(num_levels - 1))) {
+        level.sweeper->set_initial(*u_in);
+        refreshed = true;
+        // Single-level runs have no up-cycle: this receive is the fine
+        // forward-send and doubles as the recovery restart value.
+        if (num_levels == 1) u_restart_ = *u_in;
+      }
     }
     for (int s = 0; s < level.config.sweeps; ++s) {
       obs::Span sweep_span = scope.span(sweep_name(num_levels - 1));
@@ -240,11 +351,15 @@ void Pfasst::iteration(int k, double t_slice, double dt) {
     // Using the old initial as base gives a non-contracting (-1
     // eigenvalue) update at the slice boundary.
     if (rank > 0) {
-      auto u_in = comm_.recv<double>(rank - 1, tag(l));
-      ode::State delta0 = coarse.sweeper->u(0);
-      ode::axpy(-1.0, u_in, delta0);  // identity spatial restriction
-      ode::axpy(1.0, delta0, u_in);
-      level.sweeper->set_initial(u_in);
+      if (auto u_in = recv_initial(rank - 1, tag(l))) {
+        ode::State delta0 = coarse.sweeper->u(0);
+        ode::axpy(-1.0, *u_in, delta0);  // identity spatial restriction
+        ode::axpy(1.0, delta0, *u_in);
+        level.sweeper->set_initial(*u_in);
+        // The corrected fine initial is the best restart value for a
+        // later soft-fail of this slice.
+        if (l == 0) u_restart_ = *u_in;
+      }
     }
     level.sweeper->evaluate_all(t_slice, dt, level.config.rhs);
 

@@ -1,0 +1,555 @@
+// Fault-tolerance subsystem: deterministic fault injection (plan dice,
+// soft-fail windows), comm-level fault semantics (tombstones, try_recv,
+// reliable delivery, hard collective failure), checkpoint round-trips,
+// and PFASST slice recovery under injected faults.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+#include <vector>
+
+#include "fault/checkpoint.hpp"
+#include "fault/plan.hpp"
+#include "mpsim/comm.hpp"
+#include "obs/obs.hpp"
+#include "ode/nodes.hpp"
+#include "ode/sdc.hpp"
+#include "pfasst/controller.hpp"
+
+namespace stnb::fault {
+namespace {
+
+using mpsim::Comm;
+using mpsim::FaultAction;
+using mpsim::FaultError;
+using mpsim::MessageEvent;
+using mpsim::Runtime;
+
+MessageEvent event(int src, int dst, int tag, std::uint64_t seq,
+                   int attempt = 0, double t = 0.0) {
+  MessageEvent ev;
+  ev.source = src;
+  ev.dest = dst;
+  ev.tag = tag;
+  ev.seq = seq;
+  ev.attempt = attempt;
+  ev.send_time = t;
+  return ev;
+}
+
+// ---- plan / injector determinism -----------------------------------------
+
+TEST(FaultPlan, DecisionsAreDeterministicForSeedAndPlan) {
+  FaultPlan plan;
+  plan.rules.push_back(
+      {.drop = 0.3, .duplicate = 0.2, .delay = 0.1, .delay_seconds = 1e-4});
+  PlanInjector a(plan, 42);
+  PlanInjector b(plan, 42);
+  PlanInjector c(plan, 43);
+
+  int drops = 0, dups = 0, delays = 0, differs = 0;
+  for (std::uint64_t seq = 0; seq < 500; ++seq) {
+    const auto ev = event(0, 1, 5, seq);
+    const auto da = a.on_send(ev);
+    const auto db = b.on_send(ev);
+    EXPECT_EQ(da.action, db.action) << "seq " << seq;
+    EXPECT_EQ(da.delay, db.delay);
+    if (da.action != c.on_send(ev).action) ++differs;
+    drops += da.action == FaultAction::kDrop;
+    dups += da.action == FaultAction::kDuplicate;
+    delays += da.action == FaultAction::kDelay;
+  }
+  // The dice actually fire at roughly the configured rates...
+  EXPECT_NEAR(drops, 150, 50);
+  EXPECT_NEAR(dups, 100, 50);
+  EXPECT_NEAR(delays, 50, 35);
+  // ...and depend on the seed.
+  EXPECT_GT(differs, 0);
+}
+
+TEST(FaultPlan, MaxEventsCapsArePerMessageStream) {
+  FaultPlan plan;
+  plan.rules.push_back({.drop = 1.0, .max_events = 2});
+  PlanInjector injector(plan, 7);
+
+  for (int tag : {1, 2}) {
+    EXPECT_EQ(injector.on_send(event(0, 1, tag, 0)).action,
+              FaultAction::kDrop);
+    EXPECT_EQ(injector.on_send(event(0, 1, tag, 1)).action,
+              FaultAction::kDrop);
+    // Budget for this (source, dest, tag) stream is spent.
+    EXPECT_EQ(injector.on_send(event(0, 1, tag, 2)).action,
+              FaultAction::kDeliver);
+  }
+  EXPECT_EQ(injector.stats().drops, 4u);
+}
+
+TEST(FaultPlan, RuleScopingByRankTagAndWindow) {
+  FaultPlan plan;
+  plan.rules.push_back(
+      {.source = 1, .tag = 9, .drop = 1.0, .begin = 1.0, .end = 2.0});
+  PlanInjector injector(plan, 1);
+
+  EXPECT_EQ(injector.on_send(event(1, 0, 9, 0, 0, 1.5)).action,
+            FaultAction::kDrop);
+  EXPECT_EQ(injector.on_send(event(0, 1, 9, 0, 0, 1.5)).action,
+            FaultAction::kDeliver);  // wrong source
+  EXPECT_EQ(injector.on_send(event(1, 0, 8, 0, 0, 1.5)).action,
+            FaultAction::kDeliver);  // wrong tag
+  EXPECT_EQ(injector.on_send(event(1, 0, 9, 0, 0, 2.5)).action,
+            FaultAction::kDeliver);  // outside the window
+}
+
+TEST(FaultPlan, SoftFailWindowQueries) {
+  FaultPlan plan;
+  plan.soft_fails.push_back({.rank = 2, .begin = 1.0, .end = 2.0});
+  plan.soft_fails.push_back(
+      {.rank = 3, .begin = 0.5, .end = 0.6, .hard = true});
+  PlanInjector injector(plan, 0);
+
+  EXPECT_TRUE(injector.failed_at(2, 1.0));
+  EXPECT_TRUE(injector.failed_at(2, 1.999));
+  EXPECT_FALSE(injector.failed_at(2, 2.0));  // half-open window
+  EXPECT_FALSE(injector.failed_at(1, 1.5));
+
+  EXPECT_TRUE(injector.failed_in(2, 0.0, 1.0));
+  EXPECT_TRUE(injector.failed_in(2, 1.9, 5.0));
+  EXPECT_FALSE(injector.failed_in(2, 2.0, 5.0));
+  EXPECT_FALSE(injector.failed_in(2, 0.0, 0.9));
+
+  EXPECT_FALSE(injector.collective_failed(2, 1.5));  // soft, not hard
+  EXPECT_TRUE(injector.collective_failed(3, 0.55));
+}
+
+// ---- comm-level fault semantics ------------------------------------------
+
+TEST(FaultComm, DroppedMessageSurfacesAsFaultErrorNotDeadlock) {
+  FaultPlan plan;
+  plan.rules.push_back({.drop = 1.0});
+  PlanInjector injector(plan, 3);
+  Runtime rt;
+  rt.set_fault_injector(&injector);
+  bool lost = false;
+  rt.run(2, [&](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send(1, 0, std::vector<int>{11});
+    } else {
+      try {
+        comm.recv<int>(0, 0);
+      } catch (const FaultError& e) {
+        lost = e.kind() == FaultError::Kind::kMessageLost;
+      }
+    }
+  });
+  EXPECT_TRUE(lost);
+  EXPECT_EQ(injector.stats().drops, 1u);
+}
+
+TEST(FaultComm, TryRecvTimesOutOnDroppedMessageAndChargesTheWait) {
+  FaultPlan plan;
+  plan.rules.push_back({.drop = 1.0});
+  PlanInjector injector(plan, 3);
+  Runtime rt;
+  rt.set_fault_injector(&injector);
+  rt.run(2, [&](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send(1, 0, std::vector<int>{11});
+    } else {
+      const double before = comm.clock().now();
+      const auto got = comm.try_recv<int>(0, 0, /*timeout=*/1e-3);
+      EXPECT_FALSE(got.has_value());
+      EXPECT_GE(comm.clock().now(), before + 1e-3);
+    }
+  });
+}
+
+TEST(FaultComm, TryRecvDeliversArrivedMessages) {
+  Runtime rt;
+  rt.run(2, [&](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send(1, 0, std::vector<int>{11, 22});
+    } else {
+      const auto got = comm.try_recv<int>(0, 0, /*timeout=*/1e-3);
+      ASSERT_TRUE(got.has_value());
+      EXPECT_EQ(*got, (std::vector<int>{11, 22}));
+    }
+  });
+}
+
+TEST(FaultComm, ReliableRetryRecoversDroppedMessage) {
+  FaultPlan plan;
+  plan.rules.push_back({.drop = 1.0, .max_events = 1});  // lose 1st attempt
+  PlanInjector injector(plan, 3);
+  obs::Registry registry;
+  Runtime rt;
+  rt.set_registry(&registry);
+  rt.set_fault_injector(&injector);
+  rt.set_reliable({.enabled = true});
+  rt.run(2, [&](Comm& comm) {
+    if (comm.rank() == 0) {
+      const double before = comm.clock().now();
+      comm.send(1, 0, std::vector<int>{11});
+      // The failed attempt charges the sender ack timeout + backoff.
+      EXPECT_GT(comm.clock().now(), before);
+    } else {
+      EXPECT_EQ(comm.recv<int>(0, 0).at(0), 11);
+    }
+  });
+  EXPECT_EQ(injector.stats().drops, 1u);
+  EXPECT_EQ(registry.counter_total("fault.send.retry"), 1u);
+}
+
+TEST(FaultComm, ReliableModeDedupesDuplicatedMessages) {
+  FaultPlan plan;
+  plan.rules.push_back({.duplicate = 1.0});
+  PlanInjector injector(plan, 3);
+  obs::Registry registry;
+  Runtime rt;
+  rt.set_registry(&registry);
+  rt.set_fault_injector(&injector);
+  rt.set_reliable({.enabled = true});
+  rt.run(2, [&](Comm& comm) {
+    if (comm.rank() == 0) {
+      for (int i = 0; i < 3; ++i) comm.send(1, 0, std::vector<int>{i});
+    } else {
+      // Exactly one copy of each message, in order, despite the at-least-
+      // once network.
+      for (int i = 0; i < 3; ++i) EXPECT_EQ(comm.recv<int>(0, 0).at(0), i);
+      EXPECT_FALSE(comm.try_recv<int>(0, 0, 1e-4).has_value());
+    }
+  });
+  EXPECT_EQ(injector.stats().duplicates, 3u);
+  EXPECT_GE(registry.counter_total("fault.recv.dedup"), 3u);
+}
+
+TEST(FaultComm, DuplicatesAreVisibleWithoutReliableDelivery) {
+  FaultPlan plan;
+  plan.rules.push_back({.duplicate = 1.0});
+  PlanInjector injector(plan, 3);
+  Runtime rt;
+  rt.set_fault_injector(&injector);
+  rt.run(2, [&](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send(1, 0, std::vector<int>{11});
+    } else {
+      EXPECT_EQ(comm.recv<int>(0, 0).at(0), 11);
+      EXPECT_EQ(comm.recv<int>(0, 0).at(0), 11);  // the duplicate
+    }
+  });
+}
+
+TEST(FaultComm, DelayedMessageArrivesLate) {
+  FaultPlan plan;
+  plan.rules.push_back({.delay = 1.0, .delay_seconds = 0.25});
+  PlanInjector injector(plan, 3);
+  Runtime rt;
+  rt.set_fault_injector(&injector);
+  rt.run(2, [&](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send(1, 0, std::vector<int>{11});
+    } else {
+      EXPECT_EQ(comm.recv<int>(0, 0).at(0), 11);
+      EXPECT_GE(comm.clock().now(), 0.25);  // causality includes the delay
+    }
+  });
+  EXPECT_EQ(injector.stats().delays, 1u);
+}
+
+TEST(FaultComm, SoftFailedRankDropsItsOutgoingSends) {
+  FaultPlan plan;
+  plan.soft_fails.push_back({.rank = 0, .begin = 0.0, .end = 1e9});
+  PlanInjector injector(plan, 3);
+  Runtime rt;
+  rt.set_fault_injector(&injector);
+  bool lost = false;
+  rt.run(2, [&](Comm& comm) {
+    if (comm.rank() == 0) {
+      EXPECT_TRUE(comm.soft_failed_in(0.0, comm.clock().now()));
+      comm.send(1, 0, std::vector<int>{11});
+    } else {
+      EXPECT_FALSE(comm.soft_failed_in(0.0, comm.clock().now()));
+      try {
+        comm.recv<int>(0, 0);
+      } catch (const FaultError&) {
+        lost = true;
+      }
+    }
+  });
+  EXPECT_TRUE(lost);
+}
+
+TEST(FaultComm, HardFailureAbortsCollectivesOnEveryRank) {
+  FaultPlan plan;
+  plan.soft_fails.push_back(
+      {.rank = 1, .begin = 0.0, .end = 1e9, .hard = true});
+  PlanInjector injector(plan, 3);
+  Runtime rt;
+  rt.set_fault_injector(&injector);
+  std::vector<int> aborted(3, 0);
+  rt.run(3, [&](Comm& comm) {
+    try {
+      comm.allreduce(1.0, mpsim::ReduceOp::kSum);
+    } catch (const FaultError& e) {
+      aborted[comm.rank()] = e.kind() == FaultError::Kind::kRankFailed;
+    }
+  });
+  EXPECT_EQ(aborted, (std::vector<int>{1, 1, 1}));
+}
+
+TEST(FaultComm, FaultsFollowWorldRanksThroughSplit) {
+  // The rule targets world rank 2 as source. After a split, that rank
+  // sends inside a subcommunicator where its local rank is 0 — the fault
+  // must still fire (plans are keyed to stable world ranks).
+  FaultPlan plan;
+  plan.rules.push_back({.source = 2, .drop = 1.0});
+  PlanInjector injector(plan, 3);
+  Runtime rt;
+  rt.set_fault_injector(&injector);
+  bool lost = false;
+  rt.run(4, [&](Comm& world) {
+    // Ranks {0,1} and {2,3} form two groups; in-group rank flipped so
+    // world rank 2 becomes group rank 0.
+    Comm group = world.split(world.rank() / 2, 1 - world.rank() % 2);
+    EXPECT_EQ(group.world_rank(), world.rank());
+    if (world.rank() == 2) {
+      group.send(0, 5, std::vector<int>{7});  // group rank 0 = world rank 3
+    } else if (world.rank() == 3) {
+      try {
+        group.recv<int>(1, 5);
+      } catch (const FaultError&) {
+        lost = true;
+      }
+    }
+  });
+  EXPECT_TRUE(lost);
+}
+
+// ---- checkpoint / restart ------------------------------------------------
+
+TEST(Checkpoint, RoundTripsBitIdentically) {
+  Checkpoint ckpt;
+  ckpt.step = 17;
+  ckpt.time = 4.25;
+  ckpt.state = {0.0, -0.0, 1.0 / 3.0, 1e-308, -1e308, 3.141592653589793};
+  std::stringstream ss;
+  write_checkpoint(ss, ckpt);
+  const Checkpoint back = read_checkpoint(ss);
+  EXPECT_EQ(back.step, 17u);
+  EXPECT_EQ(back.time, 4.25);
+  ASSERT_EQ(back.state.size(), ckpt.state.size());
+  EXPECT_EQ(0, std::memcmp(back.state.data(), ckpt.state.data(),
+                           ckpt.state.size() * sizeof(double)));
+  // -0.0 == 0.0 under operator==; the memcmp above is the real check.
+}
+
+TEST(Checkpoint, EmptyStateRoundTrips) {
+  Checkpoint ckpt;
+  std::stringstream ss;
+  write_checkpoint(ss, ckpt);
+  const Checkpoint back = read_checkpoint(ss);
+  EXPECT_EQ(back.step, 0u);
+  EXPECT_TRUE(back.state.empty());
+}
+
+TEST(Checkpoint, DetectsPayloadCorruption) {
+  Checkpoint ckpt;
+  ckpt.state = {1.0, 2.0, 3.0};
+  std::stringstream ss;
+  write_checkpoint(ss, ckpt);
+  std::string bytes = ss.str();
+  bytes[44] ^= 0x40;  // flip a bit inside the payload
+  std::stringstream corrupted(bytes);
+  EXPECT_THROW(read_checkpoint(corrupted), CheckpointError);
+}
+
+TEST(Checkpoint, RejectsBadMagicAndVersion) {
+  Checkpoint ckpt;
+  ckpt.state = {1.0};
+  std::stringstream ss;
+  write_checkpoint(ss, ckpt);
+  std::string bytes = ss.str();
+
+  std::string bad_magic = bytes;
+  bad_magic[0] = 'X';
+  std::stringstream m(bad_magic);
+  EXPECT_THROW(read_checkpoint(m), CheckpointError);
+
+  std::string bad_version = bytes;
+  bad_version[8] = 99;  // version field (checksum is checked after it)
+  std::stringstream v(bad_version);
+  EXPECT_THROW(read_checkpoint(v), CheckpointError);
+}
+
+TEST(Checkpoint, RejectsTruncationAndTrailingGarbage) {
+  Checkpoint ckpt;
+  ckpt.state = {1.0, 2.0};
+  std::stringstream ss;
+  write_checkpoint(ss, ckpt);
+  const std::string bytes = ss.str();
+
+  std::stringstream truncated(bytes.substr(0, bytes.size() - 3));
+  EXPECT_THROW(read_checkpoint(truncated), CheckpointError);
+
+  std::stringstream tiny(bytes.substr(0, 10));
+  EXPECT_THROW(read_checkpoint(tiny), CheckpointError);
+
+  std::stringstream padded(bytes + "xx");
+  EXPECT_THROW(read_checkpoint(padded), CheckpointError);
+}
+
+TEST(Checkpoint, FilePathWrappersWorkAndFailLoudly) {
+  const std::string path = ::testing::TempDir() + "stnb_ckpt_test.bin";
+  Checkpoint ckpt;
+  ckpt.step = 3;
+  ckpt.state = {42.0};
+  write_checkpoint(path, ckpt);
+  const Checkpoint back = read_checkpoint(path);
+  EXPECT_EQ(back.step, 3u);
+  EXPECT_EQ(back.state, ckpt.state);
+  EXPECT_THROW(read_checkpoint(path + ".does-not-exist"), CheckpointError);
+  std::remove(path.c_str());
+}
+
+// ---- PFASST recovery -----------------------------------------------------
+
+void scalar_rhs(double t, const ode::State& u, ode::State& f) {
+  for (std::size_t i = 0; i < u.size(); ++i)
+    f[i] = -u[i] * u[i] + std::sin(t);
+}
+
+std::vector<pfasst::Level> scalar_levels() {
+  return {
+      {ode::collocation_nodes(ode::NodeType::kGaussLobatto, 3), scalar_rhs,
+       1},
+      {ode::collocation_nodes(ode::NodeType::kGaussLobatto, 2), scalar_rhs,
+       2},
+  };
+}
+
+struct PfasstRun {
+  ode::State u_end;
+  double virtual_time = 0.0;
+  int k_extra = 0;
+  long rebuilds = 0;
+  long lost = 0;
+};
+
+PfasstRun run_pfasst(int pt, int nsteps, mpsim::FaultInjector* injector,
+                     bool reliable = false, int recovery_iterations = 4) {
+  PfasstRun out;
+  Runtime rt;
+  if (injector != nullptr) rt.set_fault_injector(injector);
+  if (reliable) rt.set_reliable({.enabled = true});
+  rt.run(pt, [&](Comm& comm) {
+    pfasst::Config cfg;
+    cfg.iterations = 3;
+    cfg.recover = true;
+    cfg.recovery_iterations = recovery_iterations;
+    pfasst::Pfasst controller(comm, scalar_levels(), cfg);
+    const auto result = controller.run({1.0}, 0.0, 0.2, nsteps);
+    const long rebuilds =
+        comm.allreduce(result.slice_rebuilds, mpsim::ReduceOp::kSum);
+    const long lost =
+        comm.allreduce(result.lost_messages, mpsim::ReduceOp::kSum);
+    const double t =
+        comm.allreduce(comm.clock().now(), mpsim::ReduceOp::kMax);
+    if (comm.rank() == 0) {
+      out.u_end = result.u_end;
+      out.virtual_time = t;
+      out.k_extra = result.k_extra;
+      out.rebuilds = rebuilds;
+      out.lost = lost;
+    }
+  });
+  return out;
+}
+
+/// Converged serial collocation solution — the common yardstick: the
+/// fault-free PFASST run carries its own iteration-truncation error, so
+/// "recovered" means the faulted run's error vs the converged solution is
+/// of the same order, not that it matches the clean run bitwise.
+ode::State converged_reference(int nsteps) {
+  ode::SdcSweeper sw(
+      ode::collocation_nodes(ode::NodeType::kGaussLobatto, 3), 1);
+  return ode::sdc_integrate(sw, scalar_rhs, {1.0}, 0.0, 0.2, nsteps, 25);
+}
+
+TEST(FaultPfasst, RecoversFromMidRunSoftFail) {
+  const int pt = 4, nsteps = 8;
+  const PfasstRun clean = run_pfasst(pt, nsteps, nullptr);
+  ASSERT_GT(clean.virtual_time, 0.0);
+
+  // Soft-fail a middle rank for a window in the middle of the (known,
+  // deterministic) fault-free schedule.
+  FaultPlan plan;
+  plan.soft_fails.push_back({.rank = 2,
+                             .begin = 0.3 * clean.virtual_time,
+                             .end = 0.5 * clean.virtual_time});
+  PlanInjector injector(plan, 11);
+  const PfasstRun faulted = run_pfasst(pt, nsteps, &injector);
+
+  EXPECT_GT(faulted.rebuilds, 0);
+  EXPECT_GT(faulted.k_extra, 0);
+  ASSERT_EQ(faulted.u_end.size(), clean.u_end.size());
+  const double ref = converged_reference(nsteps)[0];
+  const double err_clean = std::abs(clean.u_end[0] - ref);
+  const double err_faulted = std::abs(faulted.u_end[0] - ref);
+  EXPECT_LE(err_faulted, 10 * err_clean + 1e-12);
+}
+
+TEST(FaultPfasst, LostForwardSendsRecoveredByExtraIterations) {
+  const int pt = 4, nsteps = 8;
+  const PfasstRun clean = run_pfasst(pt, nsteps, nullptr);
+
+  FaultPlan plan;
+  plan.rules.push_back({.drop = 0.3});
+  PlanInjector injector(plan, 5);
+  const PfasstRun faulted = run_pfasst(pt, nsteps, &injector);
+
+  EXPECT_GT(faulted.lost, 0);
+  EXPECT_GT(faulted.k_extra, 0);
+  const double ref = converged_reference(nsteps)[0];
+  const double err_clean = std::abs(clean.u_end[0] - ref);
+  const double err_faulted = std::abs(faulted.u_end[0] - ref);
+  EXPECT_LE(err_faulted, 10 * err_clean + 1e-12);
+}
+
+TEST(FaultPfasst, ReliableDeliveryMasksDropsWithoutExtraIterations) {
+  const int pt = 4, nsteps = 8;
+  const PfasstRun clean = run_pfasst(pt, nsteps, nullptr);
+
+  FaultPlan plan;
+  plan.rules.push_back({.drop = 0.3});
+  PlanInjector injector(plan, 5);
+  const PfasstRun faulted = run_pfasst(pt, nsteps, &injector, true);
+
+  EXPECT_GT(injector.stats().drops, 0u);
+  EXPECT_EQ(faulted.lost, 0);
+  EXPECT_EQ(faulted.k_extra, 0);
+  // With every loss retried successfully the trajectory is bit-identical.
+  EXPECT_EQ(faulted.u_end, clean.u_end);
+}
+
+TEST(FaultPfasst, FaultedRunsAreDeterministicAcrossRepeats) {
+  const int pt = 4, nsteps = 8;
+  FaultPlan plan;
+  plan.rules.push_back({.drop = 0.25});
+  plan.soft_fails.push_back({.rank = 1, .begin = 0.001, .end = 0.002});
+
+  PlanInjector a(plan, 9);
+  const PfasstRun first = run_pfasst(pt, nsteps, &a);
+  PlanInjector b(plan, 9);
+  const PfasstRun second = run_pfasst(pt, nsteps, &b);
+
+  EXPECT_EQ(first.u_end, second.u_end);  // bit-identical
+  EXPECT_EQ(first.virtual_time, second.virtual_time);
+  EXPECT_EQ(first.k_extra, second.k_extra);
+  EXPECT_EQ(first.rebuilds, second.rebuilds);
+  EXPECT_EQ(first.lost, second.lost);
+  EXPECT_EQ(a.stats().drops, b.stats().drops);
+}
+
+}  // namespace
+}  // namespace stnb::fault

@@ -142,7 +142,8 @@ TEST(SpaceTime, VirtualSpeedupImprovesWithTimeParallelism) {
       };
       pfasst::Pfasst controller(time, levels, {2, true});
       controller.run(global, 0.0, 0.5, nsteps);
-      const double t = time.allreduce_max(time.clock().now());
+      const double t =
+          time.allreduce(time.clock().now(), mpsim::ReduceOp::kMax);
       if (time.rank() == 0) t_max = t;
     });
     return t_max;

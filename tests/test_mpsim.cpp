@@ -64,9 +64,9 @@ TEST_P(MpsimCollectives, AllreduceSumMaxMin) {
   Runtime rt;
   rt.run(n, [&](Comm& comm) {
     const double v = static_cast<double>(comm.rank() + 1);
-    EXPECT_DOUBLE_EQ(comm.allreduce_sum(v), n * (n + 1) / 2.0);
-    EXPECT_DOUBLE_EQ(comm.allreduce_max(v), n);
-    EXPECT_DOUBLE_EQ(comm.allreduce_min(v), 1.0);
+    EXPECT_DOUBLE_EQ(comm.allreduce(v, ReduceOp::kSum), n * (n + 1) / 2.0);
+    EXPECT_DOUBLE_EQ(comm.allreduce(v, ReduceOp::kMax), n);
+    EXPECT_DOUBLE_EQ(comm.allreduce(v, ReduceOp::kMin), 1.0);
   });
 }
 
@@ -155,12 +155,14 @@ TEST(Mpsim, SplitFormsSpaceTimeGridLikeFigure2) {
     EXPECT_EQ(time.size(), pt);
     EXPECT_EQ(time.rank(), time_slice);
     // Sum of world ranks within my space communicator.
-    const double space_sum = space.allreduce_sum(world.rank());
+    const double space_sum =
+        space.allreduce<double>(world.rank(), ReduceOp::kSum);
     double expected = 0;
     for (int s = 0; s < ps; ++s) expected += time_slice * ps + s;
     EXPECT_DOUBLE_EQ(space_sum, expected);
     // And within my time communicator.
-    const double time_sum = time.allreduce_sum(world.rank());
+    const double time_sum =
+        time.allreduce<double>(world.rank(), ReduceOp::kSum);
     expected = 0;
     for (int t = 0; t < pt; ++t) expected += t * ps + space_rank;
     EXPECT_DOUBLE_EQ(time_sum, expected);
@@ -196,7 +198,7 @@ TEST(Mpsim, BarrierSynchronizesClocksToSlowestRank) {
 TEST(Mpsim, VirtualTimesAreDeterministicAcrossRuns) {
   auto program = [](Comm& comm) {
     comm.compute(0.01 * (comm.rank() + 1));
-    const double s = comm.allreduce_sum(1.0);
+    const double s = comm.allreduce(1.0, ReduceOp::kSum);
     comm.compute(s * 0.001);
     if (comm.rank() > 0) comm.send(comm.rank() - 1, 1, std::vector<int>{1});
     if (comm.rank() < comm.size() - 1)
@@ -219,11 +221,79 @@ TEST(Mpsim, RankExceptionsPropagateToCaller) {
                std::runtime_error);
 }
 
+TEST(Mpsim, RecvFailsLoudlyOnElementSizeMismatch) {
+  Runtime rt;
+  rt.run(2, [&](Comm& comm) {
+    if (comm.rank() == 0) {
+      // 5 chars = 5 bytes, which no whole number of ints can occupy.
+      comm.send(1, 0, std::vector<char>{'a', 'b', 'c', 'd', 'e'});
+    } else {
+      EXPECT_THROW((void)comm.recv<int>(0, 0), std::runtime_error);
+    }
+  });
+}
+
+TEST(Mpsim, AllgathervFailsLoudlyOnTornContribution) {
+  Runtime rt;
+  rt.run(2, [&](Comm& comm) {
+    if (comm.rank() == 0) {
+      // 3 bytes from rank 0; rank 1 reads the gather as ints and must
+      // reject the torn slice even though it could misparse the total.
+      (void)comm.allgatherv(std::vector<char>{'x', 'y', 'z'});
+    } else {
+      EXPECT_THROW((void)comm.allgatherv(std::vector<int>{7}),
+                   std::runtime_error);
+    }
+  });
+}
+
+TEST(Mpsim, AlltoallvHandlesEmptyPayloads) {
+  Runtime rt;
+  rt.run(3, [&](Comm& comm) {
+    // Everybody sends nothing to everybody.
+    std::vector<std::vector<std::byte>> to_each(3);
+    const auto from_each = comm.alltoallv_bytes(to_each);
+    ASSERT_EQ(from_each.size(), 3u);
+    for (const auto& payload : from_each) EXPECT_TRUE(payload.empty());
+  });
+}
+
+TEST(Mpsim, AlltoallvRoutesSelfSendsAndSkipsSilentRanks) {
+  Runtime rt;
+  rt.run(3, [&](Comm& comm) {
+    // Each rank sends one byte only to itself; the cross-rank lanes stay
+    // empty and must come back empty (not stale or misrouted).
+    std::vector<std::vector<std::byte>> to_each(3);
+    to_each[comm.rank()] = {static_cast<std::byte>(40 + comm.rank())};
+    const auto from_each = comm.alltoallv_bytes(to_each);
+    for (int src = 0; src < 3; ++src) {
+      if (src == comm.rank()) {
+        ASSERT_EQ(from_each[src].size(), 1u);
+        EXPECT_EQ(static_cast<int>(from_each[src][0]), 40 + comm.rank());
+      } else {
+        EXPECT_TRUE(from_each[src].empty());
+      }
+    }
+  });
+}
+
+TEST(Mpsim, AlltoallvSingleRankRoundTrips) {
+  Runtime rt;
+  rt.run(1, [&](Comm& comm) {
+    std::vector<std::vector<std::byte>> to_each(1);
+    to_each[0] = {std::byte{1}, std::byte{2}};
+    const auto from_each = comm.alltoallv_bytes(to_each);
+    ASSERT_EQ(from_each.size(), 1u);
+    EXPECT_EQ(from_each[0], to_each[0]);
+  });
+}
+
 TEST(Mpsim, CollectivesReusableManyTimes) {
   Runtime rt;
   rt.run(5, [](Comm& comm) {
     for (int round = 0; round < 50; ++round) {
-      const double s = comm.allreduce_sum(static_cast<double>(round));
+      const double s =
+          comm.allreduce(static_cast<double>(round), ReduceOp::kSum);
       EXPECT_DOUBLE_EQ(s, 5.0 * round);
     }
   });
