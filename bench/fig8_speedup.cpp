@@ -21,6 +21,7 @@
 #include <memory>
 #include <vector>
 
+#include "check/checker.hpp"
 #include "common.hpp"
 #include "mpsim/comm.hpp"
 #include "obs/obs.hpp"
@@ -118,10 +119,15 @@ int main(int argc, char** argv) {
   cli.add("large-ps", "2", "space ranks, large setup (paper: 2048 nodes)");
   cli.add("max-pt", "8", "largest time-parallel width (paper: 32)");
   cli.add("nsteps", "8", "time steps at dt = 0.5 (paper: T = 16)");
+  cli.add("check", "false",
+          "run under the communication-correctness checker (src/check)");
   cli.add("json", "",
           "write metrics JSON here + a Chrome trace of the widest run "
           "next to it (<path minus .json>.trace.json)");
   if (!cli.parse(argc, argv)) return 1;
+  // Shared across every measured run; each Runtime::run re-begins it.
+  check::Checker checker;
+  const bool checked = cli.get<bool>("check");
 
   bench::print_banner(
       "Fig. 8 — space-time parallel speedup (PEPC + PFASST)",
@@ -156,6 +162,7 @@ int main(int argc, char** argv) {
     double rhs_ratio = 0.0;
     {
       mpsim::Runtime rt;
+      if (checked) rt.set_check_hook(&checker);
       rt.run(ps, [&](mpsim::Comm& comm) {
         const std::size_t begin = setup.n_particles * comm.rank() / ps;
         const std::size_t end = setup.n_particles * (comm.rank() + 1) / ps;
@@ -189,6 +196,7 @@ int main(int argc, char** argv) {
     double t_serial = 0.0;
     {
       mpsim::Runtime rt;
+      if (checked) rt.set_check_hook(&checker);
       rt.run(ps, [&](mpsim::Comm& comm) {
         const std::size_t begin = setup.n_particles * comm.rank() / ps;
         const std::size_t end = setup.n_particles * (comm.rank() + 1) / ps;
@@ -225,6 +233,7 @@ int main(int argc, char** argv) {
       run.registry = std::make_unique<obs::Registry>();
       double t_pfasst = 0.0;
       mpsim::Runtime rt;
+      if (checked) rt.set_check_hook(&checker);
       rt.set_registry(run.registry.get());
       rt.run(pt * ps, [&](mpsim::Comm& world) {
         const int time_slice = world.rank() / ps;

@@ -17,6 +17,7 @@
 //
 //   ./examples/spacetime_vortex [--pt 4] [--ps 2] [--n 1200] [--blocks 2]
 //                               [--trace spacetime.trace.json]
+//                               [--check true]
 //                               [--drop 0.05] [--seed 42] [--reliable]
 //                               [--fault-rank 2 --fault-begin 1.0
 //                                --fault-end 1.5]
@@ -28,6 +29,7 @@
 #include <utility>
 #include <vector>
 
+#include "check/checker.hpp"
 #include "fault/checkpoint.hpp"
 #include "fault/plan.hpp"
 #include "mpsim/comm.hpp"
@@ -51,6 +53,9 @@ int main(int argc, char** argv) {
   cli.add("blocks", "1", "PFASST windows (each P_T steps of dt)");
   cli.add("iterations", "2", "PFASST iterations");
   cli.add("trace", "", "write a Chrome trace of the PFASST run here");
+  cli.add("check", "false",
+          "communication-correctness checker: races, deadlocks, collective "
+          "mismatches, leaks (equivalent to STNB_CHECK=1)");
   // -- fault injection ------------------------------------------------------
   cli.add("drop", "0", "drop probability for p2p (forward-send) messages");
   cli.add("seed", "42", "fault-plan seed (same seed + plan -> same faults)");
@@ -137,9 +142,15 @@ int main(int argc, char** argv) {
 
   // Serial SDC(4) baseline on P_S space ranks (skipped when resuming — the
   // speedup comparison only makes sense for a from-scratch run).
+  // One checker instance across both runs (the serial baseline and the
+  // space-time run); each Runtime::run begins a fresh checked session.
+  check::Checker checker;
+  const bool checked = cli.get<bool>("check");
+
   double t_serial = 0.0;
   if (restore_path.empty()) {
     mpsim::Runtime rt;
+    if (checked) rt.set_check_hook(&checker);
     rt.run(ps, [&](mpsim::Comm& comm) {
       const std::size_t begin = n * comm.rank() / ps;
       const std::size_t end = n * (comm.rank() + 1) / ps;
@@ -167,6 +178,7 @@ int main(int argc, char** argv) {
   obs::Registry registry;
   mpsim::Runtime rt;
   rt.set_registry(&registry);
+  if (checked) rt.set_check_hook(&checker);
   if (faulty) rt.set_fault_injector(&injector);
   if (cli.get<bool>("reliable")) rt.set_reliable({.enabled = true});
   rt.run(pt * ps, [&](mpsim::Comm& world) {

@@ -1,0 +1,176 @@
+// Communication-correctness checking for the simulated runtime.
+//
+// mpsim owns only the *hook*: an abstract CheckHook consulted on every
+// point-to-point send/receive and every collective, plus the typed error
+// surfaced to callers. The analysis itself — vector clocks, message-race
+// detection, wait-for-graph deadlock diagnosis, collective verification,
+// finalize-time leak audits — lives in src/check (check::Checker), keeping
+// the dependency direction mpsim <- check, exactly like the fault layer.
+//
+// The hook piggybacks a CheckEnvelope (send id + sender vector clock) on
+// every message, so happens-before relations of the *simulated* program are
+// exact, not sampled. Because mpsim is deterministic for a given program
+// and fault seed, the checker's reports are bit-reproducible: a race or
+// deadlock found once is found on every rerun, with the same diagnostics.
+//
+// Blocking semantics: while a hook is installed, every blocking wait in
+// mpsim (receive matching, collective rendezvous) registers the pending
+// operation with the hook and polls CheckHook::deadlock_scan; a detected
+// deadlock aborts every blocked rank with the same CheckError instead of
+// hanging the process.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace stnb::mpsim {
+
+/// Wildcard selectors for Comm::recv_bytes / Comm::recv: match any source
+/// rank and/or any tag. Wildcard receives are exactly the ones the checker
+/// analyzes for message races (named receives are FIFO-deterministic).
+inline constexpr int kAnySource = -1;
+inline constexpr int kAnyTag = -1;
+
+/// Typed error raised when the checker proves a correctness violation.
+/// what() carries the full deterministic diagnostic report.
+class CheckError : public std::runtime_error {
+ public:
+  enum class Kind {
+    kRace,                // wildcard receive with >1 concurrent match
+    kDeadlock,            // wait-for cycle, nothing deliverable
+    kCollectiveMismatch,  // ranks disagree on kind/root/count/op
+    kLeak,                // never-received sends / never-freed comms
+  };
+
+  CheckError(Kind kind, const std::string& what)
+      : std::runtime_error(what), kind_(kind) {}
+
+  Kind kind() const { return kind_; }
+
+ private:
+  Kind kind_;
+};
+
+/// Piggybacked on every message envelope while a hook is installed.
+struct CheckEnvelope {
+  std::uint64_t send_id = 0;        // hook-assigned handle for this send
+  std::vector<std::uint64_t> vc;    // sender's vector clock at send time
+};
+
+/// One point-to-point send, as seen after fault-injection resolution.
+/// Ranks are *world* ranks (stable across Comm::split).
+struct CheckSendEvent {
+  std::string comm;         // deterministic communicator key (see Comm)
+  int source = 0;
+  int dest = 0;
+  int tag = 0;
+  std::size_t bytes = 0;
+  bool dropped = false;     // travels as a loss tombstone
+  bool duplicated = false;  // injector posts two copies (same send id)
+};
+
+/// One receive completion (including tombstone and stale-duplicate
+/// consumption, which the checker must treat as benign).
+struct CheckRecvEvent {
+  std::string comm;
+  int dest = 0;                  // receiving world rank
+  int source_sel = kAnySource;   // requested source (world rank) or wildcard
+  int tag_sel = kAnyTag;         // requested tag or wildcard
+  std::uint64_t send_id = 0;     // the matched send
+  bool duplicate = false;        // reliable-mode stale redelivery
+  bool dropped = false;          // consumed a loss tombstone
+};
+
+/// Per-rank descriptor of one collective call, cross-checked by the hook
+/// against every other member of the communicator.
+struct CollectiveCheck {
+  enum class Kind : std::uint8_t {
+    kBarrier,
+    kAllgatherv,
+    kAllreduce,
+    kBroadcast,
+    kAlltoallv,
+    kSplit,
+  };
+  Kind kind = Kind::kBarrier;
+  int root = -1;              // local root rank (broadcast), -1 otherwise
+  std::size_t elem_size = 0;  // element size of typed wrappers (0 = raw)
+  int reduce_op = -1;         // static_cast<int>(ReduceOp) for allreduce
+  std::size_t bytes = 0;      // payload bytes (must match for allreduce)
+};
+
+/// What a blocked rank is waiting for (wait-for-graph node payload).
+struct PendingOp {
+  enum class Kind : std::uint8_t { kRecv, kCollective };
+  Kind kind = Kind::kRecv;
+  std::string comm;
+  int source_sel = kAnySource;  // recv: requested world source or wildcard
+  int tag_sel = kAnyTag;        // recv: requested tag or wildcard
+  CollectiveCheck::Kind coll = CollectiveCheck::Kind::kBarrier;
+  std::vector<int> members;     // collective: the comm's world ranks
+};
+
+/// The checking hook. All methods are called concurrently from rank
+/// threads and must be thread-safe. A hook must never call back into
+/// mpsim (it is invoked under runtime locks).
+class CheckHook {
+ public:
+  virtual ~CheckHook() = default;
+
+  /// Starts a checked run over world ranks 0..n_ranks-1; resets all state.
+  virtual void begin_run(int n_ranks) = 0;
+
+  /// Ends the run. With failed = false, performs the finalize analysis
+  /// (message races, never-received sends, never-freed communicators) and
+  /// throws CheckError on violations. With failed = true (a rank already
+  /// threw), only resets state — the rank's error takes precedence.
+  virtual void end_run(bool failed) = 0;
+
+  /// Records a send; returns the envelope to piggyback on the message.
+  virtual CheckEnvelope on_send(const CheckSendEvent& event) = 0;
+
+  /// Records a receive completion; joins the receiver's vector clock with
+  /// the sender's envelope clock (except for tombstones/duplicates).
+  virtual void on_deliver(const CheckRecvEvent& event,
+                          const std::vector<std::uint64_t>& sender_vc) = 0;
+
+  virtual void on_comm_created(const std::string& key, bool is_world,
+                               const std::vector<int>& world_ranks) = 0;
+  virtual void on_comm_destroyed(const std::string& key) = 0;
+
+  /// Called once per collective round by the last arriving rank, while all
+  /// other members are parked inside the same collective. Joins the
+  /// members' vector clocks, clears their blocked registrations, and
+  /// cross-checks the per-local-rank descriptors. Returns a non-empty
+  /// diagnostic on mismatch (every member then throws CheckError).
+  virtual std::string on_collective(
+      const std::string& comm_key, const std::vector<int>& world_ranks,
+      const std::vector<CollectiveCheck>& descs) = 0;
+
+  // -- wait-for-graph bookkeeping -----------------------------------------
+  virtual void on_blocked(int world_rank, PendingOp op) = 0;
+  virtual void on_unblocked(int world_rank) = 0;
+  virtual void on_rank_done(int world_rank) = 0;
+
+  /// Deadlock scan, polled by blocked ranks: returns the full wait-for
+  /// diagnostic once the runtime is provably stuck (every rank blocked or
+  /// finished and no pending operation deliverable), "" while progress is
+  /// still possible. Detection latches the abort state.
+  virtual std::string deadlock_scan() = 0;
+
+  /// True once a deadlock was detected; every blocked rank then throws
+  /// CheckError(abort_report()) instead of waiting forever.
+  virtual bool aborted() const = 0;
+  virtual std::string abort_report() const = 0;
+};
+
+/// The process-wide checker enabled by the STNB_CHECK=1 environment
+/// variable (nullptr otherwise). Declared here, implemented in src/check;
+/// Runtime::run consults it when no hook was installed explicitly, which
+/// is how `STNB_CHECK=1 ctest` checks the whole suite unmodified.
+CheckHook* env_check_hook();
+
+}  // namespace stnb::mpsim

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <stdexcept>
 #include <thread>
 
@@ -18,6 +19,8 @@ struct Message {
                           // loss deterministically instead of deadlocking
   bool duplicate = false;  // set by match_message when a stale re-delivery
                            // is handed back instead of silently skipped
+  CheckEnvelope env;       // checker piggyback (send id + sender VC);
+                           // empty when no CheckHook is installed
 };
 
 struct Mailbox {
@@ -28,6 +31,39 @@ struct Mailbox {
   // seq + 1. Only touched by the owning (receiving) rank under mu.
   std::map<std::pair<int, int>, std::uint64_t> delivered;
 };
+
+/// Clears a blocked-op registration on scope exit (idempotent on the hook
+/// side; the collective completion path may already have cleared it).
+struct BlockedGuard {
+  CheckHook* hook;
+  int world_rank;
+  ~BlockedGuard() {
+    if (hook != nullptr) hook->on_unblocked(world_rank);
+  }
+};
+
+/// cv.wait(lock, pred), except that with a checker installed the wait
+/// polls: a deadlock detected anywhere (by this rank's own scan or a
+/// peer's) aborts the wait with CheckError instead of hanging the process.
+/// The 10 ms poll period is wall-clock plumbing only — detection fires on a
+/// provably stuck state, so *what* is reported stays deterministic.
+template <typename Pred>
+void checked_wait(std::condition_variable& cv,
+                  std::unique_lock<std::mutex>& lock, CheckHook* hook,
+                  const Pred& pred) {
+  if (hook == nullptr) {
+    cv.wait(lock, pred);
+    return;
+  }
+  while (!pred()) {
+    if (hook->aborted())
+      throw CheckError(CheckError::Kind::kDeadlock, hook->abort_report());
+    const std::string report = hook->deadlock_scan();
+    if (!report.empty())
+      throw CheckError(CheckError::Kind::kDeadlock, report);
+    cv.wait_for(lock, std::chrono::milliseconds(10));
+  }
+}
 
 }  // namespace
 
@@ -50,6 +86,11 @@ struct CommImpl {
   // by its own rank's thread, so counting is race-free and deterministic.
   std::vector<std::map<std::pair<int, int>, std::uint64_t>> send_seq;
 
+  // Correctness checker (inherited by split children; nullptr = off) and
+  // this communicator's deterministic identity in its reports.
+  CheckHook* checker = nullptr;
+  std::string comm_key = "w";
+
   // Collective rendezvous (reusable two-phase barrier).
   std::mutex mu;
   std::condition_variable cv;
@@ -58,14 +99,22 @@ struct CommImpl {
   std::uint64_t generation = 0;
   std::vector<std::vector<std::byte>> inputs;
   std::vector<std::vector<std::byte>> outputs;
+  std::vector<CollectiveCheck> check_descs;  // per local rank, this round
   double done_time = 0.0;
   bool round_faulted = false;  // a hard-failed rank joined this round
+  std::string round_check_error;  // checker verdict for this round
 
-  // split() publication: (generation, color) -> child communicator.
+  // split() publication: (generation, color) -> child communicator. The
+  // slot is reference-counted by the joiners still to pick it up and
+  // erased by the last one, so child impls die with their user handles
+  // (the checker's finalize audit can then flag genuinely leaked comms).
+  struct SplitSlot {
+    std::shared_ptr<CommImpl> impl;
+    int remaining = 0;
+  };
   std::mutex split_mu;
   std::condition_variable split_cv;
-  std::map<std::pair<std::uint64_t, int>, std::shared_ptr<CommImpl>>
-      split_published;
+  std::map<std::pair<std::uint64_t, int>, SplitSlot> split_published;
 
   explicit CommImpl(int n, CostModel m) : size(n), model(m) {
     recorders.assign(n, nullptr);
@@ -74,21 +123,33 @@ struct CommImpl {
     send_seq.resize(n);
     inputs.resize(n);
     outputs.resize(n);
+    check_descs.resize(n);
   }
+
+  ~CommImpl() {
+    if (checker != nullptr) checker->on_comm_destroyed(comm_key);
+  }
+
+  CommImpl(const CommImpl&) = delete;
+  CommImpl& operator=(const CommImpl&) = delete;
 
   /// Runs one synchronizing collective. `reduce` is executed exactly once
   /// (by the last arriving rank) with all inputs populated; it must fill
   /// `outputs` and return the modeled payload byte count. Returns the
   /// collective's generation number (same value on every rank).
   std::uint64_t collective(
-      int rank, std::vector<std::byte> input,
+      int rank, std::vector<std::byte> input, const CollectiveCheck& desc,
       const std::function<std::size_t(std::vector<std::vector<std::byte>>&,
                                       std::vector<std::vector<std::byte>>&)>&
           reduce,
       std::vector<std::byte>& output) {
     std::unique_lock lock(mu);
-    cv.wait(lock, [&] { return arrived < size; });  // previous round drained
+    // Previous round drained. Not registered as a blocked op: the ranks
+    // holding it up are mid-departure (straight-line code), so this wait
+    // always terminates and must not look like a wait-for edge.
+    checked_wait(cv, lock, checker, [&] { return arrived < size; });
     inputs[rank] = std::move(input);
+    check_descs[rank] = desc;
     clocks[rank]->merge(0.0);
     const double my_time = clocks[rank]->now();
     ++arrived;
@@ -104,18 +165,39 @@ struct CommImpl {
         for (int r = 0; r < size; ++r)
           if (injector->collective_failed(world_ranks[r], clocks[r]->now()))
             round_faulted = true;
-      const std::size_t bytes = reduce(inputs, outputs);
+      round_check_error.clear();
+      if (checker != nullptr)
+        round_check_error =
+            checker->on_collective(comm_key, world_ranks, check_descs);
+      // A mismatched round never runs the reduction: with ranks disagreeing
+      // on element sizes it could read out of bounds, and every member
+      // throws before touching its output anyway.
+      std::size_t bytes = 0;
+      if (round_check_error.empty()) bytes = reduce(inputs, outputs);
       done_time = t_max + model.collective(size, bytes);
       ++generation;
       gen = generation;
       cv.notify_all();
     } else {
       const std::uint64_t expected = generation + 1;
-      cv.wait(lock, [&] { return generation >= expected; });
+      if (checker != nullptr) {
+        PendingOp op;
+        op.kind = PendingOp::Kind::kCollective;
+        op.comm = comm_key;
+        op.coll = desc.kind;
+        op.members = world_ranks;
+        checker->on_blocked(world_ranks[rank], std::move(op));
+        BlockedGuard guard{checker, world_ranks[rank]};
+        checked_wait(cv, lock, checker,
+                     [&] { return generation >= expected; });
+      } else {
+        cv.wait(lock, [&] { return generation >= expected; });
+      }
       gen = expected;
     }
     (void)my_time;
     const bool faulted = round_faulted;
+    const std::string check_msg = round_check_error;
     output = outputs[rank];
     clocks[rank]->merge(done_time);
     if (++departed == size) {
@@ -130,6 +212,8 @@ struct CommImpl {
       throw FaultError(FaultError::Kind::kRankFailed,
                        "collective joined by a hard-failed rank");
     }
+    if (!check_msg.empty())
+      throw CheckError(CheckError::Kind::kCollectiveMismatch, check_msg);
     return gen;
   }
 };
@@ -141,6 +225,8 @@ int Comm::world_rank() const { return impl_->world_ranks[rank_]; }
 VirtualClock& Comm::clock() { return *impl_->clocks[rank_]; }
 
 const CostModel& Comm::cost() const { return impl_->model; }
+
+const std::string& Comm::key() const { return impl_->comm_key; }
 
 FaultInjector* Comm::fault_injector() const {
   return impl_ != nullptr ? impl_->injector : nullptr;
@@ -211,6 +297,22 @@ void Comm::send_bytes(int dest, int tag, const void* data,
     }
   }
 
+  if (impl_->checker != nullptr) {
+    // One *logical* send per call, after fault resolution: retries that
+    // eventually deliver are one send, injected duplicates are one send
+    // posted twice (both copies share the envelope, so the checker can
+    // recognize the second delivery as benign).
+    CheckSendEvent event;
+    event.comm = impl_->comm_key;
+    event.source = world_rank();
+    event.dest = impl_->world_ranks[dest];
+    event.tag = tag;
+    event.bytes = bytes;
+    event.dropped = msg.dropped;
+    event.duplicated = duplicate;
+    msg.env = impl_->checker->on_send(event);
+  }
+
   msg.send_time = clock().now() + delay;
   Mailbox& box = *impl_->mailboxes[dest];
   {
@@ -226,98 +328,184 @@ void Comm::send_bytes(int dest, int tag, const void* data,
 
 namespace {
 
+struct Matched {
+  Message msg;
+  int source = 0;  // local rank the message came from
+  int tag = 0;
+};
+
 /// Blocks until the next message matching (source, tag) in `rank`'s
 /// mailbox, honoring reliable-mode duplicate suppression (a re-delivered
-/// seq is skipped). With skip_duplicates = false a duplicate is returned
-/// to the caller (marked via Message::duplicate) instead of re-blocking —
-/// try_recv needs that to resolve "only a stale copy arrived" as a timeout
-/// rather than waiting for a message that may never come.
-Message match_message(CommImpl& impl, int rank, int source, int tag,
+/// seq is skipped). Either selector may be a wildcard (kAnySource /
+/// kAnyTag); among pending candidates the earliest-arriving message wins,
+/// ties broken by (source, tag). With skip_duplicates = false a duplicate
+/// is returned to the caller (marked via Message::duplicate) instead of
+/// re-blocking — try_recv needs that to resolve "only a stale copy
+/// arrived" as a timeout rather than waiting for a message that may never
+/// come. Consumed duplicates are reported to the checker here (the caller
+/// never sees the skipped ones).
+Matched match_message(CommImpl& impl, int rank, int source, int tag,
                       const obs::Scope& scope, bool skip_duplicates = true) {
-  if (source < 0 || source >= impl.size)
+  if (source != kAnySource && (source < 0 || source >= impl.size))
     throw std::out_of_range("recv: bad source rank");
   Mailbox& box = *impl.mailboxes[rank];
   const bool dedup = impl.injector != nullptr && impl.reliable.enabled;
+  CheckHook* const hook = impl.checker;
+  using QueueMap = std::map<std::pair<int, int>, std::deque<Message>>;
   for (;;) {
     std::unique_lock lock(box.mu);
-    auto& queue = box.queues[{source, tag}];
-    box.cv.wait(lock, [&] { return !queue.empty(); });
-    Message msg = std::move(queue.front());
-    queue.pop_front();
+    const auto pick = [&]() -> QueueMap::iterator {
+      if (source != kAnySource && tag != kAnyTag) {
+        const auto it = box.queues.find({source, tag});
+        return it != box.queues.end() && !it->second.empty() ? it
+                                                            : box.queues.end();
+      }
+      auto best = box.queues.end();
+      for (auto it = box.queues.begin(); it != box.queues.end(); ++it) {
+        if (it->second.empty()) continue;
+        if (source != kAnySource && it->first.first != source) continue;
+        if (tag != kAnyTag && it->first.second != tag) continue;
+        // Map order is (source, tag) ascending, so strict < keeps the
+        // deterministic tie-break.
+        if (best == box.queues.end() ||
+            it->second.front().send_time < best->second.front().send_time)
+          best = it;
+      }
+      return best;
+    };
+    auto it = pick();
+    if (it == box.queues.end()) {
+      if (hook != nullptr) {
+        PendingOp op;
+        op.kind = PendingOp::Kind::kRecv;
+        op.comm = impl.comm_key;
+        op.source_sel =
+            source == kAnySource ? kAnySource : impl.world_ranks[source];
+        op.tag_sel = tag;
+        hook->on_blocked(impl.world_ranks[rank], std::move(op));
+        BlockedGuard guard{hook, impl.world_ranks[rank]};
+        checked_wait(box.cv, lock, hook,
+                     [&] { return (it = pick()) != box.queues.end(); });
+      } else {
+        box.cv.wait(lock, [&] { return (it = pick()) != box.queues.end(); });
+      }
+    }
+    const auto [msg_source, msg_tag] = it->first;
+    Message msg = std::move(it->second.front());
+    it->second.pop_front();
     if (dedup) {
-      auto& next_seq = box.delivered[{source, tag}];
+      auto& next_seq = box.delivered[{msg_source, msg_tag}];
       if (msg.seq + 1 <= next_seq) {
         lock.unlock();
         scope.add("fault.recv.dedup");
+        if (hook != nullptr) {
+          CheckRecvEvent event;
+          event.comm = impl.comm_key;
+          event.dest = impl.world_ranks[rank];
+          event.source_sel =
+              source == kAnySource ? kAnySource : impl.world_ranks[source];
+          event.tag_sel = tag;
+          event.send_id = msg.env.send_id;
+          event.duplicate = true;
+          hook->on_deliver(event, msg.env.vc);
+        }
         if (skip_duplicates) continue;
         msg.duplicate = true;
-        return msg;
+        return {std::move(msg), msg_source, msg_tag};
       }
       next_seq = msg.seq + 1;
     }
-    return msg;
+    return {std::move(msg), msg_source, msg_tag};
   }
+}
+
+/// Reports a non-duplicate receive completion to the checker.
+void notify_deliver(CommImpl& impl, int rank, int source, int tag,
+                    const Message& msg) {
+  if (impl.checker == nullptr) return;
+  CheckRecvEvent event;
+  event.comm = impl.comm_key;
+  event.dest = impl.world_ranks[rank];
+  event.source_sel =
+      source == kAnySource ? kAnySource : impl.world_ranks[source];
+  event.tag_sel = tag;
+  event.send_id = msg.env.send_id;
+  event.dropped = msg.dropped;
+  impl.checker->on_deliver(event, msg.env.vc);
 }
 
 }  // namespace
 
-std::vector<std::byte> Comm::recv_bytes(int source, int tag) {
+std::vector<std::byte> Comm::recv_bytes(int source, int tag,
+                                        RecvStatus* status) {
   // The recv span covers matching + the causal clock merge, so its width
   // is this rank's modeled wait for the message.
   obs::Span span = obs_scope().span("mpsim.recv");
-  Message msg = match_message(*impl_, rank_, source, tag, obs_scope());
-  clock().merge(msg.send_time + impl_->model.p2p(msg.payload.size()));
-  if (msg.dropped) {
+  Matched m = match_message(*impl_, rank_, source, tag, obs_scope());
+  if (status != nullptr) *status = {m.source, m.tag};
+  clock().merge(m.msg.send_time + impl_->model.p2p(m.msg.payload.size()));
+  notify_deliver(*impl_, rank_, source, tag, m.msg);
+  if (m.msg.dropped) {
     obs_scope().add("fault.recv.lost");
     throw FaultError(FaultError::Kind::kMessageLost,
-                     "recv: message from rank " + std::to_string(source) +
-                         " tag " + std::to_string(tag) +
+                     "recv: message from rank " + std::to_string(m.source) +
+                         " tag " + std::to_string(m.tag) +
                          " was lost in transit");
   }
-  obs_scope().add("mpsim.p2p.bytes_received", msg.payload.size());
-  return std::move(msg.payload);
+  obs_scope().add("mpsim.p2p.bytes_received", m.msg.payload.size());
+  return std::move(m.msg.payload);
 }
 
 std::optional<std::vector<std::byte>> Comm::try_recv_bytes(int source,
                                                            int tag,
                                                            double timeout) {
   obs::Span span = obs_scope().span("mpsim.recv");
-  Message msg = match_message(*impl_, rank_, source, tag, obs_scope(),
-                              /*skip_duplicates=*/false);
-  if (msg.duplicate) {
+  Matched m = match_message(*impl_, rank_, source, tag, obs_scope(),
+                            /*skip_duplicates=*/false);
+  if (m.msg.duplicate) {
     // Only a stale re-delivery arrived; to the caller that is a timeout.
+    // (match_message already reported the consumed duplicate.)
     clock().advance(timeout);
     return std::nullopt;
   }
-  if (msg.dropped) {
+  if (m.msg.dropped) {
     // Model the receiver waiting out its timeout for a message that never
     // arrives. No causal merge: nothing was observed from the sender.
     obs_scope().add("fault.recv.lost");
+    notify_deliver(*impl_, rank_, source, tag, m.msg);
     clock().advance(timeout);
     return std::nullopt;
   }
-  clock().merge(msg.send_time + impl_->model.p2p(msg.payload.size()));
-  obs_scope().add("mpsim.p2p.bytes_received", msg.payload.size());
-  return std::move(msg.payload);
+  clock().merge(m.msg.send_time + impl_->model.p2p(m.msg.payload.size()));
+  notify_deliver(*impl_, rank_, source, tag, m.msg);
+  obs_scope().add("mpsim.p2p.bytes_received", m.msg.payload.size());
+  return std::move(m.msg.payload);
 }
 
 void Comm::barrier() {
   obs::Span span = obs_scope().span("mpsim.barrier");
   std::vector<std::byte> out;
+  CollectiveCheck desc;
+  desc.kind = CollectiveCheck::Kind::kBarrier;
   impl_->collective(
-      rank_, {},
+      rank_, {}, desc,
       [](auto& /*in*/, auto& /*out*/) -> std::size_t { return 0; }, out);
 }
 
 std::vector<std::byte> Comm::allgatherv_bytes(
-    const std::vector<std::byte>& mine, std::vector<std::size_t>& counts) {
+    const std::vector<std::byte>& mine, std::vector<std::size_t>& counts,
+    std::size_t elem_size) {
   const obs::Scope scope = obs_scope();
   obs::Span span = scope.span("mpsim.allgatherv");
   scope.add("mpsim.collective.bytes", mine.size());
   const int n = impl_->size;
   std::vector<std::byte> out;
+  CollectiveCheck desc;
+  desc.kind = CollectiveCheck::Kind::kAllgatherv;
+  desc.elem_size = elem_size;
+  desc.bytes = mine.size();
   impl_->collective(
-      rank_, mine,
+      rank_, mine, desc,
       [n](std::vector<std::vector<std::byte>>& in,
           std::vector<std::vector<std::byte>>& outputs) -> std::size_t {
         std::vector<std::byte> concat;
@@ -343,14 +531,19 @@ std::vector<std::byte> Comm::allgatherv_bytes(
 }
 
 std::vector<std::byte> Comm::allreduce_bytes(
-    std::vector<std::byte> value,
+    std::vector<std::byte> value, std::size_t elem_size, int reduce_op,
     const std::function<void(std::byte*, const std::byte*)>& combine) {
   const obs::Scope scope = obs_scope();
   obs::Span span = scope.span("mpsim.allreduce");
   scope.add("mpsim.collective.bytes", value.size());
   std::vector<std::byte> out;
+  CollectiveCheck desc;
+  desc.kind = CollectiveCheck::Kind::kAllreduce;
+  desc.elem_size = elem_size;
+  desc.reduce_op = reduce_op;
+  desc.bytes = value.size();
   impl_->collective(
-      rank_, std::move(value),
+      rank_, std::move(value), desc,
       [&combine](std::vector<std::vector<std::byte>>& inputs,
                  std::vector<std::vector<std::byte>>& outputs) -> std::size_t {
         // Fold in rank order: acc starts as rank 0's value so the result
@@ -365,13 +558,18 @@ std::vector<std::byte> Comm::allreduce_bytes(
   return out;
 }
 
-void Comm::broadcast_bytes(std::vector<std::byte>& bytes, int root) {
+void Comm::broadcast_bytes(std::vector<std::byte>& bytes, int root,
+                           std::size_t elem_size) {
   const obs::Scope scope = obs_scope();
   obs::Span span = scope.span("mpsim.broadcast");
   if (rank_ == root) scope.add("mpsim.collective.bytes", bytes.size());
   std::vector<std::byte> out;
+  CollectiveCheck desc;
+  desc.kind = CollectiveCheck::Kind::kBroadcast;
+  desc.root = root;
+  desc.elem_size = elem_size;
   impl_->collective(
-      rank_, bytes,
+      rank_, bytes, desc,
       [root](std::vector<std::vector<std::byte>>& inputs,
              std::vector<std::vector<std::byte>>& outputs) -> std::size_t {
         for (auto& o : outputs) o = inputs[root];
@@ -399,8 +597,10 @@ std::vector<std::vector<std::byte>> Comm::alltoallv_bytes(
   }
   const int n = impl_->size;
   std::vector<std::byte> out;
+  CollectiveCheck desc;
+  desc.kind = CollectiveCheck::Kind::kAlltoallv;
   impl_->collective(
-      rank_, std::move(flat),
+      rank_, std::move(flat), desc,
       [n](std::vector<std::vector<std::byte>>& inputs,
           std::vector<std::vector<std::byte>>& outputs) -> std::size_t {
         std::size_t total = 0;
@@ -457,8 +657,10 @@ Comm Comm::split(int color, int key) {
   const Entry mine{color, key, rank_};
   std::memcpy(in.data(), &mine, sizeof(Entry));
   std::vector<std::byte> out;
+  CollectiveCheck desc;
+  desc.kind = CollectiveCheck::Kind::kSplit;
   const std::uint64_t gen = impl_->collective(
-      rank_, std::move(in),
+      rank_, std::move(in), desc,
       [](std::vector<std::vector<std::byte>>& inputs,
          std::vector<std::vector<std::byte>>& outputs) -> std::size_t {
         std::vector<std::byte> concat;
@@ -490,6 +692,11 @@ Comm Comm::split(int color, int key) {
     child->recorders.clear();
     child->injector = impl_->injector;
     child->reliable = impl_->reliable;
+    child->checker = impl_->checker;
+    // Deterministic child identity: the split's collective generation and
+    // color pin it regardless of thread scheduling.
+    child->comm_key = impl_->comm_key + "/" + std::to_string(gen) + "." +
+                      std::to_string(color);
     for (std::size_t i = 0; i < group.size(); ++i) {
       child->clocks.push_back(impl_->clocks[group[i].old_rank]);
       // Sub-communicator ranks keep reporting to their world-rank recorder,
@@ -498,16 +705,28 @@ Comm Comm::split(int color, int key) {
       // Fault plans address ranks by world rank, stable across splits.
       child->world_ranks.push_back(impl_->world_ranks[group[i].old_rank]);
     }
-    {
+    if (child->checker != nullptr)
+      child->checker->on_comm_created(child->comm_key, /*is_world=*/false,
+                                      child->world_ranks);
+    if (group.size() > 1) {
       std::lock_guard lock(impl_->split_mu);
-      impl_->split_published[map_key] = child;
+      impl_->split_published[map_key] = {child,
+                                         static_cast<int>(group.size()) - 1};
     }
     impl_->split_cv.notify_all();
   } else {
     std::unique_lock lock(impl_->split_mu);
-    impl_->split_cv.wait(
-        lock, [&] { return impl_->split_published.count(map_key) > 0; });
-    child = impl_->split_published[map_key];
+    // Not registered as a blocked op: the leader publishes in straight-line
+    // code right after the split collective, so this wait always
+    // terminates (the polling is only for deadlock-abort propagation).
+    checked_wait(impl_->split_cv, lock, impl_->checker, [&] {
+      return impl_->split_published.count(map_key) > 0;
+    });
+    auto slot = impl_->split_published.find(map_key);
+    child = slot->second.impl;
+    // Last joiner retires the publication slot so the child impl's
+    // lifetime follows the user-held Comm handles.
+    if (--slot->second.remaining == 0) impl_->split_published.erase(slot);
   }
   return Comm(std::move(child), my_new_rank);
 }
@@ -515,12 +734,19 @@ Comm Comm::split(int color, int key) {
 std::vector<double> Runtime::run(
     int n_ranks, const std::function<void(Comm&)>& rank_main) {
   if (n_ranks < 1) throw std::invalid_argument("need at least one rank");
+  CheckHook* hook =
+      check_hook_ != nullptr ? check_hook_ : env_check_hook();
+  if (hook != nullptr) hook->begin_run(n_ranks);
   std::vector<VirtualClock> clocks(n_ranks);
   auto world = std::make_shared<CommImpl>(n_ranks, model_);
   for (auto& c : clocks) world->clocks.push_back(&c);
   world->injector = injector_;
   world->reliable = reliable_;
+  world->checker = hook;
   for (int r = 0; r < n_ranks; ++r) world->world_ranks.push_back(r);
+  if (hook != nullptr)
+    hook->on_comm_created(world->comm_key, /*is_world=*/true,
+                          world->world_ranks);
   if (registry_ != nullptr)
     for (int r = 0; r < n_ranks; ++r)
       world->recorders[r] = registry_->attach_rank(r, &clocks[r]);
@@ -536,12 +762,31 @@ std::vector<double> Runtime::run(
       } catch (...) {
         errors[r] = std::current_exception();
       }
+      if (hook != nullptr) hook->on_rank_done(r);
     });
   }
   for (auto& t : threads) t.join();
   if (registry_ != nullptr) registry_->detach_clocks();
-  for (auto& e : errors)
-    if (e) std::rethrow_exception(e);
+  bool failed = false;
+  for (auto& e : errors) failed = failed || static_cast<bool>(e);
+  if (hook != nullptr && failed) hook->end_run(/*failed=*/true);
+  // A rank's own error outranks a secondary deadlock-abort CheckError
+  // raised on its peers: rethrow the most causal one.
+  std::exception_ptr check_error;
+  for (auto& e : errors) {
+    if (!e) continue;
+    try {
+      std::rethrow_exception(e);
+    } catch (const CheckError&) {
+      if (!check_error) check_error = e;
+    } catch (...) {
+      std::rethrow_exception(e);
+    }
+  }
+  if (check_error) std::rethrow_exception(check_error);
+  // Finalize-time analysis: message races, never-received sends, leaked
+  // sub-communicators. Throws CheckError on violations.
+  if (hook != nullptr) hook->end_run(/*failed=*/false);
 
   std::vector<double> times(n_ranks);
   for (int r = 0; r < n_ranks; ++r) times[r] = clocks[r].now();

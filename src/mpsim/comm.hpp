@@ -21,6 +21,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "mpsim/checkhook.hpp"
 #include "mpsim/clock.hpp"
 #include "mpsim/costmodel.hpp"
 #include "mpsim/fault.hpp"
@@ -48,7 +49,21 @@ inline void check_element_size(const char* what, std::size_t bytes,
                              " bytes is not a multiple of the element size " +
                              std::to_string(elem));
 }
+
+/// memcpy with the empty range made explicit: memcpy requires non-null
+/// pointers even for n == 0 (UBSan enforces it), and an empty vector's
+/// data() is null.
+inline void copy_bytes(void* dst, const void* src, std::size_t n) {
+  if (n > 0) std::memcpy(dst, src, n);
+}
 }  // namespace detail
+
+/// Source and tag of the message a receive actually matched — only
+/// informative for wildcard receives (kAnySource / kAnyTag).
+struct RecvStatus {
+  int source = 0;
+  int tag = 0;
+};
 
 /// Lightweight value handle to a communicator; copyable, thread-compatible
 /// (each rank uses its own local-rank view via the owning thread).
@@ -87,10 +102,14 @@ class Comm {
   // -- point-to-point ------------------------------------------------------
   void send_bytes(int dest, int tag, const void* data, std::size_t bytes);
 
-  /// Blocking receive. Throws FaultError (kMessageLost) when the matching
-  /// message was dropped by the fault injector — the loss surfaces as a
-  /// typed error instead of an eternal wait.
-  std::vector<std::byte> recv_bytes(int source, int tag);
+  /// Blocking receive. `source` may be kAnySource and `tag` kAnyTag; a
+  /// wildcard receive matches the pending message with the earliest
+  /// arrival time (ties broken by source, then tag) and reports what it
+  /// matched through `status`. Throws FaultError (kMessageLost) when the
+  /// matching message was dropped by the fault injector — the loss
+  /// surfaces as a typed error instead of an eternal wait.
+  std::vector<std::byte> recv_bytes(int source, int tag,
+                                    RecvStatus* status = nullptr);
 
   /// Receive with a modeled timeout: blocks until the next matching
   /// message (or its loss tombstone) arrives. A lost message charges
@@ -107,12 +126,12 @@ class Comm {
   }
 
   template <typename T>
-  std::vector<T> recv(int source, int tag) {
+  std::vector<T> recv(int source, int tag, RecvStatus* status = nullptr) {
     static_assert(std::is_trivially_copyable_v<T>);
-    const auto raw = recv_bytes(source, tag);
+    const auto raw = recv_bytes(source, tag, status);
     detail::check_element_size("recv", raw.size(), sizeof(T));
     std::vector<T> values(raw.size() / sizeof(T));
-    std::memcpy(values.data(), raw.data(), raw.size());
+    detail::copy_bytes(values.data(), raw.data(), raw.size());
     return values;
   }
 
@@ -124,7 +143,7 @@ class Comm {
     if (!raw.has_value()) return std::nullopt;
     detail::check_element_size("try_recv", raw->size(), sizeof(T));
     std::vector<T> values(raw->size() / sizeof(T));
-    std::memcpy(values.data(), raw->data(), raw->size());
+    detail::copy_bytes(values.data(), raw->data(), raw->size());
     return values;
   }
 
@@ -138,15 +157,15 @@ class Comm {
                             std::vector<std::size_t>* counts = nullptr) {
     static_assert(std::is_trivially_copyable_v<T>);
     std::vector<std::byte> bytes(mine.size() * sizeof(T));
-    std::memcpy(bytes.data(), mine.data(), bytes.size());
+    detail::copy_bytes(bytes.data(), mine.data(), bytes.size());
     std::vector<std::size_t> byte_counts;
-    const auto all = allgatherv_bytes(bytes, byte_counts);
+    const auto all = allgatherv_bytes(bytes, byte_counts, sizeof(T));
     // Check per contribution, not just the total: mixed element types
     // across ranks can sum to a clean multiple while every slice is torn.
     for (auto b : byte_counts)
       detail::check_element_size("allgatherv", b, sizeof(T));
     std::vector<T> out(all.size() / sizeof(T));
-    std::memcpy(out.data(), all.data(), all.size());
+    detail::copy_bytes(out.data(), all.data(), all.size());
     if (counts != nullptr) {
       counts->clear();
       for (auto b : byte_counts) counts->push_back(b / sizeof(T));
@@ -162,7 +181,8 @@ class Comm {
     std::vector<std::byte> in(sizeof(T));
     std::memcpy(in.data(), &value, sizeof(T));
     const auto out = allreduce_bytes(
-        std::move(in), [op](std::byte* acc_bytes, const std::byte* in_bytes) {
+        std::move(in), sizeof(T), static_cast<int>(op),
+        [op](std::byte* acc_bytes, const std::byte* in_bytes) {
           T acc, v;
           std::memcpy(&acc, acc_bytes, sizeof(T));
           std::memcpy(&v, in_bytes, sizeof(T));
@@ -184,12 +204,12 @@ class Comm {
     std::vector<std::byte> bytes;
     if (rank_ == root) {
       bytes.resize(data.size() * sizeof(T));
-      std::memcpy(bytes.data(), data.data(), bytes.size());
+      detail::copy_bytes(bytes.data(), data.data(), bytes.size());
     }
-    broadcast_bytes(bytes, root);
+    broadcast_bytes(bytes, root, sizeof(T));
     detail::check_element_size("broadcast", bytes.size(), sizeof(T));
     data.assign(bytes.size() / sizeof(T), T{});
-    std::memcpy(data.data(), bytes.data(), bytes.size());
+    detail::copy_bytes(data.data(), bytes.data(), bytes.size());
   }
 
   /// All-to-all with per-destination payloads; returns per-source payloads.
@@ -200,16 +220,23 @@ class Comm {
   /// ordered by (key, old rank).
   Comm split(int color, int key);
 
+  /// Deterministic identity of this communicator: "w" for the world comm,
+  /// "<parent>/<generation>.<color>" for split children. Stable across
+  /// runs; used by the checker's diagnostics.
+  const std::string& key() const;
+
  private:
   friend class Runtime;
   Comm(std::shared_ptr<CommImpl> impl, int rank)
       : impl_(std::move(impl)), rank_(rank) {}
 
   std::vector<std::byte> allgatherv_bytes(const std::vector<std::byte>& mine,
-                                          std::vector<std::size_t>& counts);
-  void broadcast_bytes(std::vector<std::byte>& bytes, int root);
+                                          std::vector<std::size_t>& counts,
+                                          std::size_t elem_size);
+  void broadcast_bytes(std::vector<std::byte>& bytes, int root,
+                       std::size_t elem_size);
   std::vector<std::byte> allreduce_bytes(
-      std::vector<std::byte> value,
+      std::vector<std::byte> value, std::size_t elem_size, int reduce_op,
       const std::function<void(std::byte*, const std::byte*)>& combine);
 
   std::shared_ptr<CommImpl> impl_;
@@ -248,6 +275,15 @@ class Runtime {
     return *this;
   }
 
+  /// Installs a communication-correctness checker consulted on every
+  /// point-to-point operation and collective; split communicators inherit
+  /// it. Not owned; must outlive run(). When none is installed, run()
+  /// falls back to env_check_hook() (the STNB_CHECK=1 opt-in).
+  Runtime& set_check_hook(CheckHook* hook) {
+    check_hook_ = hook;
+    return *this;
+  }
+
   std::vector<double> run(int n_ranks,
                           const std::function<void(Comm&)>& rank_main);
 
@@ -256,6 +292,7 @@ class Runtime {
   obs::Registry* registry_ = nullptr;
   FaultInjector* injector_ = nullptr;
   ReliableConfig reliable_;
+  CheckHook* check_hook_ = nullptr;
 };
 
 }  // namespace stnb::mpsim

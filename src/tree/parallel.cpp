@@ -49,7 +49,9 @@ template <typename T>
 std::vector<std::byte> pack(const std::vector<T>& v) {
   static_assert(std::is_trivially_copyable_v<T>);
   std::vector<std::byte> bytes(v.size() * sizeof(T));
-  std::memcpy(bytes.data(), v.data(), bytes.size());
+  // memcpy forbids null pointers even for zero sizes (UBSan enforces it),
+  // and an empty vector's data() is null.
+  if (!bytes.empty()) std::memcpy(bytes.data(), v.data(), bytes.size());
   return bytes;
 }
 
@@ -57,6 +59,7 @@ template <typename T>
 void unpack_into(const std::vector<std::byte>& bytes, std::vector<T>& out) {
   static_assert(std::is_trivially_copyable_v<T>);
   const std::size_t n = bytes.size() / sizeof(T);
+  if (n == 0) return;
   const std::size_t old = out.size();
   out.resize(old + n);
   std::memcpy(out.data() + old, bytes.data(), n * sizeof(T));

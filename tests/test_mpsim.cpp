@@ -234,16 +234,42 @@ TEST(Mpsim, RecvFailsLoudlyOnElementSizeMismatch) {
 }
 
 TEST(Mpsim, AllgathervFailsLoudlyOnTornContribution) {
+  // With STNB_CHECK=1 the collective verifier flags the element-size
+  // disagreement on *every* rank at the collective itself; without it,
+  // only the typed wrapper on the reading side catches the torn slice.
+  const bool checked = env_check_hook() != nullptr;
   Runtime rt;
   rt.run(2, [&](Comm& comm) {
     if (comm.rank() == 0) {
       // 3 bytes from rank 0; rank 1 reads the gather as ints and must
       // reject the torn slice even though it could misparse the total.
-      (void)comm.allgatherv(std::vector<char>{'x', 'y', 'z'});
+      if (checked) {
+        EXPECT_THROW((void)comm.allgatherv(std::vector<char>{'x', 'y', 'z'}),
+                     CheckError);
+      } else {
+        (void)comm.allgatherv(std::vector<char>{'x', 'y', 'z'});
+      }
     } else {
       EXPECT_THROW((void)comm.allgatherv(std::vector<int>{7}),
                    std::runtime_error);
     }
+  });
+}
+
+TEST(Mpsim, EmptyPayloadsRoundTripWithoutUndefinedBehavior) {
+  // Empty vectors have null data(); every pack/unpack path must tolerate
+  // the (nullptr, 0) combination (UBSan flags memcpy(nullptr, ...)).
+  Runtime rt;
+  rt.run(2, [&](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send(1, /*tag=*/0, std::vector<int>{});
+    } else {
+      EXPECT_TRUE(comm.recv<int>(0, 0).empty());
+    }
+    EXPECT_TRUE(comm.allgatherv(std::vector<double>{}).empty());
+    std::vector<int> data;
+    comm.broadcast(data, /*root=*/0);
+    EXPECT_TRUE(data.empty());
   });
 }
 
