@@ -9,8 +9,10 @@
 #include <vector>
 
 #include "kernels/algebraic.hpp"
+#include "kernels/coulomb.hpp"
 #include "support/rng.hpp"
 #include "tree/evaluate.hpp"
+#include "tree/interaction_list.hpp"
 #include "tree/octree.hpp"
 #include "vortex/setup.hpp"
 #include "vortex/state.hpp"
@@ -86,6 +88,243 @@ void BM_MultipoleEvaluate(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_MultipoleEvaluate);
+
+// -- near-field kernel throughput: scalar vs batched SoA ---------------------
+// items_per_second is pairs/s. The scalar variants model the per-particle
+// walk (callback per pair, AoS accesses); the batched variants are the
+// cell-blocked engine's inner loop (tree/interaction_list), which must
+// sustain a multiple of the scalar throughput (CI's perf-smoke leg
+// enforces batched > scalar).
+
+constexpr std::size_t kThroughputTargets = 64;
+constexpr std::size_t kThroughputSources = 512;
+
+void BM_VortexPairsScalar(benchmark::State& state) {
+  const kernels::AlgebraicKernel kernel(
+      static_cast<kernels::AlgebraicOrder>(state.range(0)), 0.05);
+  const auto ps = cloud(kThroughputTargets + kThroughputSources);
+  std::vector<Vec3> u(kThroughputTargets);
+  std::vector<Mat3> grad(kThroughputTargets);
+  for (auto _ : state) {
+    for (std::size_t t = 0; t < kThroughputTargets; ++t) {
+      for (std::size_t s = 0; s < kThroughputSources; ++s) {
+        kernel.accumulate_velocity_and_gradient(
+            ps[t].x - ps[kThroughputTargets + s].x,
+            ps[kThroughputTargets + s].a, u[t], grad[t]);
+      }
+    }
+    benchmark::DoNotOptimize(u.data());
+    benchmark::DoNotOptimize(grad.data());
+  }
+  state.SetItemsProcessed(state.iterations() * kThroughputTargets *
+                          kThroughputSources);
+}
+BENCHMARK(BM_VortexPairsScalar)->Arg(2)->Arg(4)->Arg(6);
+
+void BM_VortexPairsBatched(benchmark::State& state) {
+  const kernels::AlgebraicKernel kernel(
+      static_cast<kernels::AlgebraicOrder>(state.range(0)), 0.05);
+  const auto ps = cloud(kThroughputTargets + kThroughputSources);
+  kernels::VortexBatch batch;
+  batch.resize(kThroughputTargets);
+  for (std::size_t t = 0; t < kThroughputTargets; ++t) {
+    batch.x[t] = ps[t].x.x;
+    batch.y[t] = ps[t].x.y;
+    batch.z[t] = ps[t].x.z;
+  }
+  std::vector<double> sx(kThroughputSources), sy(kThroughputSources),
+      sz(kThroughputSources), sax(kThroughputSources), say(kThroughputSources),
+      saz(kThroughputSources);
+  for (std::size_t s = 0; s < kThroughputSources; ++s) {
+    const auto& p = ps[kThroughputTargets + s];
+    sx[s] = p.x.x;
+    sy[s] = p.x.y;
+    sz[s] = p.x.z;
+    sax[s] = p.a.x;
+    say[s] = p.a.y;
+    saz[s] = p.a.z;
+  }
+  batch.zero();
+  for (auto _ : state) {
+    kernel.accumulate_batch(sx.data(), sy.data(), sz.data(), sax.data(),
+                            say.data(), saz.data(), kThroughputSources,
+                            static_cast<std::int64_t>(kThroughputTargets),
+                            batch);
+    benchmark::DoNotOptimize(batch.ux.data());
+  }
+  state.SetItemsProcessed(state.iterations() * kThroughputTargets *
+                          kThroughputSources);
+}
+BENCHMARK(BM_VortexPairsBatched)->Arg(2)->Arg(4)->Arg(6);
+
+void BM_CoulombPairsScalar(benchmark::State& state) {
+  const kernels::CoulombKernel kernel(1e-3);
+  const auto ps = cloud(kThroughputTargets + kThroughputSources);
+  std::vector<double> phi(kThroughputTargets);
+  std::vector<Vec3> e(kThroughputTargets);
+  for (auto _ : state) {
+    for (std::size_t t = 0; t < kThroughputTargets; ++t) {
+      for (std::size_t s = 0; s < kThroughputSources; ++s) {
+        kernel.accumulate_field(ps[t].x - ps[kThroughputTargets + s].x,
+                                ps[kThroughputTargets + s].q, phi[t], e[t]);
+      }
+    }
+    benchmark::DoNotOptimize(phi.data());
+    benchmark::DoNotOptimize(e.data());
+  }
+  state.SetItemsProcessed(state.iterations() * kThroughputTargets *
+                          kThroughputSources);
+}
+BENCHMARK(BM_CoulombPairsScalar);
+
+void BM_CoulombPairsBatched(benchmark::State& state) {
+  const kernels::CoulombKernel kernel(1e-3);
+  const auto ps = cloud(kThroughputTargets + kThroughputSources);
+  kernels::CoulombBatch batch;
+  batch.resize(kThroughputTargets);
+  for (std::size_t t = 0; t < kThroughputTargets; ++t) {
+    batch.x[t] = ps[t].x.x;
+    batch.y[t] = ps[t].x.y;
+    batch.z[t] = ps[t].x.z;
+  }
+  std::vector<double> sx(kThroughputSources), sy(kThroughputSources),
+      sz(kThroughputSources), sq(kThroughputSources);
+  for (std::size_t s = 0; s < kThroughputSources; ++s) {
+    const auto& p = ps[kThroughputTargets + s];
+    sx[s] = p.x.x;
+    sy[s] = p.x.y;
+    sz[s] = p.x.z;
+    sq[s] = p.q;
+  }
+  batch.zero();
+  for (auto _ : state) {
+    kernel.accumulate_batch(sx.data(), sy.data(), sz.data(), sq.data(),
+                            kThroughputSources,
+                            static_cast<std::int64_t>(kThroughputTargets),
+                            batch);
+    benchmark::DoNotOptimize(batch.phi.data());
+  }
+  state.SetItemsProcessed(state.iterations() * kThroughputTargets *
+                          kThroughputSources);
+}
+BENCHMARK(BM_CoulombPairsBatched);
+
+// -- far-field multipole throughput: scalar vs batched SoA -------------------
+// items_per_second is (node, target) evaluations/s; the ratio calibrates
+// CostModel::t_far_batched against t_far_interaction.
+
+constexpr std::size_t kFarNodes = 64;
+
+std::vector<tree::Multipole> far_nodes() {
+  Rng rng(4);
+  std::vector<tree::Multipole> mps(kFarNodes);
+  for (auto& mp : mps) {
+    mp.center = rng.uniform_in_box({2, 2, 2}, {4, 4, 4});
+    for (int i = 0; i < 16; ++i)
+      mp.add_particle(mp.center + 0.05 * rng.uniform_on_sphere(),
+                      rng.uniform(-1, 1), rng.uniform_on_sphere());
+  }
+  return mps;
+}
+
+void BM_VortexFarPairsScalar(benchmark::State& state) {
+  const kernels::AlgebraicKernel kernel(
+      static_cast<kernels::AlgebraicOrder>(state.range(0)), 0.05);
+  const auto ps = cloud(kThroughputTargets);
+  const auto mps = far_nodes();
+  std::vector<Vec3> u(kThroughputTargets);
+  std::vector<Mat3> grad(kThroughputTargets);
+  for (auto _ : state) {
+    for (std::size_t t = 0; t < kThroughputTargets; ++t)
+      for (const auto& mp : mps)
+        mp.evaluate_biot_savart(ps[t].x, u[t], grad[t], &kernel);
+    benchmark::DoNotOptimize(u.data());
+    benchmark::DoNotOptimize(grad.data());
+  }
+  state.SetItemsProcessed(state.iterations() * kThroughputTargets * kFarNodes);
+}
+BENCHMARK(BM_VortexFarPairsScalar)->Arg(2)->Arg(4)->Arg(6);
+
+void BM_VortexFarPairsBatched(benchmark::State& state) {
+  const kernels::AlgebraicKernel kernel(
+      static_cast<kernels::AlgebraicOrder>(state.range(0)), 0.05);
+  const auto ps = cloud(kThroughputTargets);
+  const auto mps = far_nodes();
+  kernels::VortexBatch batch;
+  batch.resize(kThroughputTargets);
+  for (std::size_t t = 0; t < kThroughputTargets; ++t) {
+    batch.x[t] = ps[t].x.x;
+    batch.y[t] = ps[t].x.y;
+    batch.z[t] = ps[t].x.z;
+  }
+  batch.zero();
+  for (auto _ : state) {
+    for (const auto& mp : mps) mp.evaluate_biot_savart_batch(batch, &kernel);
+    benchmark::DoNotOptimize(batch.ux.data());
+  }
+  state.SetItemsProcessed(state.iterations() * kThroughputTargets * kFarNodes);
+}
+BENCHMARK(BM_VortexFarPairsBatched)->Arg(2)->Arg(4)->Arg(6);
+
+void BM_CoulombFarPairsScalar(benchmark::State& state) {
+  const auto ps = cloud(kThroughputTargets);
+  const auto mps = far_nodes();
+  std::vector<double> phi(kThroughputTargets);
+  std::vector<Vec3> e(kThroughputTargets);
+  for (auto _ : state) {
+    for (std::size_t t = 0; t < kThroughputTargets; ++t)
+      for (const auto& mp : mps) mp.evaluate_coulomb(ps[t].x, phi[t], e[t]);
+    benchmark::DoNotOptimize(phi.data());
+    benchmark::DoNotOptimize(e.data());
+  }
+  state.SetItemsProcessed(state.iterations() * kThroughputTargets * kFarNodes);
+}
+BENCHMARK(BM_CoulombFarPairsScalar);
+
+void BM_CoulombFarPairsBatched(benchmark::State& state) {
+  const auto ps = cloud(kThroughputTargets);
+  const auto mps = far_nodes();
+  kernels::CoulombBatch batch;
+  batch.resize(kThroughputTargets);
+  for (std::size_t t = 0; t < kThroughputTargets; ++t) {
+    batch.x[t] = ps[t].x.x;
+    batch.y[t] = ps[t].x.y;
+    batch.z[t] = ps[t].x.z;
+  }
+  batch.zero();
+  for (auto _ : state) {
+    for (const auto& mp : mps) mp.evaluate_coulomb_batch(batch);
+    benchmark::DoNotOptimize(batch.phi.data());
+  }
+  state.SetItemsProcessed(state.iterations() * kThroughputTargets * kFarNodes);
+}
+BENCHMARK(BM_CoulombFarPairsBatched);
+
+void BM_BlockedEvaluate(benchmark::State& state) {
+  // End-to-end serial force evaluation through the blocked engine
+  // (traversal + gather + batched kernels), for comparison with
+  // BM_MacTraversalPerParticle timings. Args: {n, group_size}.
+  const auto ps = cloud(static_cast<std::size_t>(state.range(0)));
+  tree::Octree octree(ps, {{0, 0, 0}, 1.0});
+  const kernels::AlgebraicKernel kernel(kernels::AlgebraicOrder::k6, 0.01);
+  const tree::BlockedEvaluator evaluator(
+      octree, {0.6, static_cast<int>(state.range(1)), nullptr});
+  std::uint64_t interactions = 0;
+  for (auto _ : state) {
+    const auto field = evaluator.evaluate_vortex(kernel);
+    interactions = field.near + field.far;
+    benchmark::DoNotOptimize(field.u.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(interactions));
+  state.counters["interactions/particle"] =
+      benchmark::Counter(static_cast<double>(interactions) /
+                         static_cast<double>(state.range(0)));
+}
+BENCHMARK(BM_BlockedEvaluate)
+    ->Args({2000, 32})
+    ->Args({20000, 8})
+    ->Args({20000, 32});
 
 void BM_MacTraversalPerParticle(benchmark::State& state) {
   const double theta = state.range(0) / 10.0;

@@ -1,5 +1,6 @@
 #include "kernels/algebraic.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <numbers>
 #include <stdexcept>
@@ -8,6 +9,77 @@ namespace stnb::kernels {
 
 namespace {
 constexpr double kFourPi = 4.0 * std::numbers::pi;
+
+using detail::g_rho;
+using detail::h_rho;
+using detail::h2_rho;
+
+/// One source against the target slice [begin, end): the auto-vectorized
+/// inner loop of the batched path. A free function with __restrict
+/// pointer parameters (not a capturing lambda) so the vectorizer sees
+/// plain strided loads/stores instead of loads through a closure.
+/// Expressions mirror accumulate_velocity_and_gradient term by term (same
+/// association, outer-product add before the g [alpha]_x add) so each
+/// target's accumulation chain is bit-identical to the per-pair path.
+template <AlgebraicOrder O>
+inline void vortex_source_row(
+    double px, double py, double pz, double ax, double ay, double az,
+    double inv_sigma, double c4pi, const double* __restrict tx,
+    const double* __restrict ty, const double* __restrict tz,
+    double* __restrict ux, double* __restrict uy, double* __restrict uz,
+    double* __restrict j0, double* __restrict j1, double* __restrict j2,
+    double* __restrict j3, double* __restrict j4, double* __restrict j5,
+    double* __restrict j6, double* __restrict j7, double* __restrict j8,
+    std::size_t begin, std::size_t end) {
+  for (std::size_t t = begin; t < end; ++t) {
+    const double rx = tx[t] - px;
+    const double ry = ty[t] - py;
+    const double rz = tz[t] - pz;
+    const double rho = std::sqrt(rx * rx + ry * ry + rz * rz) * inv_sigma;
+    const double gv = g_rho<O>(rho);
+    const double hv = h_rho<O>(rho);
+    const double cx = ay * rz - az * ry;  // cross(alpha, r)
+    const double cy = az * rx - ax * rz;
+    const double cz = ax * ry - ay * rx;
+    const double cg = c4pi * gv;
+    ux[t] += cg * cx;
+    uy[t] += cg * cy;
+    uz[t] += cg * cz;
+    const double c1 = c4pi * hv * inv_sigma * inv_sigma;
+    j0[t] += (cx * rx) * c1;
+    j1[t] += (cx * ry) * c1;
+    j2[t] += (cx * rz) * c1;
+    j3[t] += (cy * rx) * c1;
+    j4[t] += (cy * ry) * c1;
+    j5[t] += (cy * rz) * c1;
+    j6[t] += (cz * rx) * c1;
+    j7[t] += (cz * ry) * c1;
+    j8[t] += (cz * rz) * c1;
+    j1[t] += -cg * az;
+    j2[t] += cg * ay;
+    j3[t] += cg * az;
+    j5[t] += -cg * ax;
+    j6[t] += -cg * ay;
+    j7[t] += cg * ax;
+  }
+}
+}  // namespace
+
+void VortexBatch::resize(std::size_t n) {
+  x.resize(n);
+  y.resize(n);
+  z.resize(n);
+  ux.resize(n);
+  uy.resize(n);
+  uz.resize(n);
+  for (auto& c : j) c.resize(n);
+}
+
+void VortexBatch::zero() {
+  std::fill(ux.begin(), ux.end(), 0.0);
+  std::fill(uy.begin(), uy.end(), 0.0);
+  std::fill(uz.begin(), uz.end(), 0.0);
+  for (auto& c : j) std::fill(c.begin(), c.end(), 0.0);
 }
 
 AlgebraicKernel::AlgebraicKernel(AlgebraicOrder order, double sigma)
@@ -46,49 +118,41 @@ double AlgebraicKernel::zeta(double rho) const {
 }
 
 double AlgebraicKernel::g(double rho) const {
-  const double r2 = rho * rho;
-  const double d = r2 + 1.0;
   switch (order_) {
     case AlgebraicOrder::k2:
-      return 1.0 / (d * std::sqrt(d));
+      return g_rho<AlgebraicOrder::k2>(rho);
     case AlgebraicOrder::k4:
-      return (r2 + 2.5) / (d * d * std::sqrt(d));
+      return g_rho<AlgebraicOrder::k4>(rho);
     case AlgebraicOrder::k6:
-      return (r2 * r2 + 3.5 * r2 + 4.375) / (d * d * d * std::sqrt(d));
+      return g_rho<AlgebraicOrder::k6>(rho);
   }
   return 0.0;
 }
 
 double AlgebraicKernel::h(double rho) const {
-  const double r2 = rho * rho;
-  const double d = r2 + 1.0;
   // h = g'(rho)/rho, derived analytically per order (see header comment
   // and tests/test_kernels.cpp which checks against finite differences).
   switch (order_) {
     case AlgebraicOrder::k2:
-      return -3.0 / (d * d * std::sqrt(d));
+      return h_rho<AlgebraicOrder::k2>(rho);
     case AlgebraicOrder::k4:
-      return -(3.0 * r2 + 10.5) / (d * d * d * std::sqrt(d));
+      return h_rho<AlgebraicOrder::k4>(rho);
     case AlgebraicOrder::k6:
-      return -(3.0 * r2 * r2 + 13.5 * r2 + 23.625) /
-             (d * d * d * d * std::sqrt(d));
+      return h_rho<AlgebraicOrder::k6>(rho);
   }
   return 0.0;
 }
 
 double AlgebraicKernel::h2(double rho) const {
-  const double r2 = rho * rho;
-  const double d = r2 + 1.0;
   // h2 = h'(rho)/rho, derived analytically per order; all three limit to
   // 15/rho^7 * sigma factors in the far field (the singular T tensor).
   switch (order_) {
     case AlgebraicOrder::k2:
-      return 15.0 / (d * d * d * std::sqrt(d));
+      return h2_rho<AlgebraicOrder::k2>(rho);
     case AlgebraicOrder::k4:
-      return (15.0 * r2 + 67.5) / (d * d * d * d * std::sqrt(d));
+      return h2_rho<AlgebraicOrder::k4>(rho);
     case AlgebraicOrder::k6:
-      return (15.0 * r2 * r2 + 82.5 * r2 + 185.625) /
-             (d * d * d * d * d * std::sqrt(d));
+      return h2_rho<AlgebraicOrder::k6>(rho);
   }
   return 0.0;
 }
@@ -120,6 +184,68 @@ void AlgebraicKernel::accumulate_velocity_and_gradient(const Vec3& r,
   grad(1, 2) += -c2 * alpha.x;
   grad(2, 0) += -c2 * alpha.y;
   grad(2, 1) += c2 * alpha.x;
+}
+
+template <AlgebraicOrder O>
+void AlgebraicKernel::batch_impl(const double* sx, const double* sy,
+                                 const double* sz, const double* sax,
+                                 const double* say, const double* saz,
+                                 std::size_t nsrc, std::int64_t self_shift,
+                                 VortexBatch& tgt) const {
+  const std::size_t nt = tgt.size();
+  const double* __restrict tx = tgt.x.data();
+  const double* __restrict ty = tgt.y.data();
+  const double* __restrict tz = tgt.z.data();
+  double* __restrict ux = tgt.ux.data();
+  double* __restrict uy = tgt.uy.data();
+  double* __restrict uz = tgt.uz.data();
+  double* __restrict j0 = tgt.j[0].data();
+  double* __restrict j1 = tgt.j[1].data();
+  double* __restrict j2 = tgt.j[2].data();
+  double* __restrict j3 = tgt.j[3].data();
+  double* __restrict j4 = tgt.j[4].data();
+  double* __restrict j5 = tgt.j[5].data();
+  double* __restrict j6 = tgt.j[6].data();
+  double* __restrict j7 = tgt.j[7].data();
+  double* __restrict j8 = tgt.j[8].data();
+  const double inv_sigma = inv_sigma_;
+  const double c4pi = inv_sigma3_over_4pi_;
+  for (std::size_t s = 0; s < nsrc; ++s) {
+    const auto row = [&](std::size_t begin, std::size_t end) {
+      vortex_source_row<O>(sx[s], sy[s], sz[s], sax[s], say[s], saz[s],
+                           inv_sigma, c4pi, tx, ty, tz, ux, uy, uz, j0, j1,
+                           j2, j3, j4, j5, j6, j7, j8, begin, end);
+    };
+    const std::int64_t skip = static_cast<std::int64_t>(s) + self_shift;
+    if (skip >= 0 && skip < static_cast<std::int64_t>(nt)) {
+      row(0, static_cast<std::size_t>(skip));
+      row(static_cast<std::size_t>(skip) + 1, nt);
+    } else {
+      row(0, nt);
+    }
+  }
+}
+
+void AlgebraicKernel::accumulate_batch(const double* sx, const double* sy,
+                                       const double* sz, const double* sax,
+                                       const double* say, const double* saz,
+                                       std::size_t nsrc,
+                                       std::int64_t self_shift,
+                                       VortexBatch& tgt) const {
+  switch (order_) {
+    case AlgebraicOrder::k2:
+      batch_impl<AlgebraicOrder::k2>(sx, sy, sz, sax, say, saz, nsrc,
+                                     self_shift, tgt);
+      break;
+    case AlgebraicOrder::k4:
+      batch_impl<AlgebraicOrder::k4>(sx, sy, sz, sax, say, saz, nsrc,
+                                     self_shift, tgt);
+      break;
+    case AlgebraicOrder::k6:
+      batch_impl<AlgebraicOrder::k6>(sx, sy, sz, sax, say, saz, nsrc,
+                                     self_shift, tgt);
+      break;
+  }
 }
 
 void singular_biot_savart(const Vec3& r, const Vec3& alpha, Vec3& u) {

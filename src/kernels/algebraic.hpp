@@ -23,11 +23,86 @@
 // never divides by a small r^3.
 #pragma once
 
+#include <array>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
 #include "support/vec3.hpp"
 
 namespace stnb::kernels {
 
 enum class AlgebraicOrder { k2 = 2, k4 = 4, k6 = 6 };
+
+namespace detail {
+
+// g, h and h2 share their expressions between the scalar entry points
+// (AlgebraicKernel::g/h/h2), the batched near-field loops (batch_impl)
+// and the batched far-field multipole evaluation (tree/multipole):
+// evaluating the same expression text everywhere keeps batched paths
+// bit-identical to per-pair scalar calls. Order is a template parameter
+// so the dispatch happens once per batch, leaving the inner loops
+// branch-free and auto-vectorizable.
+template <AlgebraicOrder O>
+inline double g_rho(double rho) {
+  const double r2 = rho * rho;
+  const double d = r2 + 1.0;
+  if constexpr (O == AlgebraicOrder::k2) {
+    return 1.0 / (d * std::sqrt(d));
+  } else if constexpr (O == AlgebraicOrder::k4) {
+    return (r2 + 2.5) / (d * d * std::sqrt(d));
+  } else {
+    return (r2 * r2 + 3.5 * r2 + 4.375) / (d * d * d * std::sqrt(d));
+  }
+}
+
+template <AlgebraicOrder O>
+inline double h_rho(double rho) {
+  const double r2 = rho * rho;
+  const double d = r2 + 1.0;
+  if constexpr (O == AlgebraicOrder::k2) {
+    return -3.0 / (d * d * std::sqrt(d));
+  } else if constexpr (O == AlgebraicOrder::k4) {
+    return -(3.0 * r2 + 10.5) / (d * d * d * std::sqrt(d));
+  } else {
+    return -(3.0 * r2 * r2 + 13.5 * r2 + 23.625) /
+           (d * d * d * d * std::sqrt(d));
+  }
+}
+
+template <AlgebraicOrder O>
+inline double h2_rho(double rho) {
+  const double r2 = rho * rho;
+  const double d = r2 + 1.0;
+  if constexpr (O == AlgebraicOrder::k2) {
+    return 15.0 / (d * d * d * std::sqrt(d));
+  } else if constexpr (O == AlgebraicOrder::k4) {
+    return (15.0 * r2 + 67.5) / (d * d * d * d * std::sqrt(d));
+  } else {
+    return (15.0 * r2 * r2 + 82.5 * r2 + 185.625) /
+           (d * d * d * d * d * std::sqrt(d));
+  }
+}
+
+}  // namespace detail
+
+/// SoA block of evaluation targets for batched vortex kernel evaluation:
+/// gathered positions plus velocity/gradient accumulators, one slot per
+/// target. This is the unit the blocked tree traversal
+/// (tree/interaction_list) evaluates interaction lists against — the
+/// batched counterpart of per-pair accumulate_velocity_and_gradient calls.
+struct VortexBatch {
+  std::vector<double> x, y, z;           // target positions
+  std::vector<double> ux, uy, uz;        // velocity accumulators
+  std::array<std::vector<double>, 9> j;  // du_i/dx_j accumulators, row-major
+
+  std::size_t size() const { return x.size(); }
+  /// Resizes every array to n targets (contents unspecified; call zero()).
+  void resize(std::size_t n);
+  /// Clears the accumulators only (positions are left untouched).
+  void zero();
+};
 
 /// Regularized vortex interaction kernel of a given algebraic order and
 /// core size sigma. Stateless apart from parameters; safe to share across
@@ -63,7 +138,27 @@ class AlgebraicKernel {
   void accumulate_velocity_and_gradient(const Vec3& r, const Vec3& alpha,
                                         Vec3& u, Mat3& grad) const;
 
+  /// Batched near field over SoA buffers: for every source s (ascending)
+  /// and every target t, accumulates velocity + gradient into `tgt`. The
+  /// arithmetic is bit-identical to per-pair
+  /// accumulate_velocity_and_gradient calls in the same source-major
+  /// order, but the inner loop over targets carries no callback and no
+  /// branch, so the compiler auto-vectorizes it. Self-exclusion is by
+  /// index: for source s the target s + self_shift is skipped when it
+  /// falls inside [0, tgt.size()) — pass the source range's offset
+  /// relative to the target block when both index the same particle
+  /// array, or tgt.size() to exclude nothing.
+  void accumulate_batch(const double* sx, const double* sy, const double* sz,
+                        const double* sax, const double* say,
+                        const double* saz, std::size_t nsrc,
+                        std::int64_t self_shift, VortexBatch& tgt) const;
+
  private:
+  template <AlgebraicOrder O>
+  void batch_impl(const double* sx, const double* sy, const double* sz,
+                  const double* sax, const double* say, const double* saz,
+                  std::size_t nsrc, std::int64_t self_shift,
+                  VortexBatch& tgt) const;
   AlgebraicOrder order_;
   double sigma_;
   double inv_sigma_;

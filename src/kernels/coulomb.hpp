@@ -5,9 +5,27 @@
 // ("homogeneous neutral Coulomb system").
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
 #include "support/vec3.hpp"
 
 namespace stnb::kernels {
+
+/// SoA block of evaluation targets for batched Coulomb evaluation:
+/// gathered positions plus potential/field accumulators (the Coulomb
+/// counterpart of VortexBatch in kernels/algebraic.hpp).
+struct CoulombBatch {
+  std::vector<double> x, y, z;        // target positions
+  std::vector<double> phi;            // potential accumulator
+  std::vector<double> ex, ey, ez;     // field accumulators
+
+  std::size_t size() const { return x.size(); }
+  void resize(std::size_t n);
+  /// Clears the accumulators only (positions are left untouched).
+  void zero();
+};
 
 class CoulombKernel {
  public:
@@ -22,6 +40,16 @@ class CoulombKernel {
 
   /// Field E += q r / (r^2 + eps^2)^{3/2} and potential.
   void accumulate_field(const Vec3& r, double q, double& phi, Vec3& e) const;
+
+  /// Batched near field over SoA buffers: for every source s (ascending)
+  /// and every target t, accumulates potential + field into `tgt` —
+  /// bit-identical to per-pair accumulate_field calls in the same
+  /// source-major order (coincident pairs contribute zero, like the
+  /// scalar d2 == 0 guard). Self-exclusion by index: for source s the
+  /// target s + self_shift is skipped when inside [0, tgt.size()).
+  void accumulate_batch(const double* sx, const double* sy, const double* sz,
+                        const double* sq, std::size_t nsrc,
+                        std::int64_t self_shift, CoulombBatch& tgt) const;
 
  private:
   double eps2_;

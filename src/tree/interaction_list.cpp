@@ -1,0 +1,360 @@
+#include "tree/interaction_list.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <unordered_map>
+
+namespace stnb::tree {
+
+namespace {
+
+/// |[a0, a1) ∩ [b0, b1)| — number of self-pairs a source range skips
+/// inside a target group.
+std::int64_t range_overlap(std::int32_t a0, std::int32_t a1, std::int32_t b0,
+                           std::int32_t b1) {
+  return std::max(0, std::min(a1, b1) - std::max(a0, b0));
+}
+
+/// SoA mirror of imported (LET) particles plus the rare id collisions with
+/// local particles: `matches` holds (import index, local sorted index)
+/// pairs, ascending by import index. In practice imports come from other
+/// ranks and never collide, but the per-particle path excludes by id, so
+/// the blocked path must too.
+struct ImportSoA {
+  std::vector<double> x, y, z, q, ax, ay, az;
+  std::vector<std::pair<std::size_t, std::int32_t>> matches;
+
+  ImportSoA(std::span<const TreeParticle> import_p,
+            const std::vector<TreeParticle>& local) {
+    const std::size_t m = import_p.size();
+    x.resize(m);
+    y.resize(m);
+    z.resize(m);
+    q.resize(m);
+    ax.resize(m);
+    ay.resize(m);
+    az.resize(m);
+    for (std::size_t j = 0; j < m; ++j) {
+      x[j] = import_p[j].x.x;
+      y[j] = import_p[j].x.y;
+      z[j] = import_p[j].x.z;
+      q[j] = import_p[j].q;
+      ax[j] = import_p[j].a.x;
+      ay[j] = import_p[j].a.y;
+      az[j] = import_p[j].a.z;
+    }
+    if (m == 0) return;
+    std::unordered_map<std::uint32_t, std::int32_t> id_to_sorted;
+    id_to_sorted.reserve(local.size());
+    for (std::size_t i = 0; i < local.size(); ++i)
+      id_to_sorted.emplace(local[i].id, static_cast<std::int32_t>(i));
+    for (std::size_t j = 0; j < m; ++j) {
+      const auto it = id_to_sorted.find(import_p[j].id);
+      if (it != id_to_sorted.end()) matches.emplace_back(j, it->second);
+    }
+  }
+
+  std::size_t size() const { return x.size(); }
+};
+
+/// Runs `batch(first_import, count, self_shift)` over [0, m) split around
+/// the imports whose id matches a target in [g_first, g_first + nt): the
+/// matching import is evaluated alone with its target skipped, everything
+/// else in maximal runs with no skip (self_shift = nt puts the skip out of
+/// range). Returns the number of pair evaluations.
+template <typename BatchFn>
+std::uint64_t run_import_batches(const ImportSoA& imp, std::int32_t g_first,
+                                 std::int32_t nt, BatchFn&& batch) {
+  const std::size_t m = imp.size();
+  if (m == 0) return 0;
+  std::size_t start = 0;
+  std::uint64_t skipped = 0;
+  for (const auto& [j, sorted_idx] : imp.matches) {
+    if (sorted_idx < g_first || sorted_idx >= g_first + nt) continue;
+    if (j > start) batch(start, j - start, static_cast<std::int64_t>(nt));
+    batch(j, 1, static_cast<std::int64_t>(sorted_idx - g_first));
+    ++skipped;
+    start = j + 1;
+  }
+  if (start < m)
+    batch(start, m - start, static_cast<std::int64_t>(nt));
+  return static_cast<std::uint64_t>(m) * nt - skipped;
+}
+
+}  // namespace
+
+std::vector<LeafGroup> build_leaf_groups(const Octree& tree, int group_size) {
+  std::vector<LeafGroup> groups;
+  const auto& particles = tree.particles();
+  if (particles.empty()) return groups;
+  const std::int32_t cap = std::max(1, group_size);
+  // Leaves appear in ascending `first` order (DFS pre-order) and tile
+  // [0, n); greedily pack consecutive whole leaves up to `cap` particles.
+  LeafGroup current{};
+  bool open = false;
+  for (const Node& node : tree.nodes()) {
+    if (!node.leaf || node.count == 0) continue;
+    if (open && current.count + node.count > cap) {
+      groups.push_back(current);
+      open = false;
+    }
+    if (!open) {
+      current = LeafGroup{node.first, 0, {}, {}};
+      open = true;
+    }
+    current.count += node.count;
+  }
+  if (open) groups.push_back(current);
+
+  for (LeafGroup& g : groups) {
+    Vec3 lo = particles[g.first].x, hi = lo;
+    for (std::int32_t p = g.first + 1; p < g.first + g.count; ++p) {
+      lo = min(lo, particles[p].x);
+      hi = max(hi, particles[p].x);
+    }
+    g.lo = lo;
+    g.hi = hi;
+  }
+  return groups;
+}
+
+void collect_interactions(const Octree& tree, const LeafGroup& group,
+                          double theta, InteractionList& out) {
+  out.clear();
+  const Node* base = tree.nodes().data();
+  tree.walk_box(
+      group.lo, group.hi, theta,
+      [&](const Node& node) {
+        out.far.push_back(static_cast<std::int32_t>(&node - base));
+      },
+      [&](std::int32_t first, std::int32_t count) {
+        if (!out.near.empty() &&
+            out.near.back().first + out.near.back().count == first) {
+          out.near.back().count += count;
+        } else {
+          out.near.push_back({first, count});
+        }
+      });
+}
+
+BlockedEvaluator::BlockedEvaluator(const Octree& tree, Config config)
+    : tree_(tree),
+      config_(config),
+      groups_(build_leaf_groups(tree, config.group_size)) {
+  const auto& ps = tree_.particles();
+  const std::size_t n = ps.size();
+  sx_.resize(n);
+  sy_.resize(n);
+  sz_.resize(n);
+  sq_.resize(n);
+  sax_.resize(n);
+  say_.resize(n);
+  saz_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    sx_[i] = ps[i].x.x;
+    sy_[i] = ps[i].x.y;
+    sz_[i] = ps[i].x.z;
+    sq_[i] = ps[i].q;
+    sax_[i] = ps[i].a.x;
+    say_[i] = ps[i].a.y;
+    saz_[i] = ps[i].a.z;
+  }
+}
+
+VortexField BlockedEvaluator::evaluate_vortex(
+    const kernels::AlgebraicKernel& kernel, FarFieldMode mode,
+    std::span<const Multipole> import_mp,
+    std::span<const TreeParticle> import_p) const {
+  const auto& ps = tree_.particles();
+  const auto& nodes = tree_.nodes();
+  const std::size_t n = ps.size();
+  VortexField out;
+  out.u.assign(n, Vec3{});
+  out.grad.assign(n, Mat3{});
+  if (mode == FarFieldMode::kSeparate) {
+    out.far_u.assign(n, Vec3{});
+    out.far_grad.assign(n, Mat3{});
+  }
+  if (n == 0) return out;
+
+  const ImportSoA imp(import_p, ps);
+  std::atomic<std::uint64_t> near{0}, far{0};
+
+  auto body = [&](std::size_t gi) {
+    const LeafGroup& g = groups_[gi];
+    const std::int32_t nt = g.count;
+    // Pool threads persist across groups: thread-local workspaces amortize
+    // the buffer allocations over the whole evaluation.
+    thread_local kernels::VortexBatch batch;
+    thread_local InteractionList il;
+    batch.resize(static_cast<std::size_t>(nt));
+    std::copy_n(sx_.data() + g.first, nt, batch.x.data());
+    std::copy_n(sy_.data() + g.first, nt, batch.y.data());
+    std::copy_n(sz_.data() + g.first, nt, batch.z.data());
+    batch.zero();
+
+    collect_interactions(tree_, g, config_.theta, il);
+
+    std::uint64_t my_near = 0;
+    for (const SourceRange& r : il.near) {
+      // Sources and targets index the same sorted array, so the self pair
+      // of source r.first + s is target (r.first + s) - g.first: a fixed
+      // shift, resolved inside the batch by index comparison.
+      kernel.accumulate_batch(
+          sx_.data() + r.first, sy_.data() + r.first, sz_.data() + r.first,
+          sax_.data() + r.first, say_.data() + r.first, saz_.data() + r.first,
+          static_cast<std::size_t>(r.count),
+          static_cast<std::int64_t>(r.first) - g.first, batch);
+      my_near += static_cast<std::uint64_t>(r.count) * nt -
+                 range_overlap(r.first, r.first + r.count, g.first,
+                               g.first + nt);
+    }
+    my_near += run_import_batches(
+        imp, g.first, nt,
+        [&](std::size_t first, std::size_t count, std::int64_t self_shift) {
+          kernel.accumulate_batch(imp.x.data() + first, imp.y.data() + first,
+                                  imp.z.data() + first, imp.ax.data() + first,
+                                  imp.ay.data() + first, imp.az.data() + first,
+                                  count, self_shift, batch);
+        });
+
+    // Far field, node-major into a separate SoA accumulator block: each
+    // target still sums its far nodes in list order and receives the far
+    // subtotal in one add, so kCombined / kSeparate+kSkip compose exactly
+    // as the per-target loop did.
+    const std::size_t n_far =
+        mode == FarFieldMode::kSkip ? 0 : il.far.size() + import_mp.size();
+    thread_local kernels::VortexBatch far_batch;
+    if (n_far > 0) {
+      far_batch.resize(static_cast<std::size_t>(nt));
+      std::copy_n(sx_.data() + g.first, nt, far_batch.x.data());
+      std::copy_n(sy_.data() + g.first, nt, far_batch.y.data());
+      std::copy_n(sz_.data() + g.first, nt, far_batch.z.data());
+      far_batch.zero();
+      for (const std::int32_t node_idx : il.far)
+        nodes[node_idx].mp.evaluate_biot_savart_batch(far_batch, &kernel);
+      for (const Multipole& mp : import_mp)
+        mp.evaluate_biot_savart_batch(far_batch, &kernel);
+    }
+    for (std::int32_t t = 0; t < nt; ++t) {
+      const std::int32_t idx = g.first + t;
+      Vec3 u{batch.ux[t], batch.uy[t], batch.uz[t]};
+      Mat3 grad;
+      for (int c = 0; c < 9; ++c) grad.m[c] = batch.j[c][t];
+      if (n_far > 0) {
+        // Guarded by n_far > 0 so a far-free group (e.g. theta = 0)
+        // stays bit-identical to the batch accumulators.
+        Vec3 fu{far_batch.ux[t], far_batch.uy[t], far_batch.uz[t]};
+        Mat3 fg;
+        for (int c = 0; c < 9; ++c) fg.m[c] = far_batch.j[c][t];
+        if (mode == FarFieldMode::kCombined) {
+          u += fu;
+          grad += fg;
+        } else {
+          out.far_u[idx] = fu;
+          out.far_grad[idx] = fg;
+        }
+      }
+      out.u[idx] = u;
+      out.grad[idx] = grad;
+    }
+    near.fetch_add(my_near, std::memory_order_relaxed);
+    far.fetch_add(static_cast<std::uint64_t>(n_far) * nt,
+                  std::memory_order_relaxed);
+  };
+
+  if (config_.pool != nullptr) {
+    config_.pool->parallel_for(0, groups_.size(), body);
+  } else {
+    for (std::size_t gi = 0; gi < groups_.size(); ++gi) body(gi);
+  }
+  out.near = near.load();
+  out.far = far.load();
+  return out;
+}
+
+CoulombField BlockedEvaluator::evaluate_coulomb(
+    const kernels::CoulombKernel& kernel, std::span<const Multipole> import_mp,
+    std::span<const TreeParticle> import_p) const {
+  const auto& ps = tree_.particles();
+  const auto& nodes = tree_.nodes();
+  const std::size_t n = ps.size();
+  CoulombField out;
+  out.phi.assign(n, 0.0);
+  out.e.assign(n, Vec3{});
+  if (n == 0) return out;
+
+  const ImportSoA imp(import_p, ps);
+  std::atomic<std::uint64_t> near{0}, far{0};
+
+  auto body = [&](std::size_t gi) {
+    const LeafGroup& g = groups_[gi];
+    const std::int32_t nt = g.count;
+    thread_local kernels::CoulombBatch batch;
+    thread_local InteractionList il;
+    batch.resize(static_cast<std::size_t>(nt));
+    std::copy_n(sx_.data() + g.first, nt, batch.x.data());
+    std::copy_n(sy_.data() + g.first, nt, batch.y.data());
+    std::copy_n(sz_.data() + g.first, nt, batch.z.data());
+    batch.zero();
+
+    collect_interactions(tree_, g, config_.theta, il);
+
+    std::uint64_t my_near = 0;
+    for (const SourceRange& r : il.near) {
+      kernel.accumulate_batch(
+          sx_.data() + r.first, sy_.data() + r.first, sz_.data() + r.first,
+          sq_.data() + r.first, static_cast<std::size_t>(r.count),
+          static_cast<std::int64_t>(r.first) - g.first, batch);
+      my_near += static_cast<std::uint64_t>(r.count) * nt -
+                 range_overlap(r.first, r.first + r.count, g.first,
+                               g.first + nt);
+    }
+    my_near += run_import_batches(
+        imp, g.first, nt,
+        [&](std::size_t first, std::size_t count, std::int64_t self_shift) {
+          kernel.accumulate_batch(imp.x.data() + first, imp.y.data() + first,
+                                  imp.z.data() + first, imp.q.data() + first,
+                                  count, self_shift, batch);
+        });
+
+    const std::size_t n_far = il.far.size() + import_mp.size();
+    thread_local kernels::CoulombBatch far_batch;
+    if (n_far > 0) {
+      far_batch.resize(static_cast<std::size_t>(nt));
+      std::copy_n(sx_.data() + g.first, nt, far_batch.x.data());
+      std::copy_n(sy_.data() + g.first, nt, far_batch.y.data());
+      std::copy_n(sz_.data() + g.first, nt, far_batch.z.data());
+      far_batch.zero();
+      for (const std::int32_t node_idx : il.far)
+        nodes[node_idx].mp.evaluate_coulomb_batch(far_batch);
+      for (const Multipole& mp : import_mp) mp.evaluate_coulomb_batch(far_batch);
+    }
+    for (std::int32_t t = 0; t < nt; ++t) {
+      const std::int32_t idx = g.first + t;
+      double phi = batch.phi[t];
+      Vec3 e{batch.ex[t], batch.ey[t], batch.ez[t]};
+      if (n_far > 0) {
+        phi += far_batch.phi[t];
+        e += Vec3{far_batch.ex[t], far_batch.ey[t], far_batch.ez[t]};
+      }
+      out.phi[idx] = phi;
+      out.e[idx] = e;
+    }
+    near.fetch_add(my_near, std::memory_order_relaxed);
+    far.fetch_add(static_cast<std::uint64_t>(n_far) * nt,
+                  std::memory_order_relaxed);
+  };
+
+  if (config_.pool != nullptr) {
+    config_.pool->parallel_for(0, groups_.size(), body);
+  } else {
+    for (std::size_t gi = 0; gi < groups_.size(); ++gi) body(gi);
+  }
+  out.near = near.load();
+  out.far = far.load();
+  return out;
+}
+
+}  // namespace stnb::tree

@@ -1,0 +1,135 @@
+// Cell-blocked tree traversal (the batched force-evaluation engine): the
+// sorted particle array is partitioned into Morton-contiguous *leaf
+// groups*, the tree is walked once per group with the MAC tested against
+// the group's bounding box (distance to the box's nearest point, so the
+// per-target s/d <= theta bound of the per-particle walk is preserved),
+// and the resulting interaction lists are evaluated in batched SoA inner
+// loops (kernels::{VortexBatch, CoulombBatch}) that carry no callback and
+// no branch — the compiler auto-vectorizes them.
+//
+// The per-particle walk (tree/evaluate.hpp sample_*) remains the reference
+// implementation; tests/test_blocked.cpp pins this engine against it:
+// bit-identical at theta = 0, within the per-particle error envelope at
+// theta > 0.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "kernels/algebraic.hpp"
+#include "kernels/coulomb.hpp"
+#include "support/thread_pool.hpp"
+#include "tree/octree.hpp"
+
+namespace stnb::tree {
+
+/// A Morton-contiguous run of whole leaves used as one evaluation target
+/// block (and one thread-pool work item).
+struct LeafGroup {
+  std::int32_t first = 0;  // particle slice [first, first+count), sorted order
+  std::int32_t count = 0;
+  Vec3 lo, hi;  // tight AABB over the group's particles (not the leaf boxes)
+};
+
+/// Partitions the tree's sorted particles into leaf groups of up to
+/// `group_size` particles. Groups never split a leaf, so a single leaf
+/// larger than group_size forms its own group; together the groups tile
+/// [0, n) in ascending order.
+std::vector<LeafGroup> build_leaf_groups(const Octree& tree, int group_size);
+
+/// A contiguous slice of the sorted source-particle array to be evaluated
+/// directly (near field).
+struct SourceRange {
+  std::int32_t first = 0;
+  std::int32_t count = 0;
+};
+
+/// The interactions of one target group: source-particle ranges (adjacent
+/// ranges merged, ascending) and accepted far-field node indices.
+struct InteractionList {
+  std::vector<SourceRange> near;
+  std::vector<std::int32_t> far;
+
+  void clear() {
+    near.clear();
+    far.clear();
+  }
+};
+
+/// Fills `out` with the group's interactions via one walk_box traversal
+/// (clears it first). Exposed separately from the evaluator for tests; the
+/// evaluator fuses collection with evaluation per group.
+void collect_interactions(const Octree& tree, const LeafGroup& group,
+                          double theta, InteractionList& out);
+
+/// Far-field handling of the vortex evaluation (mirrors the refresh logic
+/// of vortex::TreeRhs's cached far field).
+enum class FarFieldMode {
+  kCombined,  // far contributions added into u/grad
+  kSeparate,  // far kept apart in far_u/far_grad (near-only u/grad)
+  kSkip,      // far not evaluated at all (caller reuses a frozen cache)
+};
+
+/// Results indexed by *sorted* particle position (tree.particles() order);
+/// use the stored particle ids to map back to caller indices.
+struct VortexField {
+  std::vector<Vec3> u;
+  std::vector<Mat3> grad;
+  std::vector<Vec3> far_u;     // filled under kSeparate only
+  std::vector<Mat3> far_grad;  // filled under kSeparate only
+  std::uint64_t near = 0;  // particle-particle kernel evaluations
+  std::uint64_t far = 0;   // particle-multipole evaluations
+};
+
+struct CoulombField {
+  std::vector<double> phi;
+  std::vector<Vec3> e;
+  std::uint64_t near = 0;
+  std::uint64_t far = 0;
+};
+
+/// Evaluates all tree particles as targets, one blocked traversal per leaf
+/// group. Holds an SoA mirror of the sorted particle array so near-field
+/// source ranges are addressed in place (no per-call gather of sources).
+/// Safe to call concurrently only from one thread at a time; the work
+/// itself is parallelized over Config::pool (leaf groups are the work
+/// items).
+class BlockedEvaluator {
+ public:
+  struct Config {
+    double theta = 0.3;
+    /// Target particles per leaf group (block). Groups never split a leaf.
+    int group_size = 8;
+    /// Optional pool; nullptr evaluates groups serially on the caller.
+    ThreadPool* pool = nullptr;
+  };
+
+  BlockedEvaluator(const Octree& tree, Config config);
+
+  const std::vector<LeafGroup>& groups() const { return groups_; }
+
+  /// Velocity + gradient for every tree particle (self-interactions
+  /// excluded by index). `import_mp` / `import_p` are remote LET data
+  /// applied to every target: multipoles join the far field, particles the
+  /// near field (entries whose id matches a local particle are excluded
+  /// for that target, like the per-particle path).
+  VortexField evaluate_vortex(const kernels::AlgebraicKernel& kernel,
+                              FarFieldMode mode = FarFieldMode::kCombined,
+                              std::span<const Multipole> import_mp = {},
+                              std::span<const TreeParticle> import_p = {}) const;
+
+  /// Coulomb potential + field for every tree particle.
+  CoulombField evaluate_coulomb(const kernels::CoulombKernel& kernel,
+                                std::span<const Multipole> import_mp = {},
+                                std::span<const TreeParticle> import_p = {}) const;
+
+ private:
+  const Octree& tree_;
+  Config config_;
+  std::vector<LeafGroup> groups_;
+  // SoA mirror of tree_.particles(): positions, scalar and vector charges.
+  std::vector<double> sx_, sy_, sz_, sq_, sax_, say_, saz_;
+};
+
+}  // namespace stnb::tree

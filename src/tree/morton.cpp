@@ -31,6 +31,10 @@ Domain Domain::bounding_cube(const Vec3* points, std::size_t count,
     lo = min(lo, points[i]);
     hi = max(hi, points[i]);
   }
+  return bounding_cube(lo, hi, padding);
+}
+
+Domain Domain::bounding_cube(const Vec3& lo, const Vec3& hi, double padding) {
   const Vec3 extent = hi - lo;
   double size = std::max({extent.x, extent.y, extent.z, 1e-12});
   size *= 1.0 + 2.0 * padding;

@@ -55,6 +55,11 @@ struct Domain {
   /// upper boundary after roundoff.
   static Domain bounding_cube(const Vec3* points, std::size_t count,
                               double padding = 1e-9);
+
+  /// Same cube from a precomputed component-wise [lo, hi] box — for
+  /// callers that already track the extremes in one pass over their data.
+  static Domain bounding_cube(const Vec3& lo, const Vec3& hi,
+                              double padding = 1e-9);
 };
 
 /// Full-depth particle key for a position inside `domain`.

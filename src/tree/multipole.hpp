@@ -21,6 +21,7 @@
 #include <cstddef>
 
 #include "kernels/algebraic.hpp"
+#include "kernels/coulomb.hpp"
 #include "support/vec3.hpp"
 
 namespace stnb::tree {
@@ -73,6 +74,17 @@ struct Multipole {
                             const kernels::AlgebraicKernel* kernel) const;
   void evaluate_biot_savart(const Vec3& x, Vec3& u, Mat3& grad,
                             const kernels::AlgebraicKernel* kernel) const;
+
+  /// Batched far-field evaluation against an SoA target block: one node
+  /// against every target position in `tgt`, accumulating into the
+  /// block's accumulators (potential/field resp. velocity/gradient). The
+  /// kernel-order dispatch happens once per call, so the per-target loop
+  /// is branch-free and auto-vectorizes — the far-field counterpart of
+  /// the kernels' accumulate_batch. Used by tree/interaction_list; the
+  /// per-target overloads above remain the reference implementation.
+  void evaluate_coulomb_batch(kernels::CoulombBatch& tgt) const;
+  void evaluate_biot_savart_batch(kernels::VortexBatch& tgt,
+                                  const kernels::AlgebraicKernel* kernel) const;
 };
 
 /// Weighted centroid of a particle set (used to pick expansion centers).

@@ -21,6 +21,7 @@ Octree::Octree(std::vector<TreeParticle> particles, const Domain& domain,
                  64);
   build_recursive(kRootKey, 0, static_cast<std::int32_t>(particles_.size()),
                   0);
+  config_.obs.add("tree.build.nodes", static_cast<std::uint64_t>(nodes_.size()));
 }
 
 std::int32_t Octree::build_recursive(std::uint64_t key, std::int32_t first,

@@ -11,6 +11,7 @@
 #include <functional>
 #include <vector>
 
+#include "obs/obs.hpp"
 #include "tree/morton.hpp"
 #include "tree/multipole.hpp"
 
@@ -47,6 +48,9 @@ class Octree {
   struct Config {
     int leaf_capacity = 8;
     int max_level = kMaxLevel;
+    /// Instrumentation sink (counter "tree.build.nodes" = nodes allocated
+    /// per build); disabled by default.
+    obs::Scope obs{};
   };
 
   /// Builds the tree over `particles` inside `domain` (which must contain
@@ -85,6 +89,45 @@ class Octree {
       } else if (node.leaf) {
         for (std::int32_t p = node.first; p < node.first + node.count; ++p)
           near(particles_[p]);
+      } else {
+        for (int c = 7; c >= 0; --c)
+          if (node.child[c] >= 0) stack[top++] = node.child[c];
+      }
+    }
+  }
+
+  /// Cell-blocked MAC traversal for an axis-aligned target box [lo, hi]:
+  /// one walk serves every target inside the box. The MAC distance is
+  /// measured from the node's expansion center to the box's *nearest
+  /// point*, which lower-bounds the distance to any individual target, so
+  /// an accepted cluster satisfies s/d <= theta for every target in the
+  /// box — the per-target error bound of walk() is preserved. For every
+  /// accepted cluster calls `far(node)`; for every leaf that must be
+  /// resolved calls `near_range(first, count)` with the leaf's particle
+  /// slice (ascending, tiling exactly the particles a per-target walk
+  /// would visit). theta = 0 accepts nothing (exact near field).
+  template <typename FarFn, typename NearRangeFn>
+  void walk_box(const Vec3& lo, const Vec3& hi, double theta, FarFn&& far,
+                NearRangeFn&& near_range) const {
+    const double theta2 = theta * theta;
+    std::int32_t stack[7 * kMaxLevel + 8];
+    int top = 0;
+    stack[top++] = 0;
+    while (top > 0) {
+      const Node& node = nodes_[stack[--top]];
+      const double s = node.box_size;
+      const Vec3& center = node.mp.center;
+      double d2 = 0.0;
+      for (int k = 0; k < 3; ++k) {
+        const double v = center[k];
+        const double d =
+            v < lo[k] ? lo[k] - v : (v > hi[k] ? v - hi[k] : 0.0);
+        d2 += d * d;
+      }
+      if (s * s <= theta2 * d2 && node.count > 1) {
+        far(node);
+      } else if (node.leaf) {
+        if (node.count > 0) near_range(node.first, node.count);
       } else {
         for (int c = 7; c >= 0; --c)
           if (node.child[c] >= 0) stack[top++] = node.child[c];

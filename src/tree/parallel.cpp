@@ -1,10 +1,12 @@
 #include "tree/parallel.hpp"
 
 #include <algorithm>
-#include <atomic>
 #include <cmath>
 #include <cstring>
+#include <span>
 #include <unordered_map>
+
+#include "tree/interaction_list.hpp"
 
 namespace stnb::tree {
 
@@ -276,40 +278,28 @@ VortexForces ParallelTree::solve_vortex(
   const int p_ranks = comm_.size();
 
   // ---- traversal -----------------------------------------------------------
+  // Cell-blocked engine: one MAC walk per Morton-contiguous leaf group
+  // (against the group's bounding box), batched SoA evaluation of the
+  // interaction lists. Covers the local tree and the imported LET data in
+  // the same pass; groups are the thread-pool work items.
   const obs::Scope scope = comm_.obs_scope();
   obs::Span traversal_span = scope.span("tree.traversal");
   const double t4 = comm_.clock().now();
   const auto& targets = ex.tree->particles();
+  const BlockedEvaluator evaluator(
+      *ex.tree, {config_.theta, config_.group_size, config_.pool});
+  const VortexField field = evaluator.evaluate_vortex(
+      kernel, FarFieldMode::kCombined, std::span(ex.import_mp),
+      std::span(ex.import_p));
   std::vector<VortexWire> results(targets.size());
-  std::atomic<std::uint64_t> near{0}, far{0};
-  auto body = [&](std::size_t i) {
-    const Vec3 x = targets[i].x;
-    VortexSample s =
-        sample_vortex(*ex.tree, x, targets[i].id, config_.theta, kernel);
-    for (const auto& mp : ex.import_mp) {
-      mp.evaluate_biot_savart(x, s.u, s.grad, &kernel);
-      ++s.far;
-    }
-    for (const auto& p : ex.import_p) {
-      if (p.id == targets[i].id) continue;
-      kernel.accumulate_velocity_and_gradient(x - p.x, p.a, s.u, s.grad);
-      ++s.near;
-    }
-    results[i] = {static_cast<std::int32_t>(0), s.u, s.grad};
-    near.fetch_add(s.near, std::memory_order_relaxed);
-    far.fetch_add(s.far, std::memory_order_relaxed);
-  };
-  if (config_.pool != nullptr) {
-    config_.pool->parallel_for(0, targets.size(), body);
-  } else {
-    for (std::size_t i = 0; i < targets.size(); ++i) body(i);
-  }
-  out.timings.near = near.load();
-  out.timings.far = far.load();
+  for (std::size_t i = 0; i < targets.size(); ++i)
+    results[i] = {static_cast<std::int32_t>(0), field.u[i], field.grad[i]};
+  out.timings.near = field.near;
+  out.timings.far = field.far;
   scope.add("tree.eval.near", out.timings.near);
   scope.add("tree.eval.far", out.timings.far);
-  comm_.compute((near.load() * cost.t_near_interaction +
-                 far.load() * cost.t_far_interaction) /
+  comm_.compute((field.near * cost.t_near_batched +
+                 field.far * cost.t_far_batched) /
                 std::max(1, config_.model_threads));
   out.timings.traversal = comm_.clock().now() - t4;
   traversal_span.end();
@@ -348,36 +338,19 @@ CoulombForces ParallelTree::solve_coulomb(
   obs::Span traversal_span = scope.span("tree.traversal");
   const double t4 = comm_.clock().now();
   const auto& targets = ex.tree->particles();
+  const BlockedEvaluator evaluator(
+      *ex.tree, {config_.theta, config_.group_size, config_.pool});
+  const CoulombField field = evaluator.evaluate_coulomb(
+      kernel, std::span(ex.import_mp), std::span(ex.import_p));
   std::vector<CoulombWire> results(targets.size());
-  std::atomic<std::uint64_t> near{0}, far{0};
-  auto body = [&](std::size_t i) {
-    const Vec3 x = targets[i].x;
-    CoulombSample s =
-        sample_coulomb(*ex.tree, x, targets[i].id, config_.theta, kernel);
-    for (const auto& mp : ex.import_mp) {
-      mp.evaluate_coulomb(x, s.phi, s.e);
-      ++s.far;
-    }
-    for (const auto& p : ex.import_p) {
-      if (p.id == targets[i].id) continue;
-      kernel.accumulate_field(x - p.x, p.q, s.phi, s.e);
-      ++s.near;
-    }
-    results[i] = {0, s.phi, s.e};
-    near.fetch_add(s.near, std::memory_order_relaxed);
-    far.fetch_add(s.far, std::memory_order_relaxed);
-  };
-  if (config_.pool != nullptr) {
-    config_.pool->parallel_for(0, targets.size(), body);
-  } else {
-    for (std::size_t i = 0; i < targets.size(); ++i) body(i);
-  }
-  out.timings.near = near.load();
-  out.timings.far = far.load();
+  for (std::size_t i = 0; i < targets.size(); ++i)
+    results[i] = {0, field.phi[i], field.e[i]};
+  out.timings.near = field.near;
+  out.timings.far = field.far;
   scope.add("tree.eval.near", out.timings.near);
   scope.add("tree.eval.far", out.timings.far);
-  comm_.compute((near.load() * cost.t_near_interaction +
-                 far.load() * cost.t_far_interaction) /
+  comm_.compute((field.near * cost.t_near_batched +
+                 field.far * cost.t_far_batched) /
                 std::max(1, config_.model_threads));
   out.timings.traversal = comm_.clock().now() - t4;
   traversal_span.end();

@@ -42,6 +42,9 @@ struct ParallelConfig {
   int model_threads = 4;
   /// Optional real thread pool to execute traversal work concurrently.
   ThreadPool* pool = nullptr;
+  /// Target particles per blocked-traversal leaf group (the thread-pool
+  /// work item of the force phase; see tree/interaction_list.hpp).
+  int group_size = 8;
 };
 
 /// Per-phase modeled wall-clock (virtual seconds) — the Fig. 5 series.

@@ -1,8 +1,8 @@
 #include "vortex/rhs_tree.hpp"
 
-#include <atomic>
 #include <stdexcept>
 
+#include "tree/interaction_list.hpp"
 #include "vortex/state.hpp"
 
 namespace stnb::vortex {
@@ -22,9 +22,14 @@ std::vector<tree::TreeParticle> to_tree_particles(const ode::State& u) {
 
 tree::Domain domain_of(const ode::State& u) {
   const std::size_t n = num_particles(u);
-  std::vector<Vec3> xs(n);
-  for (std::size_t p = 0; p < n; ++p) xs[p] = position(u, p);
-  return tree::Domain::bounding_cube(xs.data(), n);
+  if (n == 0) return tree::Domain{{0, 0, 0}, 1.0};
+  Vec3 lo = position(u, 0), hi = lo;
+  for (std::size_t p = 1; p < n; ++p) {
+    const Vec3 x = position(u, p);
+    lo = min(lo, x);
+    hi = max(hi, x);
+  }
+  return tree::Domain::bounding_cube(lo, hi);
 }
 
 void write_rhs(ode::State& f, std::size_t p, const Vec3& u, const Mat3& grad,
@@ -62,27 +67,21 @@ void TreeRhs::operator()(double /*t*/, const ode::State& u, ode::State& f) {
 }
 
 void TreeRhs::evaluate_full(const ode::State& u, ode::State& f) {
-  const std::size_t n = num_particles(u);
   tree::Octree octree(to_tree_particles(u), domain_of(u),
                       {config_.leaf_capacity, tree::kMaxLevel});
   config_.obs.add("vortex.rhs.tree_builds");
 
-  std::atomic<std::uint64_t> near{0}, far{0};
-  auto body = [&](std::size_t p) {
-    const Vec3 x = position(u, p);
-    const auto sample = tree::sample_vortex(
-        octree, x, static_cast<std::uint32_t>(p), config_.theta, kernel_);
-    write_rhs(f, p, sample.u, sample.grad, strength(u, p), config_.scheme);
-    near.fetch_add(sample.near, std::memory_order_relaxed);
-    far.fetch_add(sample.far, std::memory_order_relaxed);
-  };
-  if (pool_ != nullptr) {
-    pool_->parallel_for(0, n, body);
-  } else {
-    for (std::size_t p = 0; p < n; ++p) body(p);
+  const tree::BlockedEvaluator evaluator(
+      octree, {config_.theta, config_.group_size, pool_});
+  const tree::VortexField field = evaluator.evaluate_vortex(kernel_);
+  const auto& ps = octree.particles();
+  for (std::size_t i = 0; i < ps.size(); ++i) {
+    const std::size_t p = ps[i].id;
+    write_rhs(f, p, field.u[i], field.grad[i], strength(u, p),
+              config_.scheme);
   }
-  config_.obs.add("tree.eval.near", near.load());
-  config_.obs.add("tree.eval.far", far.load());
+  config_.obs.add("tree.eval.near", field.near);
+  config_.obs.add("tree.eval.far", field.far);
 }
 
 void TreeRhs::evaluate_with_cached_farfield(const ode::State& u,
@@ -95,37 +94,32 @@ void TreeRhs::evaluate_with_cached_farfield(const ode::State& u,
                       {config_.leaf_capacity, tree::kMaxLevel});
   config_.obs.add("vortex.rhs.tree_builds");
 
+  // Near field every call; far field only on refresh calls (kSeparate
+  // fills it apart from u/grad so it can be frozen per particle id —
+  // the tree is rebuilt each call, so the sorted order is not stable,
+  // but ids are).
+  const tree::BlockedEvaluator evaluator(
+      octree, {config_.theta, config_.group_size, pool_});
+  const tree::VortexField field = evaluator.evaluate_vortex(
+      kernel_, refresh ? tree::FarFieldMode::kSeparate
+                       : tree::FarFieldMode::kSkip);
+  const auto& ps = octree.particles();
   if (refresh) {
     cached_far_u_.assign(n, Vec3{});
     cached_far_grad_.assign(n, Mat3{});
+    for (std::size_t i = 0; i < ps.size(); ++i) {
+      cached_far_u_[ps[i].id] = field.far_u[i];
+      cached_far_grad_[ps[i].id] = field.far_grad[i];
+    }
   }
-
-  std::uint64_t near = 0, far = 0;
-  for (std::size_t p = 0; p < n; ++p) {
-    const Vec3 x = position(u, p);
-    Vec3 vel{};
-    Mat3 grad{};
-    octree.walk(
-        x, config_.theta,
-        [&](const tree::Node& node) {
-          if (refresh) {
-            node.mp.evaluate_biot_savart(x, cached_far_u_[p],
-                                         cached_far_grad_[p], &kernel_);
-            ++far;
-          }
-          // Non-refresh calls reuse the frozen far field: no work here.
-        },
-        [&](const tree::TreeParticle& tp) {
-          if (tp.id == p) return;
-          kernel_.accumulate_velocity_and_gradient(x - tp.x, tp.a, vel, grad);
-          ++near;
-        });
-    vel += cached_far_u_[p];
-    grad += cached_far_grad_[p];
+  for (std::size_t i = 0; i < ps.size(); ++i) {
+    const std::size_t p = ps[i].id;
+    const Vec3 vel = field.u[i] + cached_far_u_[p];
+    const Mat3 grad = field.grad[i] + cached_far_grad_[p];
     write_rhs(f, p, vel, grad, strength(u, p), config_.scheme);
   }
-  config_.obs.add("tree.eval.near", near);
-  config_.obs.add("tree.eval.far", far);
+  config_.obs.add("tree.eval.near", field.near);
+  config_.obs.add("tree.eval.far", field.far);
 }
 
 ode::RhsFn TreeRhs::as_fn() {

@@ -33,6 +33,9 @@ class TreeRhs {
     /// particle clusters less frequently"). 1 = recompute every call;
     /// k > 1 freezes each particle's far-field contribution for k calls.
     int farfield_refresh = 1;
+    /// Target particles per blocked-traversal leaf group
+    /// (tree/interaction_list.hpp); the thread-pool work item.
+    int group_size = 8;
     /// Instrumentation sink; disabled by default.
     obs::Scope obs{};
   };
