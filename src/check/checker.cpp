@@ -61,7 +61,7 @@ std::string selector(int value, const char* any) {
 }  // namespace
 
 void Checker::begin_run(int n_ranks) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   reset_locked();
   n_ = n_ranks;
   vc_.assign(n_, std::vector<std::uint64_t>(n_, 0));
@@ -70,7 +70,7 @@ void Checker::begin_run(int n_ranks) {
 }
 
 void Checker::end_run(bool failed) {
-  std::unique_lock lock(mu_);
+  ReleasableMutexLock lock(mu_);
   if (failed) {
     // A rank's own error takes precedence over finalize findings (and a
     // faulted run legitimately leaves unreceived sends behind).
@@ -80,7 +80,7 @@ void Checker::end_run(bool failed) {
   const std::string races = race_report_locked();
   const std::string leaks = races.empty() ? leak_report_locked() : "";
   reset_locked();
-  lock.unlock();
+  lock.release();
   if (!races.empty())
     throw mpsim::CheckError(mpsim::CheckError::Kind::kRace, races);
   if (!leaks.empty())
@@ -88,7 +88,7 @@ void Checker::end_run(bool failed) {
 }
 
 mpsim::CheckEnvelope Checker::on_send(const mpsim::CheckSendEvent& event) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   auto& clock = vc_[event.source];
   ++clock[event.source];
   SendRecord record;
@@ -111,7 +111,7 @@ mpsim::CheckEnvelope Checker::on_send(const mpsim::CheckSendEvent& event) {
 
 void Checker::on_deliver(const mpsim::CheckRecvEvent& event,
                          const std::vector<std::uint64_t>& sender_vc) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   SendRecord& send = sends_.at(event.send_id);
   auto flight = in_flight_.find(
       StreamKey{send.comm, send.source, send.dest, send.tag});
@@ -148,12 +148,12 @@ void Checker::on_deliver(const mpsim::CheckRecvEvent& event,
 
 void Checker::on_comm_created(const std::string& key, bool is_world,
                               const std::vector<int>& world_ranks) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   comms_[key] = CommInfo{is_world, /*alive=*/true, world_ranks};
 }
 
 void Checker::on_comm_destroyed(const std::string& key) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   // May fire after end_run's reset (the world impl dies when Runtime::run
   // returns) — an unknown key is simply ignored.
   const auto it = comms_.find(key);
@@ -163,7 +163,7 @@ void Checker::on_comm_destroyed(const std::string& key) {
 std::string Checker::on_collective(
     const std::string& comm_key, const std::vector<int>& world_ranks,
     const std::vector<CollectiveCheck>& descs) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   // The collective synchronizes its members whether or not their
   // descriptors agree (the mismatch is thrown after the rendezvous), so
   // the clocks always join: elementwise max over members, then one local
@@ -199,24 +199,24 @@ std::string Checker::on_collective(
 }
 
 void Checker::on_blocked(int world_rank, mpsim::PendingOp op) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   states_[world_rank].kind = RankState::Kind::kBlocked;
   states_[world_rank].op = std::move(op);
 }
 
 void Checker::on_unblocked(int world_rank) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   if (states_[world_rank].kind == RankState::Kind::kBlocked)
     states_[world_rank].kind = RankState::Kind::kRunning;
 }
 
 void Checker::on_rank_done(int world_rank) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   states_[world_rank].kind = RankState::Kind::kDone;
 }
 
 std::string Checker::deadlock_scan() {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   if (abort_.load()) return abort_report_;
   std::string report = deadlock_report_locked();
   if (!report.empty()) {
@@ -229,7 +229,7 @@ std::string Checker::deadlock_scan() {
 bool Checker::aborted() const { return abort_.load(); }
 
 std::string Checker::abort_report() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return abort_report_;
 }
 

@@ -25,12 +25,13 @@
 #include <atomic>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <tuple>
 #include <vector>
 
 #include "mpsim/checkhook.hpp"
+#include "support/sync.hpp"
+#include "support/thread_annotations.hpp"
 
 namespace stnb::check {
 
@@ -101,24 +102,27 @@ class Checker final : public mpsim::CheckHook {
   // (comm, source, dest, tag): a FIFO-ordered message stream.
   using StreamKey = std::tuple<std::string, int, int, int>;
 
-  void reset_locked();
-  std::string race_report_locked() const;
-  std::string leak_report_locked() const;
+  void reset_locked() STNB_REQUIRES(mu_);
+  std::string race_report_locked() const STNB_REQUIRES(mu_);
+  std::string leak_report_locked() const STNB_REQUIRES(mu_);
   /// "" unless the run is provably stuck; otherwise the full diagnostic.
-  std::string deadlock_report_locked() const;
+  std::string deadlock_report_locked() const STNB_REQUIRES(mu_);
 
-  mutable std::mutex mu_;
-  int n_ = 0;
-  std::vector<std::vector<std::uint64_t>> vc_;   // per world rank
-  std::vector<std::uint64_t> recv_count_;        // logical deliveries seen
-  std::vector<RankState> states_;
-  std::vector<SendRecord> sends_;                // index == send id
-  std::vector<WildcardRecv> wildcard_recvs_;
-  std::map<StreamKey, std::uint64_t> stream_seq_;
-  std::map<StreamKey, int> in_flight_;  // posted, not yet consumed copies
-  std::map<std::string, CommInfo> comms_;
-  std::atomic<bool> abort_{false};
-  std::string abort_report_;
+  mutable Mutex mu_;
+  int n_ STNB_GUARDED_BY(mu_) = 0;
+  std::vector<std::vector<std::uint64_t>> vc_
+      STNB_GUARDED_BY(mu_);                      // per world rank
+  std::vector<std::uint64_t> recv_count_
+      STNB_GUARDED_BY(mu_);                      // logical deliveries seen
+  std::vector<RankState> states_ STNB_GUARDED_BY(mu_);
+  std::vector<SendRecord> sends_ STNB_GUARDED_BY(mu_);  // index == send id
+  std::vector<WildcardRecv> wildcard_recvs_ STNB_GUARDED_BY(mu_);
+  std::map<StreamKey, std::uint64_t> stream_seq_ STNB_GUARDED_BY(mu_);
+  std::map<StreamKey, int> in_flight_
+      STNB_GUARDED_BY(mu_);  // posted, not yet consumed copies
+  std::map<std::string, CommInfo> comms_ STNB_GUARDED_BY(mu_);
+  std::atomic<bool> abort_{false};  // lock-free fast path for aborted()
+  std::string abort_report_ STNB_GUARDED_BY(mu_);
 };
 
 }  // namespace stnb::check

@@ -60,7 +60,7 @@ mpsim::SendDecision PlanInjector::on_send(const mpsim::MessageEvent& ev) {
     }
 
     if (rule.max_events >= 0) {
-      std::lock_guard lock(events_mu_);
+      MutexLock lock(events_mu_);
       int& fired = events_fired_[{i, ev.source, ev.dest, ev.tag}];
       if (fired >= rule.max_events) continue;
       ++fired;

@@ -25,11 +25,12 @@
 #include <cstdint>
 #include <limits>
 #include <map>
-#include <mutex>
 #include <tuple>
 #include <vector>
 
 #include "mpsim/fault.hpp"
+#include "support/sync.hpp"
+#include "support/thread_annotations.hpp"
 
 namespace stnb::fault {
 
@@ -100,8 +101,9 @@ class PlanInjector final : public mpsim::FaultInjector {
   std::atomic<std::uint64_t> delays_{0};
 
   // (rule index, source, dest, tag) -> events fired, for max_events caps.
-  mutable std::mutex events_mu_;
-  std::map<std::tuple<std::size_t, int, int, int>, int> events_fired_;
+  mutable Mutex events_mu_;
+  std::map<std::tuple<std::size_t, int, int, int>, int> events_fired_
+      STNB_GUARDED_BY(events_mu_);
 };
 
 }  // namespace stnb::fault

@@ -1,10 +1,11 @@
 #include "mpsim/comm.hpp"
 
 #include <algorithm>
-#include <atomic>
-#include <chrono>
 #include <stdexcept>
 #include <thread>
+
+#include "support/sync.hpp"
+#include "support/thread_annotations.hpp"
 
 namespace stnb::mpsim {
 
@@ -24,12 +25,13 @@ struct Message {
 };
 
 struct Mailbox {
-  std::mutex mu;
-  std::condition_variable cv;
-  std::map<std::pair<int, int>, std::deque<Message>> queues;  // (src, tag)
+  Mutex mu;
+  CondVar cv;
+  std::map<std::pair<int, int>, std::deque<Message>> queues
+      STNB_GUARDED_BY(mu);  // (src, tag)
   // Reliable-mode duplicate suppression: (src, tag) -> last delivered
   // seq + 1. Only touched by the owning (receiving) rank under mu.
-  std::map<std::pair<int, int>, std::uint64_t> delivered;
+  std::map<std::pair<int, int>, std::uint64_t> delivered STNB_GUARDED_BY(mu);
 };
 
 /// Clears a blocked-op registration on scope exit (idempotent on the hook
@@ -42,27 +44,22 @@ struct BlockedGuard {
   }
 };
 
-/// cv.wait(lock, pred), except that with a checker installed the wait
-/// polls: a deadlock detected anywhere (by this rank's own scan or a
-/// peer's) aborts the wait with CheckError instead of hanging the process.
-/// The 10 ms poll period is wall-clock plumbing only — detection fires on a
-/// provably stuck state, so *what* is reported stays deterministic.
-template <typename Pred>
-void checked_wait(std::condition_variable& cv,
-                  std::unique_lock<std::mutex>& lock, CheckHook* hook,
-                  const Pred& pred) {
-  if (hook == nullptr) {
-    cv.wait(lock, pred);
-    return;
-  }
-  while (!pred()) {
-    if (hook->aborted())
-      throw CheckError(CheckError::Kind::kDeadlock, hook->abort_report());
-    const std::string report = hook->deadlock_scan();
-    if (!report.empty())
-      throw CheckError(CheckError::Kind::kDeadlock, report);
-    cv.wait_for(lock, std::chrono::milliseconds(10));
-  }
+/// Aborts a checker-mode wait loop with CheckError once a deadlock has
+/// been detected anywhere (by this rank's own scan or a peer's). Wait
+/// loops with a checker installed poll this between wait_poll sleeps —
+/// the poll period is host plumbing only; detection fires on a provably
+/// stuck state, so *what* is reported stays deterministic.
+///
+/// Wait loops are written out as explicit while-loops at each site (not a
+/// cv.wait(lock, pred) helper) so the guarded state they re-check stays
+/// visible to the thread-safety analysis — a type-erased predicate lambda
+/// would hide it.
+void throw_if_deadlocked(CheckHook& hook) {
+  if (hook.aborted())
+    throw CheckError(CheckError::Kind::kDeadlock, hook.abort_report());
+  const std::string report = hook.deadlock_scan();
+  if (!report.empty())
+    throw CheckError(CheckError::Kind::kDeadlock, report);
 }
 
 }  // namespace
@@ -92,17 +89,20 @@ struct CommImpl {
   std::string comm_key = "w";
 
   // Collective rendezvous (reusable two-phase barrier).
-  std::mutex mu;
-  std::condition_variable cv;
-  int arrived = 0;
-  int departed = 0;
-  std::uint64_t generation = 0;
-  std::vector<std::vector<std::byte>> inputs;
-  std::vector<std::vector<std::byte>> outputs;
-  std::vector<CollectiveCheck> check_descs;  // per local rank, this round
-  double done_time = 0.0;
-  bool round_faulted = false;  // a hard-failed rank joined this round
-  std::string round_check_error;  // checker verdict for this round
+  Mutex mu;
+  CondVar cv;
+  int arrived STNB_GUARDED_BY(mu) = 0;
+  int departed STNB_GUARDED_BY(mu) = 0;
+  std::uint64_t generation STNB_GUARDED_BY(mu) = 0;
+  std::vector<std::vector<std::byte>> inputs STNB_GUARDED_BY(mu);
+  std::vector<std::vector<std::byte>> outputs STNB_GUARDED_BY(mu);
+  std::vector<CollectiveCheck> check_descs
+      STNB_GUARDED_BY(mu);  // per local rank, this round
+  double done_time STNB_GUARDED_BY(mu) = 0.0;
+  bool round_faulted STNB_GUARDED_BY(mu) =
+      false;  // a hard-failed rank joined this round
+  std::string round_check_error
+      STNB_GUARDED_BY(mu);  // checker verdict for this round
 
   // split() publication: (generation, color) -> child communicator. The
   // slot is reference-counted by the joiners still to pick it up and
@@ -112,9 +112,10 @@ struct CommImpl {
     std::shared_ptr<CommImpl> impl;
     int remaining = 0;
   };
-  std::mutex split_mu;
-  std::condition_variable split_cv;
-  std::map<std::pair<std::uint64_t, int>, SplitSlot> split_published;
+  Mutex split_mu;
+  CondVar split_cv;
+  std::map<std::pair<std::uint64_t, int>, SplitSlot> split_published
+      STNB_GUARDED_BY(split_mu);
 
   explicit CommImpl(int n, CostModel m) : size(n), model(m) {
     recorders.assign(n, nullptr);
@@ -142,69 +143,81 @@ struct CommImpl {
       const std::function<std::size_t(std::vector<std::vector<std::byte>>&,
                                       std::vector<std::vector<std::byte>>&)>&
           reduce,
-      std::vector<std::byte>& output) {
-    std::unique_lock lock(mu);
-    // Previous round drained. Not registered as a blocked op: the ranks
-    // holding it up are mid-departure (straight-line code), so this wait
-    // always terminates and must not look like a wait-for edge.
-    checked_wait(cv, lock, checker, [&] { return arrived < size; });
-    inputs[rank] = std::move(input);
-    check_descs[rank] = desc;
-    clocks[rank]->merge(0.0);
-    const double my_time = clocks[rank]->now();
-    ++arrived;
-    std::uint64_t gen;
-    if (arrived == size) {
-      double t_max = 0.0;
-      for (int r = 0; r < size; ++r) t_max = std::max(t_max, clocks[r]->now());
-      // NOTE: reading other ranks' clocks is safe: they are all blocked in
-      // this collective (arrived == size) and clocks are only mutated by
-      // their owner rank.
-      round_faulted = false;
-      if (injector != nullptr)
-        for (int r = 0; r < size; ++r)
-          if (injector->collective_failed(world_ranks[r], clocks[r]->now()))
-            round_faulted = true;
-      round_check_error.clear();
-      if (checker != nullptr)
-        round_check_error =
-            checker->on_collective(comm_key, world_ranks, check_descs);
-      // A mismatched round never runs the reduction: with ranks disagreeing
-      // on element sizes it could read out of bounds, and every member
-      // throws before touching its output anyway.
-      std::size_t bytes = 0;
-      if (round_check_error.empty()) bytes = reduce(inputs, outputs);
-      done_time = t_max + model.collective(size, bytes);
-      ++generation;
-      gen = generation;
-      cv.notify_all();
-    } else {
-      const std::uint64_t expected = generation + 1;
-      if (checker != nullptr) {
-        PendingOp op;
-        op.kind = PendingOp::Kind::kCollective;
-        op.comm = comm_key;
-        op.coll = desc.kind;
-        op.members = world_ranks;
-        checker->on_blocked(world_ranks[rank], std::move(op));
-        BlockedGuard guard{checker, world_ranks[rank]};
-        checked_wait(cv, lock, checker,
-                     [&] { return generation >= expected; });
+      std::vector<std::byte>& output) STNB_EXCLUDES(mu) {
+    std::uint64_t gen = 0;
+    bool faulted = false;
+    std::string check_msg;
+    {
+      MutexLock lock(mu);
+      // Previous round drained. Not registered as a blocked op: the ranks
+      // holding it up are mid-departure (straight-line code), so this wait
+      // always terminates and must not look like a wait-for edge.
+      if (checker == nullptr) {
+        while (arrived >= size) cv.wait(mu);
       } else {
-        cv.wait(lock, [&] { return generation >= expected; });
+        while (arrived >= size) {
+          throw_if_deadlocked(*checker);
+          cv.wait_poll(mu);
+        }
       }
-      gen = expected;
-    }
-    (void)my_time;
-    const bool faulted = round_faulted;
-    const std::string check_msg = round_check_error;
-    output = outputs[rank];
-    clocks[rank]->merge(done_time);
-    if (++departed == size) {
-      arrived = 0;
-      departed = 0;
-      for (auto& in : inputs) in.clear();
-      cv.notify_all();
+      inputs[rank] = std::move(input);
+      check_descs[rank] = desc;
+      clocks[rank]->merge(0.0);
+      ++arrived;
+      if (arrived == size) {
+        double t_max = 0.0;
+        for (int r = 0; r < size; ++r)
+          t_max = std::max(t_max, clocks[r]->now());
+        // NOTE: reading other ranks' clocks is safe: they are all blocked in
+        // this collective (arrived == size) and clocks are only mutated by
+        // their owner rank.
+        round_faulted = false;
+        if (injector != nullptr)
+          for (int r = 0; r < size; ++r)
+            if (injector->collective_failed(world_ranks[r], clocks[r]->now()))
+              round_faulted = true;
+        round_check_error.clear();
+        if (checker != nullptr)
+          round_check_error =
+              checker->on_collective(comm_key, world_ranks, check_descs);
+        // A mismatched round never runs the reduction: with ranks
+        // disagreeing on element sizes it could read out of bounds, and
+        // every member throws before touching its output anyway.
+        std::size_t bytes = 0;
+        if (round_check_error.empty()) bytes = reduce(inputs, outputs);
+        done_time = t_max + model.collective(size, bytes);
+        ++generation;
+        gen = generation;
+        cv.notify_all();
+      } else {
+        const std::uint64_t expected = generation + 1;
+        if (checker == nullptr) {
+          while (generation < expected) cv.wait(mu);
+        } else {
+          PendingOp op;
+          op.kind = PendingOp::Kind::kCollective;
+          op.comm = comm_key;
+          op.coll = desc.kind;
+          op.members = world_ranks;
+          checker->on_blocked(world_ranks[rank], std::move(op));
+          BlockedGuard guard{checker, world_ranks[rank]};
+          while (generation < expected) {
+            throw_if_deadlocked(*checker);
+            cv.wait_poll(mu);
+          }
+        }
+        gen = expected;
+      }
+      faulted = round_faulted;
+      check_msg = round_check_error;
+      output = outputs[rank];
+      clocks[rank]->merge(done_time);
+      if (++departed == size) {
+        arrived = 0;
+        departed = 0;
+        for (auto& in : inputs) in.clear();
+        cv.notify_all();
+      }
     }
     if (faulted) {
       if (recorders[rank] != nullptr)
@@ -316,7 +329,7 @@ void Comm::send_bytes(int dest, int tag, const void* data,
   msg.send_time = clock().now() + delay;
   Mailbox& box = *impl_->mailboxes[dest];
   {
-    std::lock_guard lock(box.mu);
+    MutexLock lock(box.mu);
     auto& queue = box.queues[{rank_, tag}];
     if (duplicate) queue.push_back(msg);
     queue.push_back(std::move(msg));
@@ -344,6 +357,31 @@ struct Matched {
 /// arrived" as a timeout rather than waiting for a message that may never
 /// come. Consumed duplicates are reported to the checker here (the caller
 /// never sees the skipped ones).
+using QueueMap = std::map<std::pair<int, int>, std::deque<Message>>;
+
+/// Picks the matching non-empty queue for (source, tag), or queues.end().
+/// Either selector may be a wildcard; among pending candidates the
+/// earliest-arriving message wins, ties broken by (source, tag). The
+/// caller passes the guarded queue map while holding its mailbox lock.
+QueueMap::iterator pick_match(QueueMap& queues, int source, int tag) {
+  if (source != kAnySource && tag != kAnyTag) {
+    const auto it = queues.find({source, tag});
+    return it != queues.end() && !it->second.empty() ? it : queues.end();
+  }
+  auto best = queues.end();
+  for (auto it = queues.begin(); it != queues.end(); ++it) {
+    if (it->second.empty()) continue;
+    if (source != kAnySource && it->first.first != source) continue;
+    if (tag != kAnyTag && it->first.second != tag) continue;
+    // Map order is (source, tag) ascending, so strict < keeps the
+    // deterministic tie-break.
+    if (best == queues.end() ||
+        it->second.front().send_time < best->second.front().send_time)
+      best = it;
+  }
+  return best;
+}
+
 Matched match_message(CommImpl& impl, int rank, int source, int tag,
                       const obs::Scope& scope, bool skip_duplicates = true) {
   if (source != kAnySource && (source < 0 || source >= impl.size))
@@ -351,70 +389,65 @@ Matched match_message(CommImpl& impl, int rank, int source, int tag,
   Mailbox& box = *impl.mailboxes[rank];
   const bool dedup = impl.injector != nullptr && impl.reliable.enabled;
   CheckHook* const hook = impl.checker;
-  using QueueMap = std::map<std::pair<int, int>, std::deque<Message>>;
   for (;;) {
-    std::unique_lock lock(box.mu);
-    const auto pick = [&]() -> QueueMap::iterator {
-      if (source != kAnySource && tag != kAnyTag) {
-        const auto it = box.queues.find({source, tag});
-        return it != box.queues.end() && !it->second.empty() ? it
-                                                            : box.queues.end();
-      }
-      auto best = box.queues.end();
-      for (auto it = box.queues.begin(); it != box.queues.end(); ++it) {
-        if (it->second.empty()) continue;
-        if (source != kAnySource && it->first.first != source) continue;
-        if (tag != kAnyTag && it->first.second != tag) continue;
-        // Map order is (source, tag) ascending, so strict < keeps the
-        // deterministic tie-break.
-        if (best == box.queues.end() ||
-            it->second.front().send_time < best->second.front().send_time)
-          best = it;
-      }
-      return best;
-    };
-    auto it = pick();
-    if (it == box.queues.end()) {
-      if (hook != nullptr) {
-        PendingOp op;
-        op.kind = PendingOp::Kind::kRecv;
-        op.comm = impl.comm_key;
-        op.source_sel =
-            source == kAnySource ? kAnySource : impl.world_ranks[source];
-        op.tag_sel = tag;
-        hook->on_blocked(impl.world_ranks[rank], std::move(op));
-        BlockedGuard guard{hook, impl.world_ranks[rank]};
-        checked_wait(box.cv, lock, hook,
-                     [&] { return (it = pick()) != box.queues.end(); });
-      } else {
-        box.cv.wait(lock, [&] { return (it = pick()) != box.queues.end(); });
-      }
-    }
-    const auto [msg_source, msg_tag] = it->first;
-    Message msg = std::move(it->second.front());
-    it->second.pop_front();
-    if (dedup) {
-      auto& next_seq = box.delivered[{msg_source, msg_tag}];
-      if (msg.seq + 1 <= next_seq) {
-        lock.unlock();
-        scope.add("fault.recv.dedup");
+    Message msg;
+    int msg_source = 0;
+    int msg_tag = 0;
+    bool is_dup = false;
+    {
+      MutexLock lock(box.mu);
+      auto it = pick_match(box.queues, source, tag);
+      if (it == box.queues.end()) {
         if (hook != nullptr) {
-          CheckRecvEvent event;
-          event.comm = impl.comm_key;
-          event.dest = impl.world_ranks[rank];
-          event.source_sel =
+          PendingOp op;
+          op.kind = PendingOp::Kind::kRecv;
+          op.comm = impl.comm_key;
+          op.source_sel =
               source == kAnySource ? kAnySource : impl.world_ranks[source];
-          event.tag_sel = tag;
-          event.send_id = msg.env.send_id;
-          event.duplicate = true;
-          hook->on_deliver(event, msg.env.vc);
+          op.tag_sel = tag;
+          hook->on_blocked(impl.world_ranks[rank], std::move(op));
+          BlockedGuard guard{hook, impl.world_ranks[rank]};
+          while ((it = pick_match(box.queues, source, tag)) ==
+                 box.queues.end()) {
+            throw_if_deadlocked(*hook);
+            box.cv.wait_poll(box.mu);
+          }
+        } else {
+          while ((it = pick_match(box.queues, source, tag)) ==
+                 box.queues.end())
+            box.cv.wait(box.mu);
         }
-        if (skip_duplicates) continue;
-        msg.duplicate = true;
-        return {std::move(msg), msg_source, msg_tag};
       }
-      next_seq = msg.seq + 1;
+      msg_source = it->first.first;
+      msg_tag = it->first.second;
+      msg = std::move(it->second.front());
+      it->second.pop_front();
+      if (dedup) {
+        // The duplicate decision completes under the lock; reporting it
+        // (below) must not, so no reference into `box.delivered` survives
+        // this scope.
+        std::uint64_t& next_seq = box.delivered[{msg_source, msg_tag}];
+        if (msg.seq + 1 <= next_seq)
+          is_dup = true;
+        else
+          next_seq = msg.seq + 1;
+      }
     }
+    if (!is_dup) return {std::move(msg), msg_source, msg_tag};
+    scope.add("fault.recv.dedup");
+    if (hook != nullptr) {
+      CheckRecvEvent event;
+      event.comm = impl.comm_key;
+      event.dest = impl.world_ranks[rank];
+      event.source_sel =
+          source == kAnySource ? kAnySource : impl.world_ranks[source];
+      event.tag_sel = tag;
+      event.send_id = msg.env.send_id;
+      event.duplicate = true;
+      hook->on_deliver(event, msg.env.vc);
+    }
+    if (skip_duplicates) continue;
+    msg.duplicate = true;
     return {std::move(msg), msg_source, msg_tag};
   }
 }
@@ -709,19 +742,26 @@ Comm Comm::split(int color, int key) {
       child->checker->on_comm_created(child->comm_key, /*is_world=*/false,
                                       child->world_ranks);
     if (group.size() > 1) {
-      std::lock_guard lock(impl_->split_mu);
+      MutexLock lock(impl_->split_mu);
       impl_->split_published[map_key] = {child,
                                          static_cast<int>(group.size()) - 1};
     }
     impl_->split_cv.notify_all();
   } else {
-    std::unique_lock lock(impl_->split_mu);
+    MutexLock lock(impl_->split_mu);
     // Not registered as a blocked op: the leader publishes in straight-line
     // code right after the split collective, so this wait always
     // terminates (the polling is only for deadlock-abort propagation).
-    checked_wait(impl_->split_cv, lock, impl_->checker, [&] {
-      return impl_->split_published.count(map_key) > 0;
-    });
+    CheckHook* const hook = impl_->checker;
+    if (hook == nullptr) {
+      while (impl_->split_published.count(map_key) == 0)
+        impl_->split_cv.wait(impl_->split_mu);
+    } else {
+      while (impl_->split_published.count(map_key) == 0) {
+        throw_if_deadlocked(*hook);
+        impl_->split_cv.wait_poll(impl_->split_mu);
+      }
+    }
     auto slot = impl_->split_published.find(map_key);
     child = slot->second.impl;
     // Last joiner retires the publication slot so the child impl's

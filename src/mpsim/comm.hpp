@@ -9,14 +9,12 @@
 // Comm::clock().now().
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <cstring>
 #include <deque>
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <stdexcept>
 #include <vector>

@@ -24,7 +24,7 @@ void Span::end() {
 // ---- Recorder ---------------------------------------------------------------
 
 void Recorder::add(std::string_view name, std::uint64_t delta) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   auto it = counters_.find(name);
   if (it == counters_.end()) {
     counters_.emplace(std::string(name), delta);
@@ -34,7 +34,7 @@ void Recorder::add(std::string_view name, std::uint64_t delta) {
 }
 
 void Recorder::gauge(std::string_view name, double value) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   auto it = gauges_.find(name);
   if (it == gauges_.end()) {
     gauges_.emplace(std::string(name), value);
@@ -44,28 +44,28 @@ void Recorder::gauge(std::string_view name, double value) {
 }
 
 void Recorder::record_span(std::string_view name, double begin, double end) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   events_.push_back({std::string(name), begin, end});
 }
 
 std::uint64_t Recorder::counter(std::string_view name) const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   auto it = counters_.find(name);
   return it != counters_.end() ? it->second : 0;
 }
 
 std::map<std::string, std::uint64_t> Recorder::counters() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return {counters_.begin(), counters_.end()};
 }
 
 std::map<std::string, double> Recorder::gauges() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return {gauges_.begin(), gauges_.end()};
 }
 
 std::vector<TraceEvent> Recorder::events() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return events_;
 }
 
@@ -79,24 +79,24 @@ Recorder* Registry::recorder_locked(int rank) {
 }
 
 Scope Registry::scope(int rank) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return Scope(recorder_locked(rank));
 }
 
 Recorder* Registry::attach_rank(int rank, const mpsim::VirtualClock* clock) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   Recorder* rec = recorder_locked(rank);
   rec->bind_clock(clock);
   return rec;
 }
 
 void Registry::detach_clocks() {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   for (auto& [rank, rec] : recorders_) rec->bind_clock(nullptr);
 }
 
 std::vector<int> Registry::ranks() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   std::vector<int> out;
   out.reserve(recorders_.size());
   for (const auto& [rank, rec] : recorders_) out.push_back(rank);
@@ -104,7 +104,7 @@ std::vector<int> Registry::ranks() const {
 }
 
 std::vector<std::string> Registry::counter_names() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   std::set<std::string> names;
   for (const auto& [rank, rec] : recorders_)
     for (const auto& [name, v] : rec->counters()) names.insert(name);
@@ -112,7 +112,7 @@ std::vector<std::string> Registry::counter_names() const {
 }
 
 std::vector<std::string> Registry::span_names() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   std::set<std::string> names;
   for (const auto& [rank, rec] : recorders_)
     for (const auto& ev : rec->events()) names.insert(ev.name);
@@ -120,20 +120,20 @@ std::vector<std::string> Registry::span_names() const {
 }
 
 std::uint64_t Registry::counter_value(int rank, std::string_view name) const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   auto it = recorders_.find(rank);
   return it != recorders_.end() ? it->second->counter(name) : 0;
 }
 
 std::uint64_t Registry::counter_total(std::string_view name) const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   std::uint64_t total = 0;
   for (const auto& [rank, rec] : recorders_) total += rec->counter(name);
   return total;
 }
 
 SpanStat Registry::span_stat(int rank, std::string_view name) const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   SpanStat stat;
   auto it = recorders_.find(rank);
   if (it == recorders_.end()) return stat;
@@ -178,7 +178,7 @@ void Registry::write_chrome_trace(std::ostream& os) const {
   for (int rank : rank_ids) {
     std::vector<TraceEvent> events;
     {
-      std::lock_guard lock(mu_);
+      MutexLock lock(mu_);
       events = recorders_.at(rank)->events();
     }
     // Events are appended at span *end*; emit them ordered by begin time
@@ -256,7 +256,7 @@ void Registry::write_metrics_json(std::ostream& os) const {
   w.key("gauges").begin_object();
   {
     std::set<std::string> names;
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     for (const auto& [rank, rec] : recorders_)
       for (const auto& [name, v] : rec->gauges()) names.insert(name);
     for (const auto& name : names) {

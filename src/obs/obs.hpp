@@ -31,7 +31,6 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <ostream>
 #include <string>
 #include <string_view>
@@ -39,6 +38,8 @@
 #include <vector>
 
 #include "mpsim/clock.hpp"
+#include "support/sync.hpp"
+#include "support/thread_annotations.hpp"
 
 namespace stnb::obs {
 
@@ -102,24 +103,29 @@ class Recorder {
   void bind_clock(const mpsim::VirtualClock* clock) { clock_ = clock; }
   double now() const { return clock_ != nullptr ? clock_->now() : 0.0; }
 
-  void add(std::string_view name, std::uint64_t delta);
-  void gauge(std::string_view name, double value);
-  void record_span(std::string_view name, double begin, double end);
+  void add(std::string_view name, std::uint64_t delta) STNB_EXCLUDES(mu_);
+  void gauge(std::string_view name, double value) STNB_EXCLUDES(mu_);
+  void record_span(std::string_view name, double begin, double end)
+      STNB_EXCLUDES(mu_);
 
-  std::uint64_t counter(std::string_view name) const;
+  std::uint64_t counter(std::string_view name) const STNB_EXCLUDES(mu_);
 
   // Snapshots (copy under lock; intended for post-run aggregation).
-  std::map<std::string, std::uint64_t> counters() const;
-  std::map<std::string, double> gauges() const;
-  std::vector<TraceEvent> events() const;
+  std::map<std::string, std::uint64_t> counters() const STNB_EXCLUDES(mu_);
+  std::map<std::string, double> gauges() const STNB_EXCLUDES(mu_);
+  std::vector<TraceEvent> events() const STNB_EXCLUDES(mu_);
 
  private:
   const int rank_;
+  // Not guarded: bound/unbound by Runtime while the rank threads are
+  // parked (attach at run start, detach after join) and read only by the
+  // owning rank's thread in between.
   const mpsim::VirtualClock* clock_ = nullptr;  // not owned
-  mutable std::mutex mu_;
-  std::map<std::string, std::uint64_t, std::less<>> counters_;
-  std::map<std::string, double, std::less<>> gauges_;
-  std::vector<TraceEvent> events_;
+  mutable Mutex mu_;
+  std::map<std::string, std::uint64_t, std::less<>> counters_
+      STNB_GUARDED_BY(mu_);
+  std::map<std::string, double, std::less<>> gauges_ STNB_GUARDED_BY(mu_);
+  std::vector<TraceEvent> events_ STNB_GUARDED_BY(mu_);
 };
 
 /// Lightweight nullable handle to a Recorder — the single instrumentation
@@ -174,37 +180,40 @@ class Registry {
  public:
   /// Returns the rank's scope, creating the recorder on first use (with no
   /// clock bound — serial standalone usage).
-  Scope scope(int rank);
+  Scope scope(int rank) STNB_EXCLUDES(mu_);
 
   /// Creates (or rebinds) the rank's recorder to `clock`. Called by
   /// mpsim::Runtime at run start.
-  Recorder* attach_rank(int rank, const mpsim::VirtualClock* clock);
+  Recorder* attach_rank(int rank, const mpsim::VirtualClock* clock)
+      STNB_EXCLUDES(mu_);
 
   /// Unbinds every recorder's clock (the clocks die with Runtime::run).
-  void detach_clocks();
+  void detach_clocks() STNB_EXCLUDES(mu_);
 
-  std::vector<int> ranks() const;
-  std::vector<std::string> counter_names() const;
-  std::vector<std::string> span_names() const;
+  std::vector<int> ranks() const STNB_EXCLUDES(mu_);
+  std::vector<std::string> counter_names() const STNB_EXCLUDES(mu_);
+  std::vector<std::string> span_names() const STNB_EXCLUDES(mu_);
 
-  std::uint64_t counter_value(int rank, std::string_view name) const;
-  std::uint64_t counter_total(std::string_view name) const;
-  SpanStat span_stat(int rank, std::string_view name) const;
-  SpanStat span_total(std::string_view name) const;
+  std::uint64_t counter_value(int rank, std::string_view name) const
+      STNB_EXCLUDES(mu_);
+  std::uint64_t counter_total(std::string_view name) const STNB_EXCLUDES(mu_);
+  SpanStat span_stat(int rank, std::string_view name) const
+      STNB_EXCLUDES(mu_);
+  SpanStat span_total(std::string_view name) const STNB_EXCLUDES(mu_);
 
   // -- exports --------------------------------------------------------------
-  void write_chrome_trace(std::ostream& os) const;
-  void write_metrics_json(std::ostream& os) const;
-  void write_metrics_csv(std::ostream& os) const;
-  bool write_chrome_trace(const std::string& path) const;
-  bool write_metrics_json(const std::string& path) const;
-  bool write_metrics_csv(const std::string& path) const;
+  void write_chrome_trace(std::ostream& os) const STNB_EXCLUDES(mu_);
+  void write_metrics_json(std::ostream& os) const STNB_EXCLUDES(mu_);
+  void write_metrics_csv(std::ostream& os) const STNB_EXCLUDES(mu_);
+  bool write_chrome_trace(const std::string& path) const STNB_EXCLUDES(mu_);
+  bool write_metrics_json(const std::string& path) const STNB_EXCLUDES(mu_);
+  bool write_metrics_csv(const std::string& path) const STNB_EXCLUDES(mu_);
 
  private:
-  Recorder* recorder_locked(int rank);
+  Recorder* recorder_locked(int rank) STNB_REQUIRES(mu_);
 
-  mutable std::mutex mu_;
-  std::map<int, std::unique_ptr<Recorder>> recorders_;
+  mutable Mutex mu_;
+  std::map<int, std::unique_ptr<Recorder>> recorders_ STNB_GUARDED_BY(mu_);
 };
 
 }  // namespace stnb::obs

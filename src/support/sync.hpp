@@ -1,0 +1,116 @@
+// Annotated synchronization primitives for Clang Thread Safety Analysis.
+//
+// libstdc++'s std::mutex carries no capability attributes, so the analysis
+// cannot see through it. Every lock in the runtime therefore goes through
+// stnb::Mutex (an annotated wrapper) and the scoped guards below; guarded
+// data is declared STNB_GUARDED_BY(mu_) next to its mutex and the build
+// proves the discipline under -Wthread-safety (STNB_WTHREAD_SAFETY=ON).
+//
+// CondVar wraps std::condition_variable_any waiting on the Mutex itself,
+// so wait loops are written as explicit while-loops in the locking
+// function:
+//
+//   MutexLock lock(mu_);
+//   while (!ready_) cv_.wait(mu_);   // ready_ is GUARDED_BY(mu_): proved
+//
+// A type-erased predicate lambda (cv.wait(lock, [&]{ ... })) would hide
+// the guarded reads from the analysis; the explicit loop keeps them in an
+// annotated context. This is the one behavioral difference from
+// std::condition_variable: condition_variable_any takes any BasicLockable,
+// at the cost of one extra internal mutex per CondVar — negligible against
+// the simulation's coarse waits.
+#pragma once
+
+#include <chrono>  // stnb-lint: allow(wall-clock) wait_poll's bounded sleep is host-scheduling plumbing; virtual time never reads the host clock
+#include <condition_variable>
+#include <mutex>
+
+#include "support/thread_annotations.hpp"
+
+namespace stnb {
+
+/// std::mutex with a capability annotation. Satisfies BasicLockable /
+/// Lockable, so standard facilities (condition_variable_any) accept it.
+class STNB_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() STNB_ACQUIRE() { mu_.lock(); }
+  void unlock() STNB_RELEASE() { mu_.unlock(); }
+  bool try_lock() STNB_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+/// Scoped lock (std::lock_guard shape): held for the full scope, no early
+/// release. Prefer this; use ReleasableMutexLock only when the critical
+/// section must end before the scope does (e.g. to throw outside the lock).
+class STNB_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) STNB_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() STNB_RELEASE() { mu_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Scoped lock with one optional early release().
+class STNB_SCOPED_CAPABILITY ReleasableMutexLock {
+ public:
+  explicit ReleasableMutexLock(Mutex& mu) STNB_ACQUIRE(mu) : mu_(&mu) {
+    mu_->lock();
+  }
+  ~ReleasableMutexLock() STNB_RELEASE() {
+    if (mu_ != nullptr) mu_->unlock();
+  }
+
+  /// Releases the lock now instead of at scope exit. Must not be called
+  /// twice (the analysis enforces this at compile time).
+  void release() STNB_RELEASE() {
+    mu_->unlock();
+    mu_ = nullptr;
+  }
+
+  ReleasableMutexLock(const ReleasableMutexLock&) = delete;
+  ReleasableMutexLock& operator=(const ReleasableMutexLock&) = delete;
+
+ private:
+  Mutex* mu_;
+};
+
+/// Condition variable waiting directly on a Mutex. Wait calls require the
+/// mutex held (and reacquire it before returning); notify requires
+/// nothing. Spurious wakeups are possible — always wait in a while-loop
+/// re-checking the guarded condition.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+  /// Atomically releases `mu`, sleeps until notified, reacquires.
+  void wait(Mutex& mu) STNB_REQUIRES(mu) { cv_.wait(mu); }
+
+  /// wait() with a bounded sleep (10 ms of host time), for loops that must
+  /// also observe state changed without a notify — the checker's
+  /// deadlock-abort propagation polls with this. The bound is host
+  /// scheduling plumbing only: *what* such loops compute stays a function
+  /// of guarded state, never of the host clock.
+  void wait_poll(Mutex& mu) STNB_REQUIRES(mu) {
+    cv_.wait_for(mu, std::chrono::milliseconds(10));  // stnb-lint: allow(wall-clock) bounded host sleep, not a time source
+  }
+
+ private:
+  std::condition_variable_any cv_;
+};
+
+}  // namespace stnb

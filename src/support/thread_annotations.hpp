@@ -1,0 +1,71 @@
+// Clang Thread Safety Analysis annotations (-Wthread-safety), compiled to
+// nothing on every other compiler. The macros mirror the vocabulary of the
+// upstream documentation
+// (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html) with an STNB_
+// prefix so they cannot collide with a platform's own definitions.
+//
+// Conventions in this codebase (see DESIGN.md "Static analysis"):
+//   * every std::mutex is replaced by stnb::Mutex (support/sync.hpp), which
+//     carries STNB_CAPABILITY — the analysis cannot see through an
+//     unannotated standard mutex;
+//   * data owned by a mutex is declared STNB_GUARDED_BY(mu_) right next to
+//     the mutex, and private helpers that expect the lock to be held are
+//     declared STNB_REQUIRES(mu_);
+//   * condition-variable wait loops are written as explicit while-loops in
+//     the locking function (not type-erased predicate lambdas), so every
+//     guarded read sits in an annotated context the analysis can prove.
+//
+// The STNB_WTHREAD_SAFETY CMake option turns the analysis into a hard
+// build error (-Werror=thread-safety) under Clang; the CI leg of the same
+// name enforces it on every change.
+#pragma once
+
+#if defined(__clang__) && (!defined(SWIG))
+#define STNB_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define STNB_THREAD_ANNOTATION(x)  // no-op off Clang
+#endif
+
+/// Marks a class as a capability (something that can be held/acquired).
+#define STNB_CAPABILITY(x) STNB_THREAD_ANNOTATION(capability(x))
+
+/// Marks an RAII class whose lifetime acquires/releases a capability.
+#define STNB_SCOPED_CAPABILITY STNB_THREAD_ANNOTATION(scoped_lockable)
+
+/// Declares that the member is protected by the given capability.
+#define STNB_GUARDED_BY(x) STNB_THREAD_ANNOTATION(guarded_by(x))
+
+/// Declares that the pointed-to data (not the pointer) is protected.
+#define STNB_PT_GUARDED_BY(x) STNB_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// The function may only be called while holding the capability.
+#define STNB_REQUIRES(...) \
+  STNB_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// The function acquires the capability and holds it on return.
+#define STNB_ACQUIRE(...) \
+  STNB_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// The function releases the capability (which must be held on entry).
+#define STNB_RELEASE(...) \
+  STNB_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// The function acquires the capability iff it returns the given value.
+#define STNB_TRY_ACQUIRE(...) \
+  STNB_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/// The function may only be called while NOT holding the capability
+/// (documents non-reentrancy: it will acquire the lock itself).
+#define STNB_EXCLUDES(...) STNB_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// The function returns a reference to data guarded by the capability.
+#define STNB_RETURN_CAPABILITY(x) STNB_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch: the function body is not analyzed. Every use must carry a
+/// comment explaining why the analysis cannot prove the pattern.
+#define STNB_NO_THREAD_SAFETY_ANALYSIS \
+  STNB_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+/// Runtime assertion that the capability is held (trusted by the analysis).
+#define STNB_ASSERT_CAPABILITY(x) \
+  STNB_THREAD_ANNOTATION(assert_capability(x))

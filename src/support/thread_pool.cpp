@@ -1,7 +1,6 @@
 #include "support/thread_pool.hpp"
 
 #include <algorithm>
-#include <exception>
 
 namespace stnb {
 
@@ -14,28 +13,28 @@ ThreadPool::ThreadPool(std::size_t workers) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     stop_ = true;
   }
   cv_work_.notify_all();
   for (auto& t : threads_) t.join();
 }
 
-void ThreadPool::run_chunks(Batch& batch) {
+void ThreadPool::run_chunks(const Batch& batch) {
   for (;;) {
     std::size_t lo, hi;
     {
-      std::lock_guard lock(mu_);
-      if (batch.next >= batch.end || batch.error) return;
-      lo = batch.next;
+      MutexLock lock(mu_);
+      if (next_ >= batch.end || error_) return;
+      lo = next_;
       hi = std::min(batch.end, lo + batch.chunk);
-      batch.next = hi;
+      next_ = hi;
     }
     try {
       for (std::size_t i = lo; i < hi; ++i) (*batch.body)(i);
     } catch (...) {
-      std::lock_guard lock(mu_);
-      if (!batch.error) batch.error = std::current_exception();
+      MutexLock lock(mu_);
+      if (!error_) error_ = std::current_exception();
       return;
     }
   }
@@ -44,21 +43,22 @@ void ThreadPool::run_chunks(Batch& batch) {
 void ThreadPool::worker_loop() {
   std::uint64_t seen = 0;
   for (;;) {
-    Batch* batch = nullptr;
+    const Batch* batch = nullptr;
     {
-      std::unique_lock lock(mu_);
-      cv_work_.wait(lock, [&] {
-        return stop_ || (current_ != nullptr && generation_ != seen);
-      });
+      MutexLock lock(mu_);
+      while (!stop_ && (current_ == nullptr || generation_ == seen))
+        cv_work_.wait(mu_);
       if (stop_) return;
       seen = generation_;
       batch = current_;
-      ++batch->active;
+      ++active_;
     }
+    // `batch` stays alive: parallel_for cannot return (and destroy it)
+    // until active_ drops back to zero.
     run_chunks(*batch);
     {
-      std::lock_guard lock(mu_);
-      if (--batch->active == 0) cv_done_.notify_all();
+      MutexLock lock(mu_);
+      if (--active_ == 0) cv_done_.notify_all();
     }
   }
 }
@@ -74,17 +74,18 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
   }
 
   Batch batch;
-  batch.begin = begin;
   batch.end = end;
-  batch.next = begin;
   batch.body = &body;
   const std::size_t parts =
       std::max<std::size_t>(1, (threads_.size() + 1) * chunks_per_worker);
   batch.chunk = std::max<std::size_t>(1, (n + parts - 1) / parts);
 
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     current_ = &batch;
+    next_ = begin;
+    active_ = 0;
+    error_ = nullptr;
     ++generation_;
   }
   cv_work_.notify_all();
@@ -92,10 +93,15 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
   // The caller participates too.
   run_chunks(batch);
 
-  std::unique_lock lock(mu_);
-  cv_done_.wait(lock, [&] { return batch.active == 0; });
-  current_ = nullptr;
-  if (batch.error) std::rethrow_exception(batch.error);
+  std::exception_ptr error;
+  {
+    MutexLock lock(mu_);
+    while (active_ != 0) cv_done_.wait(mu_);
+    current_ = nullptr;
+    error = std::move(error_);
+    error_ = nullptr;
+  }
+  if (error) std::rethrow_exception(error);
 }
 
 }  // namespace stnb

@@ -3,14 +3,23 @@
 // over particles with it. The pool is deliberately simple (single mutex,
 // chunked index ranges) — traversal chunks are coarse enough that queue
 // contention is negligible.
+//
+// Lock discipline (proved by -Wthread-safety under Clang): all mutable
+// scheduling state — the published batch pointer, the claim cursor, the
+// active-worker count, the first error — is GUARDED_BY(mu_); the batch
+// *description* (range, chunk size, body) is immutable once published and
+// read without the lock.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
+#include <cstdint>
+#include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "support/sync.hpp"
+#include "support/thread_annotations.hpp"
 
 namespace stnb {
 
@@ -30,34 +39,36 @@ class ThreadPool {
   /// Runs body(i) for i in [begin, end), splitting the range into
   /// `chunks_per_worker` chunks per participant (workers + caller).
   /// Blocks until all iterations complete. Exceptions from `body`
-  /// propagate to the caller (first one wins).
+  /// propagate to the caller (first one wins). One batch at a time: the
+  /// caller thread owns the pool for the duration of the call.
   void parallel_for(std::size_t begin, std::size_t end,
                     const std::function<void(std::size_t)>& body,
                     std::size_t chunks_per_worker = 4);
 
  private:
+  /// Immutable description of one parallel_for call; published via
+  /// `current_` under mu_ and then only read.
   struct Batch {
-    std::size_t begin = 0;
     std::size_t end = 0;
     std::size_t chunk = 1;
-    std::size_t next = 0;         // next chunk start to claim
-    std::size_t active = 0;       // workers still inside this batch
     const std::function<void(std::size_t)>* body = nullptr;
-    std::exception_ptr error;
   };
 
   void worker_loop();
   // Claims and runs chunks until the batch is exhausted. Returns when no
-  // work remains. Caller must hold no locks.
-  void run_chunks(Batch& batch);
+  // work remains. Caller must not hold mu_ (the body runs user code).
+  void run_chunks(const Batch& batch) STNB_EXCLUDES(mu_);
 
   std::vector<std::thread> threads_;
-  std::mutex mu_;
-  std::condition_variable cv_work_;
-  std::condition_variable cv_done_;
-  Batch* current_ = nullptr;
-  std::uint64_t generation_ = 0;
-  bool stop_ = false;
+  Mutex mu_;
+  CondVar cv_work_;
+  CondVar cv_done_;
+  const Batch* current_ STNB_GUARDED_BY(mu_) = nullptr;
+  std::size_t next_ STNB_GUARDED_BY(mu_) = 0;    // next chunk start to claim
+  std::size_t active_ STNB_GUARDED_BY(mu_) = 0;  // workers inside the batch
+  std::exception_ptr error_ STNB_GUARDED_BY(mu_);
+  std::uint64_t generation_ STNB_GUARDED_BY(mu_) = 0;
+  bool stop_ STNB_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace stnb

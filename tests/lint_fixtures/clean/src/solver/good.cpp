@@ -1,0 +1,32 @@
+// Clean fixture: idiomatic stnb library code. stnb-lint must report
+// nothing here.
+#include <memory>
+#include <vector>
+
+namespace stnb::solver {
+
+inline constexpr int kTagExchange = 11;
+
+struct Peer {
+  void send(int dest, int tag, double v);
+};
+
+struct State {
+  std::vector<double> values;
+};
+
+std::unique_ptr<State> make_state(std::size_t n) {
+  auto state = std::make_unique<State>();
+  state->values.assign(n, 0.0);
+  return state;
+}
+
+void exchange(Peer& peer, int dest, double v) {
+  peer.send(dest, kTagExchange, v);  // named tag: fine
+}
+
+// Comment chatter that must not fire: a new communicator, std::thread,
+// rand(), printf, std::chrono.
+const char* doc() { return "time() inside a string literal is fine"; }
+
+}  // namespace stnb::solver

@@ -1,0 +1,40 @@
+// One seeded violation per remaining rule, plus suppression cases:
+// a correct allow() with a reason (must stay silent) and a bare allow()
+// without one (must itself be flagged).
+#include <cstdio>
+#include <cstdlib>
+#include <random>
+#include <thread>
+
+namespace stnb::sweeper {
+
+struct Peer {
+  void send(int dest, int tag, double v);
+  void recv_bytes(int source, int tag);
+};
+
+void bad(Peer& peer) {
+  std::thread worker([] {});                     // raw-thread
+  std::mt19937 gen;                              // unseeded-rng
+  const int r = std::rand();                     // unseeded-rng
+  double* state = new double[8];                 // naked-new
+  std::printf("state at %p\n", (void*)state);    // stdout-io
+  peer.send(0, 7, 1.0);                          // tag-constant
+  peer.recv_bytes(0, 7);                         // tag-constant
+  (void)gen;
+  (void)r;
+  delete[] state;
+  worker.join();
+}
+
+void suppressed(Peer& peer) {
+  // A reasoned allow keeps the line silent:
+  peer.send(0, 3, 2.0);  // stnb-lint: allow(tag-constant) wire-format probe uses the raw tag on purpose
+  // A bare allow is itself a finding:
+  peer.send(0, 4, 2.0);  // stnb-lint: allow(tag-constant)
+}
+
+// Mentions in comments must not fire: new thread, std::cout, rand().
+const char* label() { return "std::thread in a string must not fire"; }
+
+}  // namespace stnb::sweeper

@@ -1,0 +1,17 @@
+// Seeded violation: src/tree code timing itself with the host clock.
+// stnb-lint must flag every chrono use here — tree construction cost is
+// modeled through VirtualClock, never measured from the host.
+#include <chrono>
+
+namespace stnb::tree {
+
+double build_seconds() {
+  const auto t0 = std::chrono::steady_clock::now();
+  double acc = 0.0;
+  for (int i = 0; i < 1024; ++i) acc += static_cast<double>(i);
+  const auto t1 = std::chrono::steady_clock::now();
+  (void)acc;
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+}  // namespace stnb::tree

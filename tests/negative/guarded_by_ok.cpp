@@ -1,0 +1,34 @@
+// Positive control for the negative thread-safety compile test: the
+// corrected version of guarded_by_violation.cpp. This MUST compile clean
+// under -Werror=thread-safety, proving that the negative test fails
+// because of the seeded bug and not because the invocation itself is
+// broken (missing include path, bad flag, ...).
+#include "support/sync.hpp"
+#include "support/thread_annotations.hpp"
+
+namespace {
+
+class Counter {
+ public:
+  void bump() {
+    stnb::MutexLock lock(mu_);
+    ++value_;
+  }
+
+  int read() const {
+    stnb::MutexLock lock(mu_);
+    return value_;
+  }
+
+ private:
+  mutable stnb::Mutex mu_;
+  int value_ STNB_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.bump();
+  return c.read();
+}

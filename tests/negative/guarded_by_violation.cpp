@@ -1,0 +1,36 @@
+// Negative compile test: a seeded GUARDED_BY violation. Under Clang with
+// -Werror=thread-safety this translation unit MUST fail to compile (the
+// `negative.thread_safety` ctest asserts WILL_FAIL); if it ever starts
+// compiling, the annotation plumbing is dead and the "proofs" are vacuous.
+//
+// The companion guarded_by_ok.cpp is the positive control: the corrected
+// version of the same code must compile with the same flags, proving the
+// failure here comes from the analysis and not a broken invocation.
+#include "support/sync.hpp"
+#include "support/thread_annotations.hpp"
+
+namespace {
+
+class Counter {
+ public:
+  void bump() {
+    ++value_;  // BUG under analysis: mu_ not held
+  }
+
+  int read() const {
+    stnb::MutexLock lock(mu_);
+    return value_;
+  }
+
+ private:
+  mutable stnb::Mutex mu_;
+  int value_ STNB_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.bump();
+  return c.read();
+}

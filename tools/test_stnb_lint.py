@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Self-tests for tools/stnb-lint: fixture trees with golden diagnostics.
+
+Run directly or via ctest (`lint.self`). Uses --mode=regex so the golden
+output is identical whether or not libclang is importable on the host;
+a separate smoke test exercises libclang mode when it is available.
+"""
+
+import os
+import subprocess
+import sys
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+REPO = os.path.dirname(HERE)
+LINT = os.path.join(HERE, "stnb-lint")
+FIXTURES = os.path.join(REPO, "tests", "lint_fixtures")
+
+failures = []
+
+
+def check(name, ok, detail=""):
+    status = "ok" if ok else "FAIL"
+    print(f"[{status}] {name}")
+    if not ok:
+        failures.append(name)
+        if detail:
+            print(detail)
+
+
+def run(*args):
+    return subprocess.run(
+        [sys.executable, LINT, *args],
+        capture_output=True, text=True, check=False)
+
+
+def main():
+    violations = os.path.join(FIXTURES, "violations")
+    clean = os.path.join(FIXTURES, "clean")
+    golden_path = os.path.join(FIXTURES, "expected_violations.txt")
+
+    # 1. Violations tree reproduces the golden diagnostics, exit 1.
+    r = run("--mode=regex", "--root", violations, violations)
+    with open(golden_path, encoding="utf-8") as f:
+        golden = f.read()
+    check("violations: exit status 1", r.returncode == 1,
+          f"  got {r.returncode}, stderr: {r.stderr}")
+    check("violations: golden diagnostics", r.stdout == golden,
+          "  --- got ---\n" + r.stdout + "  --- want ---\n" + golden)
+
+    # 2. Every rule appears at least once in the golden output — a rule
+    # that never fires on its own seeded fixture is silently broken.
+    rules = run("--list-rules")
+    rule_names = [line.split()[0] for line in rules.stdout.splitlines()
+                  if line and not line.startswith(" ")]
+    check("list-rules: exit status 0", rules.returncode == 0)
+    for name in rule_names:
+        check(f"rule fires on fixtures: {name}", f"[{name}]" in golden)
+
+    # 3. Clean tree: no output, exit 0.
+    r = run("--mode=regex", "--root", clean, clean)
+    check("clean: exit status 0", r.returncode == 0,
+          f"  got {r.returncode}: {r.stdout}{r.stderr}")
+    check("clean: no findings", r.stdout == "")
+
+    # 4. The real library is lint-clean (same invocation CI uses).
+    r = run("--mode=regex", "--root", REPO, os.path.join(REPO, "src"))
+    check("src/: exit status 0", r.returncode == 0,
+          f"  got {r.returncode}:\n{r.stdout}{r.stderr}")
+
+    # 5. Reasoned suppression stays silent; bare allow is flagged.
+    check("suppression: reasoned allow silent",
+          "bad_misc.cpp:32" not in golden)
+    check("suppression: bare allow flagged", "[bare-allow]" in golden)
+
+    # 6. libclang mode: if importable, it must agree with regex mode on
+    # the violations tree (same findings, same order).
+    probe = subprocess.run(
+        [sys.executable, "-c", "import clang.cindex"],
+        capture_output=True, check=False)
+    if probe.returncode == 0:
+        r = run("--mode=libclang", "--root", violations, violations)
+        check("libclang: agrees with golden", r.stdout == golden,
+              "  --- got ---\n" + r.stdout)
+    else:
+        print("[skip] libclang mode (python clang.cindex not importable)")
+
+    if failures:
+        print(f"\n{len(failures)} self-test(s) failed")
+        return 1
+    print("\nall stnb-lint self-tests passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
