@@ -43,6 +43,10 @@ int main(int argc, char** argv) {
   cli.add("max-ranks", "16", "largest simulated rank count (measured part)");
   cli.add("theta", "0.6", "multipole acceptance parameter");
   cli.add("json", "", "write measured + model results as JSON to this path");
+  cli.add("sched", "", "rank scheduler: thread | fiber (default: STNB_SCHED)");
+  cli.add("ranks-per-thread", "0",
+          "fiber mode: simulated ranks per OS worker (0 = auto; implies "
+          "--sched=fiber)");
   if (!cli.parse(argc, argv)) return 1;
 
   bench::print_banner(
@@ -82,6 +86,8 @@ int main(int argc, char** argv) {
     registries.push_back(std::make_unique<obs::Registry>());
     mpsim::Runtime rt;
     rt.set_registry(registries.back().get());
+    rt.set_sched(mpsim::SchedConfig::from_flags(
+        cli.get<std::string>("sched"), cli.get<int>("ranks-per-thread"), p));
     rt.run(p, [&](mpsim::Comm& comm) {
       const std::size_t begin = n * comm.rank() / p;
       const std::size_t end = n * (comm.rank() + 1) / p;

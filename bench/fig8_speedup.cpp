@@ -124,7 +124,14 @@ int main(int argc, char** argv) {
   cli.add("json", "",
           "write metrics JSON here + a Chrome trace of the widest run "
           "next to it (<path minus .json>.trace.json)");
+  cli.add("sched", "", "rank scheduler: thread | fiber (default: STNB_SCHED)");
+  cli.add("ranks-per-thread", "0",
+          "fiber mode: simulated ranks per OS worker (0 = auto; implies "
+          "--sched=fiber); e.g. --small-ps 32 --max-pt 32 "
+          "--ranks-per-thread 64 runs 1024 ranks on 16 workers");
   if (!cli.parse(argc, argv)) return 1;
+  const std::string sched_flag = cli.get<std::string>("sched");
+  const int ranks_per_thread = cli.get<int>("ranks-per-thread");
   // Shared across every measured run; each Runtime::run re-begins it.
   check::Checker checker;
   const bool checked = cli.get<bool>("check");
@@ -163,6 +170,8 @@ int main(int argc, char** argv) {
     {
       mpsim::Runtime rt;
       if (checked) rt.set_check_hook(&checker);
+      rt.set_sched(
+          mpsim::SchedConfig::from_flags(sched_flag, ranks_per_thread, ps));
       rt.run(ps, [&](mpsim::Comm& comm) {
         const std::size_t begin = setup.n_particles * comm.rank() / ps;
         const std::size_t end = setup.n_particles * (comm.rank() + 1) / ps;
@@ -197,6 +206,8 @@ int main(int argc, char** argv) {
     {
       mpsim::Runtime rt;
       if (checked) rt.set_check_hook(&checker);
+      rt.set_sched(
+          mpsim::SchedConfig::from_flags(sched_flag, ranks_per_thread, ps));
       rt.run(ps, [&](mpsim::Comm& comm) {
         const std::size_t begin = setup.n_particles * comm.rank() / ps;
         const std::size_t end = setup.n_particles * (comm.rank() + 1) / ps;
@@ -235,6 +246,8 @@ int main(int argc, char** argv) {
       mpsim::Runtime rt;
       if (checked) rt.set_check_hook(&checker);
       rt.set_registry(run.registry.get());
+      rt.set_sched(mpsim::SchedConfig::from_flags(sched_flag,
+                                                  ranks_per_thread, pt * ps));
       rt.run(pt * ps, [&](mpsim::Comm& world) {
         const int time_slice = world.rank() / ps;
         const int space_rank = world.rank() % ps;

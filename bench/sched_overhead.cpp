@@ -1,0 +1,154 @@
+// Scheduler-overhead guardrail: fiber-mode context switching must not make
+// the fig5 tree-code evaluation measurably slower than thread-per-rank
+// mode. Runs the same 16-rank Barnes-Hut solve (the fig5 measured
+// workload) under both schedulers and reports host wall-clock times plus
+// their ratio; CI fails if fiber/thread exceeds 1.25 (see BENCH_sched.json
+// for the checked-in baseline).
+//
+// Only *host* time differs between the modes: the simulated machine's
+// virtual times are bit-identical by construction (deterministic message
+// matching, per-rank virtual clocks), and this bench asserts that too.
+//
+// Wall-clock use is legitimate here: this file measures the host runtime
+// itself, not the simulated machine, and bench/ is outside the lint
+// wall-clock scan (lint.src covers src/ only).
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <vector>
+
+#include "common.hpp"
+#include "kernels/coulomb.hpp"
+#include "mpsim/comm.hpp"
+#include "support/json.hpp"
+#include "support/rng.hpp"
+#include "tree/parallel.hpp"
+
+using namespace stnb;
+
+namespace {
+
+struct ModeResult {
+  double wall_seconds = 0.0;     // host time for the measured repetitions
+  double virtual_seconds = 0.0;  // simulated makespan (must match modes)
+};
+
+ModeResult run_mode(mpsim::SchedMode mode, int ranks, int reps,
+                    const std::vector<tree::TreeParticle>& all, double theta,
+                    const kernels::CoulombKernel& kernel) {
+  ModeResult res;
+  mpsim::SchedConfig sched;
+  sched.mode = mode;
+  sched.workers = ranks;  // same OS concurrency in both modes
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int rep = 0; rep < reps; ++rep) {
+    mpsim::Runtime rt;
+    rt.set_sched(sched);
+    const auto times = rt.run(ranks, [&](mpsim::Comm& comm) {
+      const std::size_t n = all.size();
+      const std::size_t begin = n * comm.rank() / ranks;
+      const std::size_t end = n * (comm.rank() + 1) / ranks;
+      std::vector<tree::TreeParticle> local(all.begin() + begin,
+                                            all.begin() + end);
+      tree::ParallelConfig config;
+      config.theta = theta;
+      tree::ParallelTree solver(comm, config);
+      const auto forces = solver.solve_coulomb(local, kernel);
+      comm.allreduce(forces.timings.total(), mpsim::ReduceOp::kMax);
+    });
+    double makespan = 0.0;
+    for (double t : times) makespan = t > makespan ? t : makespan;
+    res.virtual_seconds = makespan;
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  res.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
+  return res;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli;
+  cli.add("n", "4000", "particles (fig5-style workload)");
+  cli.add("ranks", "16", "simulated ranks");
+  cli.add("reps", "3", "measured repetitions per mode");
+  cli.add("theta", "0.6", "multipole acceptance parameter");
+  cli.add("json", "", "write results as JSON to this path");
+  if (!cli.parse(argc, argv)) return 1;
+
+  bench::print_banner(
+      "sched_overhead — fiber vs thread-per-rank host overhead",
+      "same fig5 tree solve under both schedulers; ratio is the CI "
+      "perf-smoke metric (budget: fiber/thread <= 1.25)");
+
+  const auto n = cli.get<std::size_t>("n");
+  const int ranks = cli.get<int>("ranks");
+  const int reps = cli.get<int>("reps");
+  const double theta = cli.get<double>("theta");
+
+  std::vector<tree::TreeParticle> all(n);
+  {
+    Rng rng(7);
+    for (std::size_t i = 0; i < n; ++i) {
+      all[i].x = rng.uniform_in_box({0, 0, 0}, {1, 1, 1});
+      all[i].q = (i % 2 == 0) ? 1.0 : -1.0;
+      all[i].id = static_cast<std::uint32_t>(i);
+    }
+  }
+  const kernels::CoulombKernel kernel(1e-4);
+
+  // Warm up both paths once (page cache, lazy allocations) so the
+  // measured repetitions compare steady states.
+  run_mode(mpsim::SchedMode::kThreadPerRank, ranks, 1, all, theta, kernel);
+  run_mode(mpsim::SchedMode::kFiber, ranks, 1, all, theta, kernel);
+
+  const auto thread_res = run_mode(mpsim::SchedMode::kThreadPerRank, ranks,
+                                   reps, all, theta, kernel);
+  const auto fiber_res =
+      run_mode(mpsim::SchedMode::kFiber, ranks, reps, all, theta, kernel);
+  const double ratio = fiber_res.wall_seconds / thread_res.wall_seconds;
+
+  Table table({"mode", "wall[s]", "virtual_makespan[s]"});
+  table.begin_row()
+      .cell(std::string("thread"))
+      .cell_sci(thread_res.wall_seconds)
+      .cell_sci(thread_res.virtual_seconds);
+  table.begin_row()
+      .cell(std::string("fiber"))
+      .cell_sci(fiber_res.wall_seconds)
+      .cell_sci(fiber_res.virtual_seconds);
+  table.print("sched overhead, " + std::to_string(ranks) + " ranks, N = " +
+              std::to_string(n));
+  std::printf("fiber/thread wall-clock ratio: %.3f\n", ratio);
+
+  const bool virtual_match =
+      fiber_res.virtual_seconds == thread_res.virtual_seconds;
+  if (!virtual_match)
+    std::printf("ERROR: virtual makespans differ between modes "
+                "(%.17g vs %.17g) — determinism broken\n",
+                thread_res.virtual_seconds, fiber_res.virtual_seconds);
+
+  const std::string json_path = cli.get<std::string>("json");
+  if (!json_path.empty()) {
+    std::ofstream os(json_path);
+    if (!os) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    JsonWriter w(os);
+    w.begin_object();
+    w.member("bench", "sched_overhead")
+        .member("n", n)
+        .member("ranks", ranks)
+        .member("reps", reps)
+        .member("thread_wall_s", thread_res.wall_seconds)
+        .member("fiber_wall_s", fiber_res.wall_seconds)
+        .member("fiber_over_thread", ratio)
+        .member("virtual_makespan_s", thread_res.virtual_seconds)
+        .member("virtual_match", virtual_match)
+        .end_object();
+    os << '\n';
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  return virtual_match ? 0 : 1;
+}

@@ -67,6 +67,11 @@ int main(int argc, char** argv) {
   cli.add("checkpoint-every", "0", "write a checkpoint every K windows (0=off)");
   cli.add("checkpoint", "spacetime_vortex.ckpt", "checkpoint file path");
   cli.add("restore", "", "resume from this checkpoint file");
+  // -- scheduling -----------------------------------------------------------
+  cli.add("sched", "", "rank scheduler: thread | fiber (default: STNB_SCHED)");
+  cli.add("ranks-per-thread", "0",
+          "fiber mode: simulated ranks per OS worker (0 = auto; implies "
+          "--sched=fiber)");
   if (!cli.parse(argc, argv)) return 1;
 
   const int pt = cli.get<int>("pt");
@@ -147,10 +152,15 @@ int main(int argc, char** argv) {
   check::Checker checker;
   const bool checked = cli.get<bool>("check");
 
+  const std::string sched_flag = cli.get<std::string>("sched");
+  const int ranks_per_thread = cli.get<int>("ranks-per-thread");
+
   double t_serial = 0.0;
   if (restore_path.empty()) {
     mpsim::Runtime rt;
     if (checked) rt.set_check_hook(&checker);
+    rt.set_sched(
+        mpsim::SchedConfig::from_flags(sched_flag, ranks_per_thread, ps));
     rt.run(ps, [&](mpsim::Comm& comm) {
       const std::size_t begin = n * comm.rank() / ps;
       const std::size_t end = n * (comm.rank() + 1) / ps;
@@ -181,6 +191,8 @@ int main(int argc, char** argv) {
   if (checked) rt.set_check_hook(&checker);
   if (faulty) rt.set_fault_injector(&injector);
   if (cli.get<bool>("reliable")) rt.set_reliable({.enabled = true});
+  rt.set_sched(
+      mpsim::SchedConfig::from_flags(sched_flag, ranks_per_thread, pt * ps));
   rt.run(pt * ps, [&](mpsim::Comm& world) {
     const int time_slice = world.rank() / ps;
     const int space_rank = world.rank() % ps;

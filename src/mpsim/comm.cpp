@@ -1,11 +1,14 @@
 #include "mpsim/comm.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 #include <stdexcept>
 #include <thread>
 
+#include "sched/scheduler.hpp"
 #include "support/sync.hpp"
 #include "support/thread_annotations.hpp"
+#include "support/thread_pool.hpp"
 
 namespace stnb::mpsim {
 
@@ -771,6 +774,64 @@ Comm Comm::split(int color, int key) {
   return Comm(std::move(child), my_new_rank);
 }
 
+namespace {
+
+SchedMode resolve_sched_mode(const std::optional<SchedMode>& explicit_mode) {
+  if (explicit_mode.has_value()) return *explicit_mode;
+  const char* env = std::getenv("STNB_SCHED");
+  if (env == nullptr || *env == '\0') return SchedMode::kThreadPerRank;
+  const std::string v(env);
+  if (v == "thread") return SchedMode::kThreadPerRank;
+  if (v == "fiber") return SchedMode::kFiber;
+  throw std::runtime_error("STNB_SCHED: unknown scheduler '" + v +
+                           "' (expected thread|fiber)");
+}
+
+}  // namespace
+
+std::size_t resolve_sched_stack_bytes(std::size_t stack_kb) {
+  if (stack_kb == 0) {
+    if (const char* env = std::getenv("STNB_SCHED_STACK_KB");
+        env != nullptr && *env != '\0')
+      stack_kb = std::strtoul(env, nullptr, 10);
+  }
+  if (stack_kb == 0) stack_kb = 512;
+  return stack_kb * 1024;
+}
+
+int resolve_sched_workers(int requested) {
+  if (requested <= 0) {
+    if (const char* env = std::getenv("STNB_SCHED_WORKERS");
+        env != nullptr && *env != '\0')
+      requested = std::atoi(env);
+  }
+  if (requested <= 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    requested = hw == 0 ? 1 : static_cast<int>(hw);
+    if (requested > 16) requested = 16;
+  }
+  return requested < 1 ? 1 : requested;
+}
+
+SchedConfig SchedConfig::from_flags(const std::string& sched,
+                                    int ranks_per_thread, int n_ranks) {
+  SchedConfig cfg;
+  if (sched == "thread") {
+    cfg.mode = SchedMode::kThreadPerRank;
+  } else if (sched == "fiber") {
+    cfg.mode = SchedMode::kFiber;
+  } else if (!sched.empty()) {
+    throw std::invalid_argument("--sched: unknown scheduler '" + sched +
+                                "' (expected thread|fiber)");
+  }
+  if (ranks_per_thread > 0) {
+    if (!cfg.mode.has_value()) cfg.mode = SchedMode::kFiber;
+    cfg.workers = (n_ranks + ranks_per_thread - 1) / ranks_per_thread;
+    if (cfg.workers < 1) cfg.workers = 1;
+  }
+  return cfg;
+}
+
 std::vector<double> Runtime::run(
     int n_ranks, const std::function<void(Comm&)>& rank_main) {
   if (n_ranks < 1) throw std::invalid_argument("need at least one rank");
@@ -791,21 +852,73 @@ std::vector<double> Runtime::run(
     for (int r = 0; r < n_ranks; ++r)
       world->recorders[r] = registry_->attach_rank(r, &clocks[r]);
 
-  std::vector<std::thread> threads;
   std::vector<std::exception_ptr> errors(n_ranks);
-  threads.reserve(n_ranks);
-  for (int r = 0; r < n_ranks; ++r) {
-    threads.emplace_back([&, r] {
-      Comm comm(world, r);
-      try {
-        rank_main(comm);
-      } catch (...) {
-        errors[r] = std::current_exception();
-      }
-      if (hook != nullptr) hook->on_rank_done(r);
-    });
+  const auto rank_body = [&](int r) {
+    Comm comm(world, r);
+    try {
+      rank_main(comm);
+    } catch (...) {
+      errors[r] = std::current_exception();
+    }
+    if (hook != nullptr) hook->on_rank_done(r);
+  };
+
+  if (sched::FiberScheduler::in_fiber()) {
+    // Nested run from inside a scheduler fiber (a JobQueue job driver):
+    // spawn the ranks into the live ambient scheduler, in the caller's
+    // fair-share group, and fiber-block until they finish. Joining OS
+    // threads here would park a scheduler worker for the whole world and
+    // defeat the over-decomposition.
+    auto* ambient = sched::FiberScheduler::current();
+    const int group = sched::FiberScheduler::current_group();
+    struct Join {
+      Mutex mu;
+      CondVar cv;
+      int remaining STNB_GUARDED_BY(mu) = 0;
+    };
+    // shared_ptr: rank fibers may still be inside the final notify when
+    // this frame's wait completes; the control block keeps cv alive.
+    auto join = std::make_shared<Join>();
+    {
+      MutexLock lock(join->mu);
+      join->remaining = n_ranks;
+    }
+    for (int r = 0; r < n_ranks; ++r) {
+      ambient->spawn(group, [join, &rank_body, r] {
+        rank_body(r);
+        MutexLock lock(join->mu);
+        --join->remaining;
+        join->cv.notify_all();
+      });
+    }
+    MutexLock lock(join->mu);
+    while (join->remaining > 0) join->cv.wait(join->mu);
+  } else if (resolve_sched_mode(sched_.mode) == SchedMode::kFiber) {
+    sched::FiberScheduler::Config scfg;
+    scfg.stack_bytes = resolve_sched_stack_bytes(sched_.stack_kb);
+    sched::FiberScheduler fs(scfg);
+    for (int r = 0; r < n_ranks; ++r)
+      fs.spawn(/*group=*/0, [&rank_body, r] { rank_body(r); });
+    const int workers = resolve_sched_workers(sched_.workers);
+    ThreadPool pool(static_cast<std::size_t>(workers - 1));
+    fs.run(pool);
+    if (registry_ != nullptr) {
+      // Scheduler counters are host-scheduling facts, not simulation
+      // results: they vary with worker count and mode, so determinism
+      // comparisons must exclude the sched.* namespace.
+      auto scope = registry_->scope(0);
+      scope.add("sched.context_switches", fs.context_switches());
+      scope.gauge("sched.workers", static_cast<double>(workers));
+      scope.gauge("sched.max_ready_ranks",
+                  static_cast<double>(fs.max_ready()));
+    }
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(n_ranks);
+    for (int r = 0; r < n_ranks; ++r)
+      threads.emplace_back([&rank_body, r] { rank_body(r); });
+    for (auto& t : threads) t.join();
   }
-  for (auto& t : threads) t.join();
   if (registry_ != nullptr) registry_->detach_clocks();
   bool failed = false;
   for (auto& e : errors) failed = failed || static_cast<bool>(e);

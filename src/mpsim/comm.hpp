@@ -17,6 +17,7 @@
 #include <memory>
 #include <optional>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "mpsim/checkhook.hpp"
@@ -241,9 +242,48 @@ class Comm {
   int rank_ = 0;
 };
 
-/// Runs `rank_main` on `n_ranks` threads connected by a world communicator.
+/// Scheduling backend for Runtime::run: one OS thread per simulated rank
+/// (the historical mode, capped by the host at ~10^2 ranks), or
+/// cooperatively-scheduled stackful fibers multiplexed over a small worker
+/// pool (src/sched), which carries 10^4 ranks on a handful of OS threads.
+/// Both modes produce bit-identical simulation results for a fixed seed:
+/// receives match on named (source, tag) FIFOs, collective folds are
+/// combined in rank order, and every rank advances its own virtual clock —
+/// none of which depends on host scheduling.
+enum class SchedMode { kThreadPerRank, kFiber };
+
+/// Scheduler selection for Runtime::run. Resolution order: explicit values
+/// here > environment (`STNB_SCHED=thread|fiber`, `STNB_SCHED_WORKERS`,
+/// `STNB_SCHED_STACK_KB`) > defaults (thread mode; workers = hardware
+/// concurrency clamped to [1, 16]; 512 KiB stacks). The environment layer
+/// is what lets CI run the full unmodified test suite under the fiber
+/// scheduler.
+struct SchedConfig {
+  std::optional<SchedMode> mode;  // unset: consult STNB_SCHED, else thread
+  int workers = 0;     // fiber-mode OS threads (incl. caller); 0 = resolve
+  std::size_t stack_kb = 0;  // per-fiber stack; 0 = env or 512 KiB
+
+  /// Builds a config from the shared CLI flags: `--sched=thread|fiber`
+  /// (empty = default resolution) and `--ranks-per-thread N` (N > 0 caps
+  /// the worker count at ceil(n_ranks / N) and implies fiber mode unless
+  /// --sched says otherwise). Throws std::invalid_argument on an unknown
+  /// scheduler name.
+  static SchedConfig from_flags(const std::string& sched,
+                                int ranks_per_thread, int n_ranks);
+};
+
+/// Resolves a fiber worker count: `requested` if positive, else
+/// STNB_SCHED_WORKERS, else hardware concurrency clamped to [1, 16].
+int resolve_sched_workers(int requested);
+
+/// Resolves a per-fiber stack size in bytes: `stack_kb` if positive, else
+/// STNB_SCHED_STACK_KB, else 512 KiB.
+std::size_t resolve_sched_stack_bytes(std::size_t stack_kb);
+
+/// Runs `rank_main` on `n_ranks` simulated ranks connected by a world
+/// communicator (OS threads or scheduler fibers per SchedConfig).
 /// Returns the final virtual time of each rank. Exceptions from rank
-/// bodies are rethrown (first one wins) after all threads join.
+/// bodies are rethrown (first one wins) after all ranks finish.
 class Runtime {
  public:
   explicit Runtime(CostModel model = {}) : model_(model) {}
@@ -282,6 +322,15 @@ class Runtime {
     return *this;
   }
 
+  /// Selects the scheduling backend (see SchedConfig). A run() issued from
+  /// inside a scheduler fiber (e.g. a JobQueue job driver) ignores the
+  /// mode and always spawns its ranks into the live ambient scheduler —
+  /// parking an OS worker on a thread join would defeat over-decomposition.
+  Runtime& set_sched(SchedConfig sched) {
+    sched_ = sched;
+    return *this;
+  }
+
   std::vector<double> run(int n_ranks,
                           const std::function<void(Comm&)>& rank_main);
 
@@ -291,6 +340,7 @@ class Runtime {
   FaultInjector* injector_ = nullptr;
   ReliableConfig reliable_;
   CheckHook* check_hook_ = nullptr;
+  SchedConfig sched_;
 };
 
 }  // namespace stnb::mpsim

@@ -1,0 +1,191 @@
+#include "sched/fiber.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+#include <sys/mman.h>
+#include <unistd.h>
+
+// Sanitizer fiber annotations. GCC defines __SANITIZE_THREAD__ /
+// __SANITIZE_ADDRESS__; Clang exposes __has_feature.
+#if defined(__SANITIZE_THREAD__)
+#define STNB_TSAN_FIBERS 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define STNB_TSAN_FIBERS 1
+#endif
+#endif
+#if defined(__SANITIZE_ADDRESS__)
+#define STNB_ASAN_FIBERS 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define STNB_ASAN_FIBERS 1
+#endif
+#endif
+
+#if defined(STNB_TSAN_FIBERS)
+#include <sanitizer/tsan_interface.h>
+#endif
+#if defined(STNB_ASAN_FIBERS)
+#include <sanitizer/common_interface_defs.h>
+#endif
+
+namespace stnb::sched {
+
+namespace {
+
+/// Per-OS-thread scheduling context: where a fiber switches back to when
+/// it yields. One per worker thread, living on that thread's own stack
+/// frame chain (via thread_local), never migrated.
+struct Anchor {
+  ucontext_t ctx;
+#if defined(STNB_TSAN_FIBERS)
+  void* tsan_fiber = nullptr;  // the thread's own shadow context
+#endif
+#if defined(STNB_ASAN_FIBERS)
+  void* fake_stack = nullptr;
+#endif
+};
+
+thread_local Anchor t_anchor;
+thread_local Fiber* t_current = nullptr;
+
+std::size_t page_size() {
+  static const std::size_t page =
+      static_cast<std::size_t>(sysconf(_SC_PAGESIZE));
+  return page;
+}
+
+}  // namespace
+
+Fiber* Fiber::current() noexcept { return t_current; }
+
+Fiber::Fiber(std::function<void()> body, std::size_t stack_bytes)
+    : body_(std::move(body)) {
+  const std::size_t page = page_size();
+  std::size_t stack = stack_bytes < 4 * page ? 4 * page : stack_bytes;
+  stack = (stack + page - 1) / page * page;
+  map_size_ = stack + page;  // + guard page
+  map_base_ = mmap(nullptr, map_size_, PROT_READ | PROT_WRITE,
+                   MAP_PRIVATE | MAP_ANONYMOUS | MAP_STACK, -1, 0);
+  if (map_base_ == MAP_FAILED) {
+    map_base_ = nullptr;
+    throw std::runtime_error("Fiber: stack mmap failed");
+  }
+  // Stacks grow down: the guard page sits at the low end.
+  if (mprotect(map_base_, page, PROT_NONE) != 0) {
+    munmap(map_base_, map_size_);
+    map_base_ = nullptr;
+    throw std::runtime_error("Fiber: stack guard mprotect failed");
+  }
+  stack_lo_ = static_cast<char*>(map_base_) + page;
+  stack_size_ = stack;
+
+  if (getcontext(&ctx_) != 0) {
+    munmap(map_base_, map_size_);
+    map_base_ = nullptr;
+    throw std::runtime_error("Fiber: getcontext failed");
+  }
+  ctx_.uc_stack.ss_sp = stack_lo_;
+  ctx_.uc_stack.ss_size = stack_size_;
+  // No uc_link: a fiber never *returns* off its context — the trampoline
+  // always switches back to an anchor explicitly.
+  ctx_.uc_link = nullptr;
+  makecontext(&ctx_, &Fiber::trampoline, 0);
+
+#if defined(STNB_TSAN_FIBERS)
+  tsan_fiber_ = __tsan_create_fiber(0);
+#endif
+}
+
+Fiber::~Fiber() {
+#if defined(STNB_TSAN_FIBERS)
+  if (tsan_fiber_ != nullptr) __tsan_destroy_fiber(tsan_fiber_);
+#endif
+  // ASan: a finished fiber already released its fake stack on its final
+  // switch-out (start_switch_fiber with a null save slot).
+  if (map_base_ != nullptr) munmap(map_base_, map_size_);
+}
+
+// noinline: the TLS reads below must happen at call time, on the thread
+// actually executing the switch — inlining into a caller that suspends
+// could let the compiler reuse a pre-switch TLS address afterwards.
+__attribute__((noinline)) void Fiber::resume() {
+  if (t_current != nullptr)
+    throw std::logic_error("Fiber::resume: called from inside a fiber");
+  if (finished_)
+    throw std::logic_error("Fiber::resume: fiber already finished");
+  Anchor& anchor = t_anchor;
+  t_current = this;
+#if defined(STNB_TSAN_FIBERS)
+  if (anchor.tsan_fiber == nullptr)
+    anchor.tsan_fiber = __tsan_get_current_fiber();
+#endif
+#if defined(STNB_ASAN_FIBERS)
+  __sanitizer_start_switch_fiber(&anchor.fake_stack, stack_lo_, stack_size_);
+#endif
+#if defined(STNB_TSAN_FIBERS)
+  __tsan_switch_to_fiber(tsan_fiber_, 0);
+#endif
+  swapcontext(&anchor.ctx, &ctx_);
+  // Back on the same OS thread: yield/finish target the anchor of the
+  // thread running the fiber at switch-out time, which is this one.
+#if defined(STNB_ASAN_FIBERS)
+  __sanitizer_finish_switch_fiber(anchor.fake_stack, nullptr, nullptr);
+#endif
+  t_current = nullptr;
+}
+
+__attribute__((noinline)) void Fiber::switch_out() {
+  // Read all thread_local state BEFORE the switch: after swapcontext
+  // returns, this fiber may be running on a different OS thread, where
+  // the old thread's anchor address would be wrong.
+  Anchor& anchor = t_anchor;
+#if defined(STNB_ASAN_FIBERS)
+  // A finishing fiber passes a null save slot so ASan frees its fake
+  // stack; a suspending one keeps it for the next resume.
+  __sanitizer_start_switch_fiber(finished_ ? nullptr : &asan_fake_,
+                                 peer_stack_lo_, peer_stack_size_);
+#endif
+#if defined(STNB_TSAN_FIBERS)
+  __tsan_switch_to_fiber(anchor.tsan_fiber, 0);
+#endif
+  swapcontext(&ctx_, &anchor.ctx);
+  // Resumed — possibly on another OS thread. `this` and locals live on
+  // the fiber's own stack and stay valid; thread_locals must not be
+  // touched in this frame.
+#if defined(STNB_ASAN_FIBERS)
+  __sanitizer_finish_switch_fiber(asan_fake_, &peer_stack_lo_,
+                                  &peer_stack_size_);
+#endif
+}
+
+__attribute__((noinline)) void Fiber::yield() {
+  Fiber* self = t_current;
+  if (self == nullptr)
+    throw std::logic_error("Fiber::yield: not inside a fiber");
+  self->switch_out();
+}
+
+void Fiber::trampoline() {
+  // Entered exactly once, on the thread that first resumed the fiber;
+  // resume() set t_current just before switching in. Keep `self` in a
+  // local — after body() the fiber may be on a different thread.
+  Fiber* self = t_current;
+#if defined(STNB_ASAN_FIBERS)
+  __sanitizer_finish_switch_fiber(nullptr, &self->peer_stack_lo_,
+                                  &self->peer_stack_size_);
+#endif
+  try {
+    self->body_();
+  } catch (...) {
+    // Fiber bodies are wrapped by the scheduler and must not throw:
+    // nothing above a makecontext entry point can unwind further.
+    std::abort();
+  }
+  self->finished_ = true;
+  self->switch_out();
+  // A finished fiber is never resumed (resume() rejects it).
+  std::abort();
+}
+
+}  // namespace stnb::sched

@@ -1,0 +1,85 @@
+// Stackful fibers for the cooperative rank scheduler (sched::FiberScheduler).
+//
+// A Fiber is one suspendable execution context: an mmap'd stack with a
+// PROT_NONE guard page below it and a ucontext_t. resume() runs the fiber
+// on the calling OS thread until it yields or finishes; Fiber::yield()
+// suspends the current fiber back to the thread that resumed it. Fibers
+// may be resumed on a *different* OS thread than the one they last ran on
+// (the scheduler migrates them freely), which imposes two hard rules on
+// this file and its users:
+//
+//   * never cache thread_local state across a suspension point — every
+//     TLS read below happens freshly, before the switch it feeds, and the
+//     switch helpers are noinline so a caller cannot fold a pre-switch
+//     TLS address past the swapcontext;
+//   * sanitizer runtimes must be told about every switch: TSan tracks one
+//     shadow context per fiber (__tsan_switch_to_fiber), ASan swaps the
+//     fake-stack bounds (__sanitizer_start/finish_switch_fiber). Without
+//     the annotations both report false positives on the stack reuse.
+//
+// Raw context primitives (ucontext, the sanitizer fiber hooks) are
+// confined to src/sched by the stnb-lint raw-fiber rule — everything else
+// schedules through sched::FiberScheduler.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <ucontext.h>
+
+namespace stnb::sched {
+
+class Fiber {
+ public:
+  /// Creates a suspended fiber that will run `body` on first resume().
+  /// `stack_bytes` is rounded up to whole pages (minimum four); one extra
+  /// guard page is mapped PROT_NONE below the stack so an overflow faults
+  /// instead of silently corrupting a neighboring allocation. Stack pages
+  /// are committed lazily by the kernel, so many mostly-idle fibers stay
+  /// cheap in resident memory.
+  Fiber(std::function<void()> body, std::size_t stack_bytes);
+
+  /// Destroying a started-but-unfinished fiber is a contract violation
+  /// (its stack frames would never unwind); the scheduler only destroys
+  /// fibers after finished().
+  ~Fiber();
+
+  Fiber(const Fiber&) = delete;
+  Fiber& operator=(const Fiber&) = delete;
+
+  /// Runs the fiber on the calling thread until it yields or finishes.
+  /// Must not be called from inside a fiber, nor after finished().
+  void resume();
+
+  /// True once `body` has returned. A finished fiber releases its stack
+  /// only on destruction.
+  bool finished() const { return finished_; }
+
+  /// Suspends the currently running fiber back to its resume() caller.
+  /// Must be called from fiber context.
+  static void yield();
+
+  /// The fiber currently running on the calling thread (nullptr outside
+  /// fiber context).
+  static Fiber* current() noexcept;
+
+ private:
+  static void trampoline();
+  void switch_out();  // fiber -> the current worker's anchor context
+
+  std::function<void()> body_;
+  ucontext_t ctx_;
+  void* map_base_ = nullptr;  // mmap region including the guard page
+  std::size_t map_size_ = 0;
+  void* stack_lo_ = nullptr;  // usable stack (above the guard page)
+  std::size_t stack_size_ = 0;
+  void* tsan_fiber_ = nullptr;  // TSan shadow context (null off-TSan)
+  void* asan_fake_ = nullptr;   // ASan fake-stack handle (null off-ASan)
+  // Stack bounds of the thread that last resumed this fiber, captured on
+  // every switch-in so the return switch can hand ASan the right bounds
+  // even after a cross-thread migration.
+  const void* peer_stack_lo_ = nullptr;
+  std::size_t peer_stack_size_ = 0;
+  bool finished_ = false;
+};
+
+}  // namespace stnb::sched

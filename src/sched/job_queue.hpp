@@ -1,0 +1,77 @@
+// Multi-world job scheduler: runs many independent simulation worlds
+// concurrently on one FiberScheduler. Each submitted Job becomes a driver
+// fiber in its own fair-share group; the driver's nested Runtime::run
+// spawns that world's rank fibers into the same group (the ambient path),
+// so the round-robin group cursor gives every world a fair slice of the
+// OS workers regardless of rank count — a 1024-rank world and 31 four-rank
+// worlds interleave instead of running serially.
+//
+// Isolation per job:
+//   * its own mpsim::Runtime (cost model, fault injector, reliable mode
+//     via the `configure` callback);
+//   * its own obs::Registry (optional) — per-job recorders and the
+//     `sched.job.*` metrics land there, on the job-level track (rank -1);
+//   * under STNB_CHECK=1, its own check::Checker instance. The process-
+//     wide env_check_hook() singleton cannot serve concurrent worlds
+//     (begin_run resets its state), so the queue installs a private
+//     checker per job instead.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "mpsim/comm.hpp"
+#include "obs/obs.hpp"
+
+namespace stnb::sched {
+
+/// One independent simulation world queued for execution.
+struct Job {
+  std::string name;
+  int n_ranks = 1;
+  std::function<void(mpsim::Comm&)> rank_main;
+  mpsim::CostModel model;
+  /// Optional per-job registry (must outlive run_all). Each job needs its
+  /// own: recorders bind to the job's rank clocks.
+  obs::Registry* registry = nullptr;
+  /// Optional extra Runtime setup (fault injector, reliable config, ...),
+  /// applied before the run.
+  std::function<void(mpsim::Runtime&)> configure;
+};
+
+struct JobResult {
+  std::string name;
+  std::vector<double> rank_times;      // final virtual clock per rank
+  double virtual_makespan = 0.0;       // max over rank_times
+  std::uint64_t context_switches = 0;  // fiber resumes charged to the job
+  std::string error;                   // empty on success
+};
+
+class JobQueue {
+ public:
+  struct Config {
+    int workers = 0;           // OS threads (incl. caller); 0 = resolve
+    std::size_t stack_kb = 0;  // per-fiber stacks; 0 = env or 512 KiB
+  };
+
+  JobQueue();
+  explicit JobQueue(const Config& cfg);
+
+  /// Enqueues a job; returns its index (stable, matches run_all order).
+  int submit(Job job);
+
+  /// Runs every submitted job to completion, concurrently and fair-share
+  /// scheduled, and returns per-job results in submission order. A job's
+  /// failure is reported in its JobResult::error, never thrown — one bad
+  /// world must not tear down its neighbors.
+  std::vector<JobResult> run_all();
+
+ private:
+  Config cfg_;
+  std::vector<Job> jobs_;
+};
+
+}  // namespace stnb::sched

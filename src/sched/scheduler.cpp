@@ -1,0 +1,325 @@
+#include "sched/scheduler.hpp"
+
+#include <atomic>
+#include <stdexcept>
+#include <utility>
+
+#include "sched/fiber.hpp"
+
+namespace stnb::sched {
+
+/// One cooperatively-scheduled unit of work. Owned by its FiberScheduler
+/// for the scheduler's whole lifetime, so Task pointers collected from
+/// CondVar wait lists never dangle even when the CondVar itself (e.g. one
+/// belonging to a split-child comm) is destroyed mid-run.
+///
+/// Field synchronization is deliberately mixed and documented per field
+/// rather than annotated: `state`, `wake_pending` and `poll_parked` are
+/// guarded by the owning scheduler's mu_ (a cross-object GUARDED_BY the
+/// analysis cannot express); `park_pending`/`park_poll` are a same-thread
+/// handoff — written by the fiber just before it switches out, read by
+/// the worker right after resume() returns on that same OS thread, with
+/// cross-thread reuse ordered by the ready-queue handoff through mu_;
+/// `linked` is managed under the *CondVar's* waiters_mu_.
+struct Task {
+  enum class State { kReady, kRunning, kBlocked, kFinished };
+
+  FiberScheduler* sched = nullptr;
+  int group = 0;
+  std::unique_ptr<Fiber> fiber;
+  State state = State::kReady;
+  bool park_pending = false;
+  bool park_poll = false;
+  bool wake_pending = false;
+  bool poll_parked = false;
+  std::exception_ptr error;
+  sched_detail::Waiter waiter;
+  std::atomic<bool> linked{false};
+};
+
+// Published by the worker loop for the duration of each run / resume.
+// Fibers read these through the accessors below, which are defined in
+// this TU (no LTO), so every read is fresh at call time — a fiber resumed
+// on a different OS thread sees that thread's values, never a cached
+// pre-suspension address.
+thread_local FiberScheduler* g_current_sched = nullptr;
+thread_local Task* g_current_task = nullptr;
+
+FiberScheduler* FiberScheduler::current() noexcept { return g_current_sched; }
+
+bool FiberScheduler::in_fiber() noexcept { return g_current_task != nullptr; }
+
+int FiberScheduler::current_group() noexcept {
+  Task* t = g_current_task;
+  return t != nullptr ? t->group : 0;
+}
+
+FiberScheduler::FiberScheduler() : FiberScheduler(Config{}) {}
+
+FiberScheduler::FiberScheduler(const Config& cfg) : cfg_(cfg) {}
+
+FiberScheduler::~FiberScheduler() = default;
+
+void FiberScheduler::spawn(int group, std::function<void()> fn) {
+  auto task = std::make_unique<Task>();
+  Task* t = task.get();
+  t->sched = this;
+  t->group = group;
+  t->fiber = std::make_unique<Fiber>(
+      [t, fn = std::move(fn)] {
+        // Nothing may unwind past a fiber entry point; capture instead.
+        try {
+          fn();
+        } catch (...) {
+          t->error = std::current_exception();
+        }
+      },
+      cfg_.stack_bytes);
+  MutexLock lock(mu_);
+  tasks_.push_back(std::move(task));
+  ++unfinished_;
+  push_ready_locked(t);
+}
+
+void FiberScheduler::push_ready_locked(Task* t) {
+  t->state = Task::State::kReady;
+  t->wake_pending = false;
+  ready_[t->group].push_back(t);
+  ++ready_count_;
+  if (ready_count_ > max_ready_) max_ready_ = ready_count_;
+  workers_cv_.notify_one();
+}
+
+Task* FiberScheduler::pop_ready_locked() {
+  if (ready_count_ == 0) return nullptr;
+  // Round-robin over groups: resume from the group after the last one
+  // served, wrapping. Two passes over the map (after-cursor, then from
+  // the start) find the next non-empty queue.
+  auto take = [this](std::map<int, std::deque<Task*>>::iterator it) {
+    Task* t = it->second.front();
+    it->second.pop_front();
+    rr_cursor_ = it->first;
+    if (it->second.empty()) ready_.erase(it);
+    --ready_count_;
+    return t;
+  };
+  for (auto it = ready_.upper_bound(rr_cursor_); it != ready_.end(); ++it)
+    if (!it->second.empty()) return take(it);
+  for (auto it = ready_.begin(); it != ready_.end(); ++it)
+    if (!it->second.empty()) return take(it);
+  return nullptr;  // unreachable while ready_count_ is kept in sync
+}
+
+void FiberScheduler::finalize_locked(Task* t) {
+  if (t->fiber->finished()) {
+    t->state = Task::State::kFinished;
+    t->fiber.reset();  // release the stack now, not at scheduler teardown
+    if (t->error != nullptr && first_error_ == nullptr) first_error_ = t->error;
+    --unfinished_;
+    if (unfinished_ == 0) workers_cv_.notify_all();
+    return;
+  }
+  if (t->park_pending) {
+    t->park_pending = false;
+    const bool poll = t->park_poll;
+    t->park_poll = false;
+    if (t->wake_pending) {
+      // A notify raced with the park: the wakeup already happened, the
+      // task never actually sleeps.
+      push_ready_locked(t);
+    } else {
+      t->state = Task::State::kBlocked;
+      if (poll) {
+        t->poll_parked = true;
+        poll_parked_.push_back(t);
+      }
+    }
+    return;
+  }
+  // Plain cooperative yield: straight back to the ready queue.
+  push_ready_locked(t);
+}
+
+void FiberScheduler::unpark(Task* t) {
+  MutexLock lock(mu_);
+  switch (t->state) {
+    case Task::State::kBlocked:
+      if (t->poll_parked) {
+        t->poll_parked = false;
+        for (auto it = poll_parked_.begin(); it != poll_parked_.end(); ++it) {
+          if (*it == t) {
+            poll_parked_.erase(it);
+            break;
+          }
+        }
+      }
+      push_ready_locked(t);
+      break;
+    case Task::State::kRunning:
+      // Still between its wait-list registration and the park finalize
+      // (or simply running): tell the finalizer not to sleep it.
+      t->wake_pending = true;
+      break;
+    case Task::State::kReady:
+    case Task::State::kFinished:
+      break;
+  }
+}
+
+void FiberScheduler::worker_loop() {
+  for (;;) {
+    Task* t = nullptr;
+    {
+      MutexLock lock(mu_);
+      while (true) {
+        if (unfinished_ == 0) {
+          workers_cv_.notify_all();
+          return;
+        }
+        t = pop_ready_locked();
+        if (t != nullptr) break;
+        if (!poll_parked_.empty()) {
+          // Poll-parked tasks (checker-mode wait_poll loops) must re-run
+          // their predicates on a bounded host cadence even without a
+          // notify — that is how deadlock-abort propagation reaches every
+          // rank. Sleep the bounded interval, then re-ready all of them;
+          // spurious re-readies are benign (wait loops re-check).
+          workers_cv_.wait_poll(mu_);
+          for (Task* p : poll_parked_) {
+            p->poll_parked = false;
+            push_ready_locked(p);
+          }
+          poll_parked_.clear();
+        } else {
+          workers_cv_.wait(mu_);
+        }
+      }
+      t->state = Task::State::kRunning;
+      ++switches_;
+      ++group_switches_[t->group];
+    }
+    g_current_task = t;
+    t->fiber->resume();
+    g_current_task = nullptr;
+    MutexLock lock(mu_);
+    finalize_locked(t);
+  }
+}
+
+void FiberScheduler::run(ThreadPool& pool) {
+  const std::size_t participants = pool.worker_count() + 1;
+  // chunks_per_worker = 1: one worker-loop index per participant. Chunk
+  // claiming is dynamic, so a participant may serve several indices — the
+  // extras return immediately once unfinished_ is zero.
+  pool.parallel_for(
+      0, participants,
+      [this](std::size_t) {
+        FiberScheduler* prev = g_current_sched;
+        g_current_sched = this;
+        worker_loop();
+        g_current_sched = prev;
+      },
+      /*chunks_per_worker=*/1);
+  std::exception_ptr err;
+  {
+    MutexLock lock(mu_);
+    err = std::exchange(first_error_, nullptr);
+  }
+  if (err != nullptr) std::rethrow_exception(err);
+}
+
+std::uint64_t FiberScheduler::context_switches() const {
+  MutexLock lock(mu_);
+  return switches_;
+}
+
+std::uint64_t FiberScheduler::group_switches(int group) const {
+  MutexLock lock(mu_);
+  auto it = group_switches_.find(group);
+  return it != group_switches_.end() ? it->second : 0;
+}
+
+std::size_t FiberScheduler::max_ready() const {
+  MutexLock lock(mu_);
+  return max_ready_;
+}
+
+}  // namespace stnb::sched
+
+namespace stnb::sched_detail {
+
+bool in_fiber() noexcept { return sched::g_current_task != nullptr; }
+
+// Suspends the calling fiber until `cv` is notified (or, with poll, until
+// the scheduler's bounded re-ready). Unlocks and relocks `mu` around a
+// fiber suspension — a control-flow shape Clang's thread-safety analysis
+// cannot follow, hence STNB_NO_THREAD_SAFETY_ANALYSIS; callers still see
+// the declared STNB_REQUIRES(mu) contract.
+//
+// Memory ordering of the notify fast path (CondVar::notify_* loads the
+// atomic wait-list head and skips this machinery when null): the waiter
+// registers below while holding both the application mutex `mu` and the
+// CondVar's waiters_mu_. A notifier that changed the awaited condition
+// did so under `mu` *after* this fiber released it (post-registration),
+// so the release/acquire chain through `mu` makes the head store visible
+// to the notifier's acquire load — a registered waiter cannot be missed.
+void fiber_wait(CondVar& cv, Mutex& mu, bool poll)
+    STNB_NO_THREAD_SAFETY_ANALYSIS {
+  sched::Task* self = sched::g_current_task;  // fresh TLS read, pre-switch
+  {
+    MutexLock wl(cv.waiters_mu_);
+    self->waiter.task = self;
+    self->waiter.next = cv.fiber_waiters_.load(std::memory_order_relaxed);
+    cv.fiber_waiters_.store(&self->waiter, std::memory_order_release);
+    self->linked.store(true, std::memory_order_relaxed);
+  }
+  self->park_pending = true;
+  self->park_poll = poll;
+  mu.unlock();
+  sched::Fiber::yield();
+  // Resumed — possibly on a different OS thread; only locals from here.
+  // Unlink invariant: the node must not outlive this wait. If a notify
+  // already unlinked us (fiber_notify clears `linked` under waiters_mu_),
+  // skip; a poll re-ready leaves the node linked and we remove it here.
+  if (self->linked.load(std::memory_order_relaxed)) {
+    MutexLock wl(cv.waiters_mu_);
+    if (self->linked.load(std::memory_order_relaxed)) {
+      Waiter* head = cv.fiber_waiters_.load(std::memory_order_relaxed);
+      if (head == &self->waiter) {
+        cv.fiber_waiters_.store(self->waiter.next, std::memory_order_release);
+      } else {
+        for (Waiter* w = head; w != nullptr; w = w->next) {
+          if (w->next == &self->waiter) {
+            w->next = self->waiter.next;
+            break;
+          }
+        }
+      }
+      self->linked.store(false, std::memory_order_relaxed);
+    }
+  }
+  mu.lock();
+}
+
+void fiber_notify(CondVar& cv) noexcept {
+  // Detach the whole list and clear each node's `linked` under
+  // waiters_mu_: any re-registration (a poll-resumed fiber looping back
+  // into fiber_wait) must take the same lock first, so node fields cannot
+  // be rewritten under our walk. Unparks happen after the lock is
+  // released — no path holds waiters_mu_ while taking a scheduler mutex.
+  std::vector<sched::Task*> tasks;
+  {
+    MutexLock wl(cv.waiters_mu_);
+    Waiter* w = cv.fiber_waiters_.exchange(nullptr, std::memory_order_acq_rel);
+    while (w != nullptr) {
+      auto* t = static_cast<sched::Task*>(w->task);
+      Waiter* next = w->next;
+      t->linked.store(false, std::memory_order_relaxed);
+      tasks.push_back(t);
+      w = next;
+    }
+  }
+  for (sched::Task* t : tasks) t->sched->unpark(t);
+}
+
+}  // namespace stnb::sched_detail

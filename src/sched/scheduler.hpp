@@ -1,0 +1,137 @@
+// Cooperative M:N rank scheduler: many stackful fibers (one per simulated
+// rank, or per JobQueue job driver) multiplexed over the OS threads of a
+// support ThreadPool. This is the over-decomposition layer ROADMAP item 1
+// asks for — the Charm++ / paratreet-TreePieces idea of virtualizing the
+// unit of parallelism above the OS thread — applied to mpsim ranks.
+//
+// Scheduling model
+//   * spawn() registers a task in a *group* (JobQueue: one group per job;
+//     a single world: one group) and creates its fiber up front.
+//   * run(pool) drives `pool.worker_count() + 1` worker loops (the pool's
+//     threads plus the calling thread) via ThreadPool::parallel_for, so
+//     the scheduler itself contains no raw threading.
+//   * A task blocks by waiting on a stnb::CondVar: the fiber-aware wait
+//     (sched_detail::fiber_wait, implemented here) parks the *fiber* and
+//     returns the OS worker to the scheduler. notify re-readies parked
+//     fibers. Ranks therefore block exactly where thread-per-rank mode
+//     blocks — receive matching, collective rendezvous, split publication
+//     — with zero changes to the comm layer.
+//   * Fair share across groups: the ready structure is one FIFO deque per
+//     group plus a round-robin cursor, so a 1024-rank world cannot starve
+//     31 four-rank worlds sharing the same scheduler.
+//
+// Park/wake protocol (the part that must not lose wakeups): a waiting
+// fiber links itself on the CondVar's wait list and sets park_pending,
+// then yields; its worker *finalizes* the park under the scheduler mutex,
+// where a racing notify has either already marked wake_pending (task goes
+// straight back to ready) or will find the task Blocked and unpark it.
+// Wait-list nodes are linked only while their task is inside fiber_wait
+// (always linked at entry, always unlinked before return), so a CondVar
+// may be destroyed as soon as its predicate holds — e.g. a split-child
+// comm freed mid-run — without leaving dangling nodes behind.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "support/sync.hpp"
+#include "support/thread_annotations.hpp"
+#include "support/thread_pool.hpp"
+
+namespace stnb::sched_detail {
+
+/// Intrusive CondVar wait-list node, embedded in each scheduler Task.
+/// `task` points at the owning sched::Task, which outlives every CondVar
+/// it ever waited on (tasks are owned by their scheduler until scheduler
+/// destruction) — so a notifier that collected these pointers can unpark
+/// safely even while the waiting fiber is concurrently poll-resumed.
+struct Waiter {
+  void* task = nullptr;
+  Waiter* next = nullptr;
+};
+
+}  // namespace stnb::sched_detail
+
+namespace stnb::sched {
+
+struct Task;
+
+class FiberScheduler {
+ public:
+  struct Config {
+    /// Stack size per fiber, rounded up to whole pages (plus a PROT_NONE
+    /// guard page). Pages are committed lazily by the kernel, so 10^4
+    /// mostly-idle ranks stay cheap in resident memory.
+    std::size_t stack_bytes = 512 * 1024;
+  };
+
+  FiberScheduler();
+  explicit FiberScheduler(const Config& cfg);
+  ~FiberScheduler();
+
+  FiberScheduler(const FiberScheduler&) = delete;
+  FiberScheduler& operator=(const FiberScheduler&) = delete;
+
+  /// Registers a task running `fn` in fair-share group `group`. Valid
+  /// before run() and from inside a running fiber (the ambient path a
+  /// nested Runtime::run uses to add its ranks to the live scheduler).
+  /// An exception escaping `fn` is captured; run() rethrows the first.
+  void spawn(int group, std::function<void()> fn);
+
+  /// Runs every spawned task to completion, driving fibers with the
+  /// pool's worker threads plus the calling thread. One run at a time.
+  void run(ThreadPool& pool);
+
+  /// The scheduler whose worker loop is driving the calling OS thread
+  /// (set for code called from its fibers too); nullptr outside a run.
+  static FiberScheduler* current() noexcept;
+
+  /// True iff the calling context is a scheduler fiber.
+  static bool in_fiber() noexcept;
+
+  /// Fair-share group of the running task; 0 outside fiber context.
+  static int current_group() noexcept;
+
+  /// Total fiber resumes so far (the `sched.context_switches` counter).
+  std::uint64_t context_switches() const;
+
+  /// Fiber resumes charged to one group (per-job switch counts).
+  std::uint64_t group_switches(int group) const;
+
+  /// High-water mark of the ready-queue depth across all groups.
+  std::size_t max_ready() const;
+
+ private:
+  friend void stnb::sched_detail::fiber_wait(CondVar&, Mutex&, bool);
+  friend void stnb::sched_detail::fiber_notify(CondVar&) noexcept;
+
+  void worker_loop();
+  void finalize_locked(Task* t) STNB_REQUIRES(mu_);
+  void push_ready_locked(Task* t) STNB_REQUIRES(mu_);
+  Task* pop_ready_locked() STNB_REQUIRES(mu_);
+  /// Wakes a task parked (or about to park) in fiber_wait. Safe from any
+  /// thread; never called with waiters_mu_ or mu_ held.
+  void unpark(Task* t) STNB_EXCLUDES(mu_);
+
+  const Config cfg_;
+  mutable Mutex mu_;
+  CondVar workers_cv_;
+  std::vector<std::unique_ptr<Task>> tasks_ STNB_GUARDED_BY(mu_);
+  std::map<int, std::deque<Task*>> ready_ STNB_GUARDED_BY(mu_);
+  std::vector<Task*> poll_parked_ STNB_GUARDED_BY(mu_);
+  int rr_cursor_ STNB_GUARDED_BY(mu_) = -1;  // last group popped
+  std::size_t ready_count_ STNB_GUARDED_BY(mu_) = 0;
+  std::size_t max_ready_ STNB_GUARDED_BY(mu_) = 0;
+  std::size_t unfinished_ STNB_GUARDED_BY(mu_) = 0;
+  std::uint64_t switches_ STNB_GUARDED_BY(mu_) = 0;
+  std::map<int, std::uint64_t> group_switches_ STNB_GUARDED_BY(mu_);
+  std::exception_ptr first_error_ STNB_GUARDED_BY(mu_);
+};
+
+}  // namespace stnb::sched

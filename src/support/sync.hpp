@@ -21,6 +21,7 @@
 // the simulation's coarse waits.
 #pragma once
 
+#include <atomic>
 #include <chrono>  // stnb-lint: allow(wall-clock) wait_poll's bounded sleep is host-scheduling plumbing; virtual time never reads the host clock
 #include <condition_variable>
 #include <mutex>
@@ -84,33 +85,97 @@ class STNB_SCOPED_CAPABILITY ReleasableMutexLock {
   Mutex* mu_;
 };
 
+class CondVar;
+
+/// Bridge between CondVar and the fiber scheduler (src/sched). When a
+/// sched::FiberScheduler fiber waits on a CondVar, the wait must suspend
+/// the *fiber* (yielding its OS worker back to the scheduler) instead of
+/// parking the worker thread — otherwise a handful of workers multiplexing
+/// thousands of simulated ranks would wedge on the first blocking receive.
+/// The bridge keeps the dependency direction intact: support/ declares the
+/// seam, src/sched implements it; outside fiber context every function is
+/// a cheap no-op and CondVar behaves exactly as before.
+namespace sched_detail {
+/// Intrusive wait-list node, one per scheduler task (defined in src/sched).
+struct Waiter;
+
+/// True iff the calling context is a fiber of a sched::FiberScheduler.
+bool in_fiber() noexcept;
+
+/// Fiber-mode wait: registers the calling fiber on `cv`'s wait list,
+/// releases `mu`, suspends the fiber until notified (or, with poll = true,
+/// until the scheduler's bounded host-time re-ready — preserving
+/// wait_poll's polling contract), then reacquires `mu`. Spurious wakeups
+/// are possible, as with the thread path.
+void fiber_wait(CondVar& cv, Mutex& mu, bool poll) STNB_REQUIRES(mu);
+
+/// Wakes every fiber parked on `cv`. Fiber waiters get notify-all
+/// semantics even from notify_one: wait loops re-check their predicates,
+/// so extra wakeups are spurious, never wrong.
+void fiber_notify(CondVar& cv) noexcept;
+}  // namespace sched_detail
+
 /// Condition variable waiting directly on a Mutex. Wait calls require the
 /// mutex held (and reacquire it before returning); notify requires
 /// nothing. Spurious wakeups are possible — always wait in a while-loop
 /// re-checking the guarded condition.
+///
+/// Fiber-aware: called from a sched::FiberScheduler fiber, wait/wait_poll
+/// suspend the fiber (through sched_detail::fiber_wait) instead of the OS
+/// thread, and notify additionally wakes fiber waiters. This is the single
+/// seam that lets every blocking point in mpsim (receive matching,
+/// collective rendezvous, split publication, thread-pool joins) run
+/// unchanged under both scheduling modes.
 class CondVar {
  public:
   CondVar() = default;
   CondVar(const CondVar&) = delete;
   CondVar& operator=(const CondVar&) = delete;
 
-  void notify_one() noexcept { cv_.notify_one(); }
-  void notify_all() noexcept { cv_.notify_all(); }
+  void notify_one() noexcept {
+    if (fiber_waiters_.load(std::memory_order_acquire) != nullptr)
+      sched_detail::fiber_notify(*this);
+    cv_.notify_one();
+  }
+  void notify_all() noexcept {
+    if (fiber_waiters_.load(std::memory_order_acquire) != nullptr)
+      sched_detail::fiber_notify(*this);
+    cv_.notify_all();
+  }
 
   /// Atomically releases `mu`, sleeps until notified, reacquires.
-  void wait(Mutex& mu) STNB_REQUIRES(mu) { cv_.wait(mu); }
+  void wait(Mutex& mu) STNB_REQUIRES(mu) {
+    if (sched_detail::in_fiber())
+      sched_detail::fiber_wait(*this, mu, /*poll=*/false);
+    else
+      cv_.wait(mu);
+  }
 
   /// wait() with a bounded sleep (10 ms of host time), for loops that must
   /// also observe state changed without a notify — the checker's
   /// deadlock-abort propagation polls with this. The bound is host
   /// scheduling plumbing only: *what* such loops compute stays a function
-  /// of guarded state, never of the host clock.
+  /// of guarded state, never of the host clock. In fiber context the
+  /// scheduler re-readies the fiber on the same bounded cadence when no
+  /// notify arrives.
   void wait_poll(Mutex& mu) STNB_REQUIRES(mu) {
+    if (sched_detail::in_fiber()) {
+      sched_detail::fiber_wait(*this, mu, /*poll=*/true);
+      return;
+    }
     cv_.wait_for(mu, std::chrono::milliseconds(10));  // stnb-lint: allow(wall-clock) bounded host sleep, not a time source
   }
 
  private:
+  friend void sched_detail::fiber_wait(CondVar&, Mutex&, bool);
+  friend void sched_detail::fiber_notify(CondVar&) noexcept;
+
   std::condition_variable_any cv_;
+  // Fiber wait list, touched only by the sched_detail bridge: nodes are
+  // pushed/removed under waiters_mu_; the atomic head doubles as the
+  // notify fast path (null = no fiber waiters, skip the lock entirely).
+  Mutex waiters_mu_;
+  std::atomic<sched_detail::Waiter*> fiber_waiters_{nullptr};
 };
 
 }  // namespace stnb

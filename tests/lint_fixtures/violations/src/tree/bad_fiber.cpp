@@ -1,0 +1,20 @@
+// Seeded violation: tree code rolling its own stackful coroutine with
+// raw ucontext calls. Context switching lives in src/sched only
+// (sched::Fiber); anywhere else it bypasses the sanitizer fiber hooks,
+// the guard pages, and the TLS-caching discipline the fiber layer audits.
+#include <ucontext.h>
+
+namespace stnb::tree {
+
+struct Coro {
+  ucontext_t ctx;
+  ucontext_t main_ctx;
+};
+
+void start(Coro& c, void (*fn)()) {
+  getcontext(&c.ctx);
+  makecontext(&c.ctx, fn, 0);
+  swapcontext(&c.main_ctx, &c.ctx);
+}
+
+}  // namespace stnb::tree

@@ -1,0 +1,417 @@
+// Fiber scheduler (src/sched) + task-scheduled mpsim ranks: scheduler
+// unit tests, CLI flag resolution, bit-identical thread-vs-fiber
+// determinism at several worker counts, a 1024-rank over-decomposition
+// smoke test, checker deadlock diagnosis under fiber scheduling, the
+// multi-world JobQueue, and fault injection under fibers.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "check/checker.hpp"
+#include "fault/plan.hpp"
+#include "mpsim/comm.hpp"
+#include "obs/obs.hpp"
+#include "sched/job_queue.hpp"
+#include "sched/scheduler.hpp"
+#include "support/rng.hpp"
+#include "support/sync.hpp"
+#include "support/thread_pool.hpp"
+
+namespace stnb::sched {
+namespace {
+
+using mpsim::CheckError;
+using mpsim::Comm;
+using mpsim::ReduceOp;
+using mpsim::Runtime;
+using mpsim::SchedConfig;
+using mpsim::SchedMode;
+
+// ------------------------------------------------------------- scheduler
+
+TEST(FiberScheduler, RunsAllTasksToCompletion) {
+  FiberScheduler fs;
+  std::atomic<int> done{0};
+  for (int i = 0; i < 64; ++i) {
+    fs.spawn(/*group=*/i % 4, [&] { done.fetch_add(1); });
+  }
+  ThreadPool pool(3);
+  fs.run(pool);
+  EXPECT_EQ(done.load(), 64);
+  EXPECT_GE(fs.context_switches(), 64u);
+  EXPECT_EQ(fs.group_switches(0) + fs.group_switches(1) +
+                fs.group_switches(2) + fs.group_switches(3),
+            fs.context_switches());
+  EXPECT_GE(fs.max_ready(), 1u);
+}
+
+TEST(FiberScheduler, CondVarPingPongAcrossWorkers) {
+  // Pairs of fibers hand a token back and forth through a Mutex/CondVar
+  // mailbox; every wait must park the fiber (not an OS thread) and every
+  // notify must unpark it, across an arbitrary worker interleaving.
+  constexpr int kPairs = 16;
+  constexpr int kRounds = 25;
+  struct Mailbox {
+    Mutex mu;
+    CondVar cv;
+    int turn STNB_GUARDED_BY(mu) = 0;  // whose move it is: 0 or 1
+    int hits STNB_GUARDED_BY(mu) = 0;
+  };
+  std::vector<std::unique_ptr<Mailbox>> boxes;
+  for (int p = 0; p < kPairs; ++p) boxes.push_back(std::make_unique<Mailbox>());
+
+  FiberScheduler fs;
+  for (int p = 0; p < kPairs; ++p) {
+    for (int side = 0; side < 2; ++side) {
+      Mailbox* box = boxes[p].get();
+      fs.spawn(p % 4, [box, side] {
+        for (int r = 0; r < kRounds; ++r) {
+          MutexLock lock(box->mu);
+          while (box->turn != side) box->cv.wait(box->mu);
+          ++box->hits;
+          box->turn = 1 - side;
+          box->cv.notify_all();
+        }
+      });
+    }
+  }
+  ThreadPool pool(3);
+  fs.run(pool);
+  for (const auto& box : boxes) {
+    MutexLock lock(box->mu);
+    EXPECT_EQ(box->hits, 2 * kRounds);
+  }
+}
+
+TEST(FiberScheduler, TaskExceptionPropagatesFromRun) {
+  FiberScheduler fs;
+  std::atomic<int> done{0};
+  fs.spawn(0, [&] { done.fetch_add(1); });
+  fs.spawn(0, [] { throw std::runtime_error("boom in fiber"); });
+  fs.spawn(0, [&] { done.fetch_add(1); });
+  ThreadPool pool(0);
+  try {
+    fs.run(pool);
+    FAIL() << "expected the task exception to rethrow from run()";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "boom in fiber");
+  }
+  // The failing task does not cancel its siblings.
+  EXPECT_EQ(done.load(), 2);
+}
+
+TEST(FiberScheduler, CurrentAndGroupAreVisibleInsideFibers) {
+  FiberScheduler fs;
+  std::atomic<int> ok{0};
+  for (int g : {3, 7}) {
+    fs.spawn(g, [&fs, &ok, g] {
+      if (FiberScheduler::current() == &fs && FiberScheduler::in_fiber() &&
+          FiberScheduler::current_group() == g) {
+        ok.fetch_add(1);
+      }
+    });
+  }
+  EXPECT_EQ(FiberScheduler::current(), nullptr);
+  EXPECT_FALSE(FiberScheduler::in_fiber());
+  ThreadPool pool(0);
+  fs.run(pool);
+  EXPECT_EQ(ok.load(), 2);
+}
+
+// ------------------------------------------------------------ from_flags
+
+TEST(SchedFlags, FromFlagsResolvesModes) {
+  EXPECT_EQ(SchedConfig::from_flags("thread", 0, 8).mode,
+            SchedMode::kThreadPerRank);
+  EXPECT_EQ(SchedConfig::from_flags("fiber", 0, 8).mode, SchedMode::kFiber);
+  EXPECT_FALSE(SchedConfig::from_flags("", 0, 8).mode.has_value());
+  EXPECT_THROW((void)SchedConfig::from_flags("green-threads", 0, 8),
+               std::invalid_argument);
+}
+
+TEST(SchedFlags, RanksPerThreadImpliesFiberAndSizesWorkers) {
+  // workers = ceil(n_ranks / ranks_per_thread), fiber unless overridden.
+  const auto a = SchedConfig::from_flags("", 64, 1024);
+  EXPECT_EQ(a.mode, SchedMode::kFiber);
+  EXPECT_EQ(a.workers, 16);
+  const auto b = SchedConfig::from_flags("", 64, 1000);
+  EXPECT_EQ(b.workers, 16);  // 1000/64 rounds up
+  const auto c = SchedConfig::from_flags("", 10, 4);
+  EXPECT_EQ(c.workers, 1);
+  // Explicit --sched=thread wins over the implied fiber mode.
+  EXPECT_EQ(SchedConfig::from_flags("thread", 64, 1024).mode,
+            SchedMode::kThreadPerRank);
+}
+
+// ----------------------------------------------------------- determinism
+
+/// A seeded mpsim workload exercising every blocking primitive: rotating
+/// ring sends, allreduce, allgatherv, split + sub-communicator allreduce,
+/// barrier. Returns each rank's final value; writes per-rank obs data.
+void mixed_workload(Comm& comm, std::vector<double>& values) {
+  const int n = comm.size();
+  const int r = comm.rank();
+  Rng rng(1234 + static_cast<std::uint64_t>(r));
+  double acc = rng.uniform(0.0, 1.0);
+  for (int i = 0; i < 3; ++i) {
+    comm.compute(1e-5 * (1.0 + acc));
+    const int to = (r + 1 + i) % n;
+    const int from = ((r - 1 - i) % n + n) % n;
+    comm.send(to, /*tag=*/7 + i, std::vector<double>{acc});
+    acc += comm.recv<double>(from, /*tag=*/7 + i)[0];
+    acc = comm.allreduce(acc, ReduceOp::kSum) / n;
+    comm.obs_scope().add("test.rounds");
+  }
+  const auto gathered = comm.allgatherv(std::vector<double>{acc});
+  acc += gathered[static_cast<std::size_t>((r + 1) % n)];
+  {
+    Comm sub = comm.split(/*color=*/r % 2, /*key=*/r);
+    acc = sub.allreduce(acc, ReduceOp::kMax);
+  }
+  comm.barrier();
+  comm.obs_scope().gauge("test.final", acc);
+  values[static_cast<std::size_t>(r)] = acc;
+}
+
+struct RunSnapshot {
+  std::vector<double> rank_times;
+  std::vector<double> values;
+  // Every non-sched.* counter total: sched.* counters describe the host
+  // scheduling run (context switches, worker count) and are the one
+  // sanctioned difference between the modes.
+  std::map<std::string, std::uint64_t> counters;
+};
+
+RunSnapshot run_mixed(int n_ranks, SchedConfig sched) {
+  RunSnapshot snap;
+  snap.values.assign(static_cast<std::size_t>(n_ranks), 0.0);
+  obs::Registry reg;
+  Runtime rt;
+  rt.set_registry(&reg);
+  rt.set_sched(sched);
+  snap.rank_times = rt.run(
+      n_ranks, [&](Comm& comm) { mixed_workload(comm, snap.values); });
+  for (const auto& name : reg.counter_names()) {
+    if (name.rfind("sched.", 0) == 0) continue;
+    snap.counters[name] = reg.counter_total(name);
+  }
+  return snap;
+}
+
+TEST(SchedDeterminism, FiberMatchesThreadBitForBitAtAnyWorkerCount) {
+  constexpr int kRanks = 12;
+  SchedConfig thread_cfg;
+  thread_cfg.mode = SchedMode::kThreadPerRank;
+  const auto baseline = run_mixed(kRanks, thread_cfg);
+  ASSERT_EQ(baseline.rank_times.size(), static_cast<std::size_t>(kRanks));
+  ASSERT_FALSE(baseline.counters.empty());
+
+  for (int workers : {1, 4, 16}) {
+    SchedConfig fiber_cfg;
+    fiber_cfg.mode = SchedMode::kFiber;
+    fiber_cfg.workers = workers;
+    const auto got = run_mixed(kRanks, fiber_cfg);
+    // EXPECT_EQ on doubles is exact: the virtual clocks and reduction
+    // results must be bit-identical, not merely close.
+    EXPECT_EQ(got.rank_times, baseline.rank_times)
+        << "rank times diverge at " << workers << " workers";
+    EXPECT_EQ(got.values, baseline.values)
+        << "final values diverge at " << workers << " workers";
+    EXPECT_EQ(got.counters, baseline.counters)
+        << "obs counters diverge at " << workers << " workers";
+  }
+}
+
+TEST(SchedDeterminism, FiberModeIsDeterministicAcrossRepeats) {
+  SchedConfig cfg;
+  cfg.mode = SchedMode::kFiber;
+  cfg.workers = 4;
+  const auto a = run_mixed(10, cfg);
+  const auto b = run_mixed(10, cfg);
+  EXPECT_EQ(a.rank_times, b.rank_times);
+  EXPECT_EQ(a.values, b.values);
+}
+
+// ----------------------------------------------- over-decomposition smoke
+
+TEST(SchedScale, Runs1024RanksOnEightWorkers) {
+  // 1024 rank fibers multiplexed over 8 OS threads — the fig8 target
+  // shape. Ring + allreduce touches both p2p matching and the collective
+  // rendezvous under heavy over-decomposition.
+  constexpr int kRanks = 1024;
+  SchedConfig cfg;
+  cfg.mode = SchedMode::kFiber;
+  cfg.workers = 8;
+  Runtime rt;
+  rt.set_sched(cfg);
+  std::atomic<std::uint64_t> sum{0};
+  const auto times = rt.run(kRanks, [&](Comm& comm) {
+    const int next = (comm.rank() + 1) % comm.size();
+    const int prev = (comm.rank() + comm.size() - 1) % comm.size();
+    comm.send(next, /*tag=*/1, std::vector<int>{comm.rank()});
+    const int got = comm.recv<int>(prev, /*tag=*/1)[0];
+    EXPECT_EQ(got, prev);
+    const int total = comm.allreduce(1, ReduceOp::kSum);
+    EXPECT_EQ(total, kRanks);
+    sum.fetch_add(static_cast<std::uint64_t>(got));
+  });
+  EXPECT_EQ(times.size(), static_cast<std::size_t>(kRanks));
+  // sum over all ranks of prev(rank) = 0 + 1 + ... + 1023.
+  EXPECT_EQ(sum.load(), 1023u * 1024u / 2u);
+}
+
+// -------------------------------------------------- checker under fibers
+
+TEST(SchedCheck, DeadlockCycleIsDiagnosedUnderFiberScheduling) {
+  // Two fiber ranks each block in recv on the other: the checker's
+  // wait-for graph must see through fiber parking exactly as it does
+  // through thread parking, with a byte-identical diagnosis.
+  check::Checker checker;
+  SchedConfig cfg;
+  cfg.mode = SchedMode::kFiber;
+  cfg.workers = 2;
+  Runtime rt;
+  rt.set_check_hook(&checker);
+  rt.set_sched(cfg);
+  std::string report;
+  try {
+    rt.run(2, [&](Comm& comm) {
+      (void)comm.recv<int>(1 - comm.rank(), /*tag=*/7);
+    });
+    FAIL() << "expected a CheckError deadlock diagnosis";
+  } catch (const CheckError& e) {
+    EXPECT_EQ(static_cast<int>(e.kind()),
+              static_cast<int>(CheckError::Kind::kDeadlock));
+    report = e.what();
+  }
+  EXPECT_NE(report.find("deadlock"), std::string::npos);
+  EXPECT_NE(report.find("rank 0: blocked in recv on comm w (source=1, tag=7)"),
+            std::string::npos);
+  EXPECT_NE(report.find("wait-for cycle: rank 0 -> rank 1 -> rank 0"),
+            std::string::npos);
+}
+
+// ------------------------------------------------- faults under fibers
+
+TEST(SchedFault, DroppedMessageSurfacesAsFaultErrorUnderFibers) {
+  fault::FaultPlan plan;
+  plan.rules.push_back({.drop = 1.0});
+  fault::PlanInjector injector(plan, 3);
+  SchedConfig cfg;
+  cfg.mode = SchedMode::kFiber;
+  cfg.workers = 2;
+  Runtime rt;
+  rt.set_fault_injector(&injector);
+  rt.set_sched(cfg);
+  std::atomic<bool> lost{false};
+  rt.run(2, [&](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send(1, 0, std::vector<int>{11});
+    } else {
+      try {
+        comm.recv<int>(0, 0);
+      } catch (const mpsim::FaultError& e) {
+        lost = e.kind() == mpsim::FaultError::Kind::kMessageLost;
+      }
+    }
+  });
+  EXPECT_TRUE(lost.load());
+  EXPECT_EQ(injector.stats().drops, 1u);
+}
+
+// ------------------------------------------------------------- JobQueue
+
+TEST(JobQueue, RunsManyWorldsWithPerJobMetrics) {
+  // >= 32 independent worlds sharing one fiber scheduler; each world's
+  // result must equal a standalone thread-mode run of the same job.
+  constexpr int kWorlds = 32;
+  constexpr int kRanks = 3;
+  auto world_main = [](std::uint64_t seed) {
+    return [seed](Comm& comm) {
+      Rng rng(seed + static_cast<std::uint64_t>(comm.rank()));
+      double acc = rng.uniform(0.0, 1.0);
+      const int next = (comm.rank() + 1) % comm.size();
+      const int prev = (comm.rank() + comm.size() - 1) % comm.size();
+      for (int i = 0; i < 4; ++i) {
+        comm.compute(1e-5 * (1.0 + acc));
+        comm.send(next, /*tag=*/2, std::vector<double>{acc});
+        acc = comm.recv<double>(prev, /*tag=*/2)[0];
+        acc = comm.allreduce(acc, ReduceOp::kSum);
+      }
+    };
+  };
+
+  JobQueue::Config qcfg;
+  qcfg.workers = 4;
+  JobQueue queue(qcfg);
+  std::vector<std::unique_ptr<obs::Registry>> registries;
+  for (int w = 0; w < kWorlds; ++w) {
+    registries.push_back(std::make_unique<obs::Registry>());
+    Job job;
+    job.name = "world-" + std::to_string(w);
+    job.n_ranks = kRanks;
+    job.registry = registries.back().get();
+    job.rank_main = world_main(100 + static_cast<std::uint64_t>(w));
+    queue.submit(std::move(job));
+  }
+  const auto results = queue.run_all();
+  ASSERT_EQ(results.size(), static_cast<std::size_t>(kWorlds));
+
+  for (int w = 0; w < kWorlds; ++w) {
+    const auto& res = results[static_cast<std::size_t>(w)];
+    EXPECT_EQ(res.name, "world-" + std::to_string(w));
+    EXPECT_TRUE(res.error.empty()) << res.error;
+    EXPECT_GT(res.context_switches, 0u);
+    EXPECT_EQ(registries[static_cast<std::size_t>(w)]->scope(-1).counter(
+                  "sched.job.ranks"),
+              static_cast<std::uint64_t>(kRanks));
+
+    // Standalone thread-per-rank rerun of the identical job: virtual
+    // times must match the queued fiber run bit for bit.
+    Runtime rt;
+    SchedConfig thread_cfg;
+    thread_cfg.mode = SchedMode::kThreadPerRank;
+    rt.set_sched(thread_cfg);
+    const auto solo_times =
+        rt.run(kRanks, world_main(100 + static_cast<std::uint64_t>(w)));
+    EXPECT_EQ(res.rank_times, solo_times) << "world " << w;
+    double solo_makespan = 0.0;
+    for (double t : solo_times)
+      solo_makespan = t > solo_makespan ? t : solo_makespan;
+    EXPECT_EQ(res.virtual_makespan, solo_makespan);
+  }
+}
+
+TEST(JobQueue, FailingJobDoesNotPoisonItsNeighbors) {
+  JobQueue queue;
+  Job bad;
+  bad.name = "bad";
+  bad.n_ranks = 2;
+  bad.rank_main = [](Comm& comm) {
+    // Rank 0 finishes cleanly on its own; rank 1 throws. No collective
+    // here: a peer blocked in one would wait for the dead rank forever.
+    if (comm.rank() == 1) throw std::runtime_error("job exploded");
+    comm.compute(1e-6);
+  };
+  Job good;
+  good.name = "good";
+  good.n_ranks = 2;
+  good.rank_main = [](Comm& comm) {
+    (void)comm.allreduce(comm.rank(), ReduceOp::kSum);
+  };
+  queue.submit(std::move(bad));
+  queue.submit(std::move(good));
+  const auto results = queue.run_all();
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_FALSE(results[0].error.empty());
+  EXPECT_NE(results[0].error.find("job exploded"), std::string::npos);
+  EXPECT_TRUE(results[1].error.empty()) << results[1].error;
+}
+
+}  // namespace
+}  // namespace stnb::sched
