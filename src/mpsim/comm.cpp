@@ -188,7 +188,8 @@ struct CommImpl {
         // every member throws before touching its output anyway.
         std::size_t bytes = 0;
         if (round_check_error.empty()) bytes = reduce(inputs, outputs);
-        done_time = t_max + model.collective(size, bytes);
+        done_time = t_max +
+                    model.collective(size, bytes);  // stnb-analyze: allow(lock-across-yield) CommModel::collective is the pure cost function (shares CommImpl::collective's name, never blocks)
         ++generation;
         gen = generation;
         cv.notify_all();

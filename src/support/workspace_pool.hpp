@@ -1,0 +1,101 @@
+// Fiber-safe reusable workspace pool.
+//
+// The batched evaluation paths want per-work-item scratch buffers whose
+// allocations amortize across work items. `thread_local` gives exactly
+// that on a plain thread pool, but breaks under the fiber scheduler
+// (src/sched): a work item that suspends can resume on a *different* OS
+// thread, at which point a cached thread_local workspace aliases another
+// worker's scratch mid-update (the invariant in sched/fiber.hpp, and the
+// fiber-tls rule in tools/stnb-analyze). A WorkspacePool keeps the
+// amortization — the free list grows to the peak number of *concurrent*
+// work items, not the item count — while tying each workspace to the
+// work item itself, so it travels with the fiber across suspensions.
+//
+// Usage:
+//
+//   WorkspacePool<Scratch> pool;
+//   auto ws = pool.acquire();   // Lease: RAII, returns to pool on exit
+//   ws->buffer.resize(n);       // workspace state persists across leases;
+//   ...                         // holders must re-initialize what they read
+//
+// Determinism: the pool hands out workspaces in LIFO free-list order,
+// which depends on scheduling — so holders must fully overwrite any state
+// they consume (the same contract thread_local reuse already imposed).
+#pragma once
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "support/sync.hpp"
+#include "support/thread_annotations.hpp"
+
+namespace stnb {
+
+/// Thread- and fiber-safe free list of default-constructed `T` workspaces.
+/// acquire() pops a recycled workspace or default-constructs one; the
+/// returned Lease releases it back on destruction. Safe to call from any
+/// thread or fiber; the lock is never held across user code.
+template <typename T>
+class WorkspacePool {
+ public:
+  class Lease {
+   public:
+    Lease(WorkspacePool* pool, std::unique_ptr<T> ws)
+        : pool_(pool), ws_(std::move(ws)) {}
+    ~Lease() {
+      if (ws_ != nullptr) pool_->put(std::move(ws_));
+    }
+
+    Lease(Lease&& other) noexcept
+        : pool_(other.pool_), ws_(std::move(other.ws_)) {}
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+    Lease& operator=(Lease&&) = delete;
+
+    T& operator*() const { return *ws_; }
+    T* operator->() const { return ws_.get(); }
+
+   private:
+    WorkspacePool* pool_;
+    std::unique_ptr<T> ws_;
+  };
+
+  WorkspacePool() = default;
+  WorkspacePool(const WorkspacePool&) = delete;
+  WorkspacePool& operator=(const WorkspacePool&) = delete;
+
+  /// Pops a recycled workspace (LIFO: the warmest buffers first) or
+  /// default-constructs a fresh one when the free list is empty.
+  Lease acquire() {
+    {
+      MutexLock lock(mu_);
+      if (!free_.empty()) {
+        std::unique_ptr<T> ws = std::move(free_.back());
+        free_.pop_back();
+        return Lease(this, std::move(ws));
+      }
+    }
+    return Lease(this, std::make_unique<T>());
+  }
+
+  /// Number of workspaces currently parked in the free list (not the
+  /// number ever created); exposed for tests.
+  std::size_t idle() const {
+    MutexLock lock(mu_);
+    return free_.size();
+  }
+
+ private:
+  friend class Lease;
+
+  void put(std::unique_ptr<T> ws) {
+    MutexLock lock(mu_);
+    free_.push_back(std::move(ws));
+  }
+
+  mutable Mutex mu_;
+  std::vector<std::unique_ptr<T>> free_ STNB_GUARDED_BY(mu_);
+};
+
+}  // namespace stnb

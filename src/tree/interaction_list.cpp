@@ -184,10 +184,14 @@ VortexField BlockedEvaluator::evaluate_vortex(
   auto body = [&](std::size_t gi) {
     const LeafGroup& g = groups_[gi];
     const std::int32_t nt = g.count;
-    // Pool threads persist across groups: thread-local workspaces amortize
-    // the buffer allocations over the whole evaluation.
-    thread_local kernels::VortexBatch batch;
-    thread_local InteractionList il;
+    // Pool-owned workspace, not thread_local: under the fiber scheduler a
+    // work item can suspend and resume on a different OS thread, so the
+    // scratch must travel with the work item (fiber-tls, tools/stnb-analyze).
+    // The free list amortizes the buffer allocations just as the old
+    // thread_local did.
+    auto ws = vortex_ws_.acquire();
+    kernels::VortexBatch& batch = ws->batch;
+    InteractionList& il = ws->il;
     batch.resize(static_cast<std::size_t>(nt));
     std::copy_n(sx_.data() + g.first, nt, batch.x.data());
     std::copy_n(sy_.data() + g.first, nt, batch.y.data());
@@ -225,7 +229,7 @@ VortexField BlockedEvaluator::evaluate_vortex(
     // as the per-target loop did.
     const std::size_t n_far =
         mode == FarFieldMode::kSkip ? 0 : il.far.size() + import_mp.size();
-    thread_local kernels::VortexBatch far_batch;
+    kernels::VortexBatch& far_batch = ws->far_batch;
     if (n_far > 0) {
       far_batch.resize(static_cast<std::size_t>(nt));
       std::copy_n(sx_.data() + g.first, nt, far_batch.x.data());
@@ -291,8 +295,11 @@ CoulombField BlockedEvaluator::evaluate_coulomb(
   auto body = [&](std::size_t gi) {
     const LeafGroup& g = groups_[gi];
     const std::int32_t nt = g.count;
-    thread_local kernels::CoulombBatch batch;
-    thread_local InteractionList il;
+    // Pool-owned workspace for the same fiber-safety reason as the vortex
+    // path above.
+    auto ws = coulomb_ws_.acquire();
+    kernels::CoulombBatch& batch = ws->batch;
+    InteractionList& il = ws->il;
     batch.resize(static_cast<std::size_t>(nt));
     std::copy_n(sx_.data() + g.first, nt, batch.x.data());
     std::copy_n(sy_.data() + g.first, nt, batch.y.data());
@@ -320,7 +327,7 @@ CoulombField BlockedEvaluator::evaluate_coulomb(
         });
 
     const std::size_t n_far = il.far.size() + import_mp.size();
-    thread_local kernels::CoulombBatch far_batch;
+    kernels::CoulombBatch& far_batch = ws->far_batch;
     if (n_far > 0) {
       far_batch.resize(static_cast<std::size_t>(nt));
       std::copy_n(sx_.data() + g.first, nt, far_batch.x.data());

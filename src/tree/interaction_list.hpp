@@ -20,6 +20,7 @@
 #include "kernels/algebraic.hpp"
 #include "kernels/coulomb.hpp"
 #include "support/thread_pool.hpp"
+#include "support/workspace_pool.hpp"
 #include "tree/octree.hpp"
 
 namespace stnb::tree {
@@ -125,11 +126,30 @@ class BlockedEvaluator {
                                 std::span<const TreeParticle> import_p = {}) const;
 
  private:
+  // Per-work-item scratch. Pool-owned (not thread_local) so a leaf-group
+  // work item that suspends under the fiber scheduler keeps its buffers
+  // when it resumes on a different OS thread; the pools amortize the
+  // allocations to the peak number of concurrent groups.
+  struct VortexWorkspace {
+    kernels::VortexBatch batch;
+    kernels::VortexBatch far_batch;
+    InteractionList il;
+  };
+  struct CoulombWorkspace {
+    kernels::CoulombBatch batch;
+    kernels::CoulombBatch far_batch;
+    InteractionList il;
+  };
+
   const Octree& tree_;
   Config config_;
   std::vector<LeafGroup> groups_;
   // SoA mirror of tree_.particles(): positions, scalar and vector charges.
   std::vector<double> sx_, sy_, sz_, sq_, sax_, say_, saz_;
+  // mutable: evaluate_* are logically const (results are returned, the
+  // tree is untouched); the pools only recycle scratch buffers.
+  mutable WorkspacePool<VortexWorkspace> vortex_ws_;
+  mutable WorkspacePool<CoulombWorkspace> coulomb_ws_;
 };
 
 }  // namespace stnb::tree

@@ -1,0 +1,116 @@
+// stnb-analyze fixture: positive control. Every pattern here is the
+// blessed counterpart of a violation fixture and must stay clean:
+// pool-owned workspaces instead of thread_local, release() before the
+// suspension, CondVar::wait under the lock (the wait *releases* the
+// mutex), named tag constants, and consistent payload element types.
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#define STNB_REQUIRES(...)
+
+namespace stnb {
+
+struct Batch {
+  void resize(std::size_t n);
+  void zero();
+  double ax[64];
+};
+
+template <typename T>
+class WorkspacePool {
+ public:
+  std::unique_ptr<T> acquire();
+  void release(std::unique_ptr<T> ws);
+};
+
+class Mutex {};
+
+class MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu);
+};
+
+class ReleasableMutexLock {
+ public:
+  explicit ReleasableMutexLock(Mutex& mu);
+  void release();
+};
+
+class CondVar {
+ public:
+  void wait(Mutex& mu);
+};
+
+class Comm {
+ public:
+  template <typename T>
+  void send(int dest, int tag, const std::vector<T>& data);
+  template <typename T>
+  std::vector<T> recv(int source, int tag);
+};
+
+class ThreadPool {
+ public:
+  template <typename Body>
+  void parallel_for(std::size_t begin, std::size_t end, Body&& body,
+                    int chunks_per_worker = 4);
+};
+
+namespace sched {
+struct Fiber {
+  static void yield();
+};
+}  // namespace sched
+
+inline constexpr int kTagHalo = 300;
+
+// Pool-owned workspace in the parallel_for body: each work item
+// acquires its own, so a yield inside the region is harmless.
+void blocked_evaluate(ThreadPool* pool, WorkspacePool<Batch>& workspaces,
+                      std::size_t groups) {
+  auto body = [&](std::size_t g) {
+    auto batch = workspaces.acquire();
+    batch->resize(g);
+    batch->zero();
+    workspaces.release(std::move(batch));
+  };
+  pool->parallel_for(0, groups, body);
+}
+
+// Releasing the lock before the suspension point is the sanctioned way
+// to sequence "update shared state, then block".
+double release_then_recv(Comm& comm, Mutex& mu) {
+  ReleasableMutexLock lock(mu);
+  lock.release();
+  auto payload = comm.recv<double>(0, kTagHalo);
+  return payload.empty() ? 0.0 : payload[0];
+}
+
+// CondVar::wait under the lock is the blessed shape: wait() releases
+// the mutex for the duration of the suspension and reacquires it.
+void wait_under_lock(CondVar& cv, Mutex& mu) {
+  MutexLock lock(mu);
+  cv.wait(mu);
+}
+
+// Named tag anchor and a payload element type that matches the
+// receiver below.
+void send_halo(Comm& comm) {
+  std::vector<double> halo(8, 0.0);
+  comm.send(1, kTagHalo, halo);
+}
+
+std::vector<double> recv_halo(Comm& comm, int offset) {
+  return comm.recv<double>(0, kTagHalo + offset);
+}
+
+// A thread_local that never spans a suspension point is fine.
+double tls_without_yield(std::size_t n) {
+  thread_local Batch batch;
+  batch.resize(n);
+  batch.zero();
+  return batch.ax[0];
+}
+
+}  // namespace stnb

@@ -1,0 +1,44 @@
+// stnb-analyze fixture: comm-protocol violations. Tag provenance (a
+// literal tag, and a tag laundered through a literal-only local — the
+// case the per-line regex in stnb-lint cannot see) plus a send/recv
+// element-type mismatch on the same named tag key.
+#include <cstddef>
+#include <vector>
+
+namespace stnb {
+
+class Comm {
+ public:
+  template <typename T>
+  void send(int dest, int tag, const std::vector<T>& data);
+  template <typename T>
+  std::vector<T> recv(int source, int tag);
+};
+
+inline constexpr int kTagHalo = 300;
+
+// Bare literal tag: no named anchor at the call site.
+void literal_tag(Comm& comm) {
+  std::vector<double> halo(8, 0.0);
+  comm.send(1, 42, halo);
+}
+
+// Laundered literal: `tag` is a function-local whose initializer is
+// literals only — provenance tracing must see through it.
+std::vector<double> laundered_tag(Comm& comm) {
+  int tag = 40 + 2;
+  return comm.recv<double>(0, tag);
+}
+
+// Type tear: the sender ships doubles on kTagHalo but the receiver
+// asks for ints — the payload is reinterpreted, not converted.
+void type_mismatch_send(Comm& comm) {
+  std::vector<double> halo(8, 1.0);
+  comm.send(1, kTagHalo, halo);
+}
+
+std::vector<int> type_mismatch_recv(Comm& comm) {
+  return comm.recv<int>(0, kTagHalo);
+}
+
+}  // namespace stnb

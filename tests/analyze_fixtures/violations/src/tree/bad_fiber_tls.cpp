@@ -1,0 +1,67 @@
+// stnb-analyze fixture: fiber-tls violations. Self-contained (stub
+// declarations) so both the syntax and libclang front ends parse it
+// standalone. Mirrors the original src/tree/interaction_list.cpp shape
+// that motivated the rule: thread_local workspaces inside a lambda
+// handed to ThreadPool::parallel_for — deleting the workspace-pool fix
+// from the real file reintroduces exactly this pattern.
+#include <cstddef>
+#include <vector>
+
+namespace stnb {
+
+struct Batch {
+  void resize(std::size_t n);
+  void zero();
+  double ax[64];
+};
+
+class ThreadPool {
+ public:
+  template <typename Body>
+  void parallel_for(std::size_t begin, std::size_t end, Body&& body,
+                    int chunks_per_worker = 4);
+};
+
+namespace sched {
+struct Fiber {
+  static void yield();
+};
+}  // namespace sched
+
+thread_local Batch g_scratch;  // namespace-scope TLS for the ref case
+
+// Case (i): a thread_local binding live across a direct may-yield call
+// in the same scope. The fiber can resume on another OS thread after
+// yield(), so `batch` silently aliases a different worker's workspace.
+double direct_tls_across_yield(std::size_t n) {
+  thread_local Batch batch;
+  batch.resize(n);
+  sched::Fiber::yield();
+  return batch.ax[0];
+}
+
+// Case (i) variant: a cached reference to a namespace-scope
+// thread_local survives the suspension.
+double cached_ref_across_yield(std::size_t n) {
+  Batch& scratch = g_scratch;
+  scratch.resize(n);
+  sched::Fiber::yield();
+  return scratch.ax[0];
+}
+
+// Case (ii): the interaction_list.cpp shape. The lambda's brace scope
+// closes before parallel_for, but the lambda *executes inside* the
+// call's suspension region — the binding is live across the yield in
+// execution order.
+void blocked_evaluate(ThreadPool* pool, std::size_t groups) {
+  auto body = [&](std::size_t g) {
+    thread_local Batch batch;
+    thread_local std::vector<int> il;
+    batch.resize(g);
+    il.clear();
+    batch.zero();
+  };
+  pool->parallel_for(0, groups, body);
+}
+
+}  // namespace stnb

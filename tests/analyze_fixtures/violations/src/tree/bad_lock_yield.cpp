@@ -1,0 +1,56 @@
+// stnb-analyze fixture: lock-across-yield violations. A mutex held
+// across a suspension point deadlocks fiber mode: the parked fiber
+// keeps the lock while the fibers that could unblock it share the same
+// worker threads. Covers the direct case, the transitive case (the
+// yield is two calls deep), and the STNB_REQUIRES whole-body case.
+#include <cstddef>
+#include <vector>
+
+#define STNB_REQUIRES(...)
+
+namespace stnb {
+
+class Mutex {};
+
+class MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu);
+};
+
+class Comm {
+ public:
+  template <typename T>
+  std::vector<T> recv(int source, int tag);
+  double allreduce(double value, int op);
+};
+
+inline constexpr int kTagWork = 700;
+
+// Transitive link: no seed name here, but the body blocks on a recv —
+// the may-yield fixed point must mark drain_one() and flag its callers.
+double drain_one(Comm& comm, int source) {
+  auto payload = comm.recv<double>(source, kTagWork);
+  return payload.empty() ? 0.0 : payload[0];
+}
+
+// Direct: recv (a blocking suspension point) under a scoped lock.
+double locked_recv(Comm& comm, Mutex& mu) {
+  MutexLock lock(mu);
+  auto payload = comm.recv<double>(0, kTagWork);
+  return payload.empty() ? 0.0 : payload[0];
+}
+
+// Transitive: the suspension hides inside drain_one().
+double locked_drain(Comm& comm, Mutex& mu) {
+  MutexLock lock(mu);
+  return drain_one(comm, 1);
+}
+
+// STNB_REQUIRES contract: the caller already holds mu for the whole
+// body, so the collective inside is a yield under the lock even though
+// no MutexLock appears here.
+double reduce_locked(Comm& comm, Mutex& mu) STNB_REQUIRES(mu) {
+  return comm.allreduce(1.0, 0);
+}
+
+}  // namespace stnb

@@ -1,0 +1,35 @@
+// stnb-analyze fixture: suppression mechanics. The reasoned allow()
+// must silence its finding; the reasonless allow() must itself be
+// flagged (bare-allow), exactly like stnb-lint's contract.
+#include <cstddef>
+
+namespace stnb {
+
+namespace sched {
+struct Fiber {
+  static void yield();
+};
+}  // namespace sched
+
+struct Scratch {
+  void resize(std::size_t n);
+  double v[8];
+};
+
+// Reasoned suppression: stays silent.
+double audited_tls(std::size_t n) {
+  thread_local Scratch s;  // stnb-analyze: allow(fiber-tls) single-threaded bootstrap path, runs before the scheduler starts
+  s.resize(n);
+  sched::Fiber::yield();
+  return s.v[0];
+}
+
+// Reasonless suppression: the allow itself is the finding.
+double unexplained_tls(std::size_t n) {
+  thread_local Scratch s;  // stnb-analyze: allow(fiber-tls)
+  s.resize(n);
+  sched::Fiber::yield();
+  return s.v[0];
+}
+
+}  // namespace stnb

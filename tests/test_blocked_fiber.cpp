@@ -1,0 +1,179 @@
+// Blocked-tree evaluation under the fiber scheduler: the regression
+// guard for the fiber-TLS hazard stnb-analyze's fiber-tls rule exists
+// for. BlockedEvaluator's scratch workspaces were thread_local; with
+// simulated ranks as fibers multiplexed over few OS threads, ranks
+// interleave mid-evaluation on the same worker and per-OS-thread state
+// is shared between them. The workspaces are pool-owned now
+// (support/workspace_pool.hpp) — these tests pin the whole evaluation
+// pipeline inside `--sched=fiber` ranks, with suspensions between and
+// during evaluations, bit-exactly against thread-per-rank mode and a
+// serial no-runtime reference.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "mpsim/comm.hpp"
+#include "support/rng.hpp"
+#include "support/thread_pool.hpp"
+#include "support/workspace_pool.hpp"
+#include "tree/interaction_list.hpp"
+#include "tree/octree.hpp"
+
+namespace stnb::tree {
+namespace {
+
+using mpsim::Comm;
+using mpsim::Runtime;
+using mpsim::SchedConfig;
+using mpsim::SchedMode;
+
+constexpr int kTagChecksum = 910;  // ring exchange between evaluations
+
+std::vector<TreeParticle> random_particles(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<TreeParticle> ps(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    ps[i].x = rng.uniform_in_box({0, 0, 0}, {1, 1, 1});
+    ps[i].q = rng.uniform(-1.0, 1.0);
+    ps[i].a = rng.uniform_on_sphere() * rng.uniform(0.1, 1.0);
+    ps[i].id = static_cast<std::uint32_t>(i);
+  }
+  return ps;
+}
+
+/// One rank's evaluation: a rank-seeded tree run through both kernels.
+/// Returns the flattened fields so snapshots compare bit-exactly.
+std::vector<double> evaluate_rank(int rank, ThreadPool* pool) {
+  constexpr std::size_t kParticles = 220;
+  Octree tree(random_particles(kParticles, 7000 + static_cast<std::uint64_t>(
+                                               rank)),
+              {{0, 0, 0}, 1.0}, {8, kMaxLevel});
+  const BlockedEvaluator evaluator(tree, {0.45, 8, pool});
+  const kernels::AlgebraicKernel vk(kernels::AlgebraicOrder::k4, 0.05);
+  const kernels::CoulombKernel ck(0.01);
+  const VortexField vf = evaluator.evaluate_vortex(vk);
+  const CoulombField cf = evaluator.evaluate_coulomb(ck);
+
+  std::vector<double> flat;
+  flat.reserve(kParticles * 16);
+  for (std::size_t i = 0; i < kParticles; ++i) {
+    flat.push_back(vf.u[i].x);
+    flat.push_back(vf.u[i].y);
+    flat.push_back(vf.u[i].z);
+    for (int c = 0; c < 9; ++c) flat.push_back(vf.grad[i].m[c]);
+    flat.push_back(cf.phi[i]);
+    flat.push_back(cf.e[i].x);
+    flat.push_back(cf.e[i].y);
+    flat.push_back(cf.e[i].z);
+  }
+  return flat;
+}
+
+/// Rank body: evaluate, suspend on a ring exchange (so another fiber on
+/// the same OS thread can start its own evaluation in between), then
+/// evaluate again reusing the same evaluator pool state.
+void blocked_workload(Comm& comm, std::vector<std::vector<double>>& out,
+                      std::vector<int>& stable) {
+  const int n = comm.size();
+  const int r = comm.rank();
+  ThreadPool pool(2);
+
+  const auto first = evaluate_rank(r, &pool);
+  double checksum = 0.0;
+  for (const double v : first) checksum += v;
+  comm.send((r + 1) % n, kTagChecksum, std::vector<double>{checksum});
+  const auto neighbor =
+      comm.recv<double>(((r - 1) % n + n) % n, kTagChecksum);
+
+  // Second pass after the suspension: a workspace acquired now may be one
+  // recycled from before the yield, possibly on a different OS thread.
+  const auto second = evaluate_rank(r, &pool);
+  stable[static_cast<std::size_t>(r)] = (second == first) ? 1 : 0;
+
+  auto& mine = out[static_cast<std::size_t>(r)];
+  mine = first;
+  mine.push_back(neighbor[0]);
+}
+
+struct Snapshot {
+  std::vector<std::vector<double>> fields;
+  std::vector<int> stable;
+};
+
+Snapshot run_blocked(int n_ranks, SchedConfig sched) {
+  Snapshot snap;
+  snap.fields.assign(static_cast<std::size_t>(n_ranks), {});
+  snap.stable.assign(static_cast<std::size_t>(n_ranks), 0);
+  Runtime rt;
+  rt.set_sched(sched);
+  rt.run(n_ranks,
+         [&](Comm& comm) { blocked_workload(comm, snap.fields, snap.stable); });
+  return snap;
+}
+
+TEST(BlockedFiber, FiberMatchesThreadBitForBitAcrossWorkerCounts) {
+  constexpr int kRanks = 6;
+  SchedConfig thread_cfg;
+  thread_cfg.mode = SchedMode::kThreadPerRank;
+  const Snapshot baseline = run_blocked(kRanks, thread_cfg);
+  for (int r = 0; r < kRanks; ++r) {
+    ASSERT_FALSE(baseline.fields[static_cast<std::size_t>(r)].empty());
+    EXPECT_EQ(baseline.stable[static_cast<std::size_t>(r)], 1)
+        << "rank " << r << " re-evaluation diverged in thread mode";
+  }
+
+  for (const int workers : {1, 3}) {
+    SchedConfig fiber_cfg;
+    fiber_cfg.mode = SchedMode::kFiber;
+    fiber_cfg.workers = workers;
+    const Snapshot got = run_blocked(kRanks, fiber_cfg);
+    // EXPECT_EQ on doubles is exact: fiber scheduling must not perturb a
+    // single bit of any rank's field, even with every rank's evaluation
+    // interleaved on one worker.
+    EXPECT_EQ(got.fields, baseline.fields)
+        << "fields diverge at " << workers << " workers";
+    EXPECT_EQ(got.stable, baseline.stable)
+        << "re-evaluation diverges at " << workers << " workers";
+  }
+}
+
+TEST(BlockedFiber, SerialEvaluationIsTheFixedPoint) {
+  // The runtime-and-pool result must equal a plain serial evaluation with
+  // no pool and no runtime: scheduling machinery contributes nothing.
+  const auto serial = evaluate_rank(/*rank=*/2, /*pool=*/nullptr);
+
+  SchedConfig fiber_cfg;
+  fiber_cfg.mode = SchedMode::kFiber;
+  fiber_cfg.workers = 2;
+  const Snapshot got = run_blocked(/*n_ranks=*/4, fiber_cfg);
+  const auto& rank2 = got.fields[2];
+  ASSERT_EQ(rank2.size(), serial.size() + 1);  // + neighbor checksum
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(rank2[i], serial[i]) << "component " << i;
+  }
+}
+
+TEST(WorkspacePoolTest, RecyclesInsteadOfGrowing) {
+  WorkspacePool<std::vector<double>> pool;
+  EXPECT_EQ(pool.idle(), 0u);
+  {
+    auto a = pool.acquire();
+    a->assign(64, 1.0);
+    EXPECT_EQ(pool.idle(), 0u);
+  }
+  EXPECT_EQ(pool.idle(), 1u);
+  {
+    // Sequential leases reuse the parked workspace (state persists: the
+    // holder contract is to overwrite what it reads).
+    auto b = pool.acquire();
+    EXPECT_EQ(pool.idle(), 0u);
+    EXPECT_EQ(b->size(), 64u);
+    auto c = pool.acquire();  // concurrent second lease allocates fresh
+    EXPECT_EQ(c->size(), 0u);
+  }
+  EXPECT_EQ(pool.idle(), 2u);
+}
+
+}  // namespace
+}  // namespace stnb::tree

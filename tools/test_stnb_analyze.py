@@ -1,0 +1,198 @@
+#!/usr/bin/env python3
+"""Self-tests for tools/stnb-analyze: fixture trees with golden
+diagnostics, suppression mechanics, SARIF structure, and (when libclang
+is importable) front-end agreement.
+
+Run directly or via ctest (`analyze.self`). Uses --mode=syntax so the
+golden output is identical whether or not libclang is importable on the
+host; the final check exercises libclang mode when it is available.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+REPO = os.path.dirname(HERE)
+ANALYZE = os.path.join(HERE, "stnb-analyze")
+FIXTURES = os.path.join(REPO, "tests", "analyze_fixtures")
+
+failures = []
+
+
+def check(name, ok, detail=""):
+    status = "ok" if ok else "FAIL"
+    print(f"[{status}] {name}")
+    if not ok:
+        failures.append(name)
+        if detail:
+            print(detail)
+
+
+def run(*args):
+    return subprocess.run(
+        [sys.executable, ANALYZE, *args],
+        capture_output=True, text=True, check=False)
+
+
+def main():
+    violations = os.path.join(FIXTURES, "violations")
+    clean = os.path.join(FIXTURES, "clean")
+    golden_path = os.path.join(FIXTURES, "expected_violations.txt")
+
+    # 1. Violations tree reproduces the golden diagnostics, exit 1.
+    r = run("--mode=syntax", "--root", violations, violations)
+    with open(golden_path, encoding="utf-8") as f:
+        golden = f.read()
+    check("violations: exit status 1", r.returncode == 1,
+          f"  got {r.returncode}, stderr: {r.stderr}")
+    check("violations: golden diagnostics", r.stdout == golden,
+          "  --- got ---\n" + r.stdout + "  --- want ---\n" + golden)
+
+    # 2. Every rule appears at least once in the golden output — a rule
+    # that never fires on its own seeded fixture is silently broken.
+    rules = run("--list-rules")
+    rule_names = [line.split()[0] for line in rules.stdout.splitlines()
+                  if line and not line.startswith(" ")]
+    check("list-rules: exit status 0", rules.returncode == 0)
+    check("list-rules: all three families listed",
+          {"fiber-tls", "lock-across-yield", "comm-protocol",
+           "bare-allow"} <= set(rule_names))
+    for name in rule_names:
+        check(f"rule fires on fixtures: {name}", f"[{name}]" in golden)
+
+    # 3. The three flow properties each fire through their intended
+    # mechanism, not incidentally: the lambda-into-parallel_for shape
+    # (the original interaction_list.cpp hazard), the transitive lock
+    # case, and the laundered-literal tag.
+    check("fiber-tls: lambda-into-parallel_for shape",
+          "executed inside may-yield call 'parallel_for'" in golden)
+    check("fiber-tls: binding-across-yield shape",
+          "is live across may-yield call" in golden)
+    check("lock-across-yield: transitive callee",
+          "may-yield call 'drain_one'" in golden)
+    check("lock-across-yield: STNB_REQUIRES scope",
+          "STNB_REQUIRES capability" in golden)
+    check("comm-protocol: laundered literal traced",
+          "initialized from literals only" in golden)
+    check("comm-protocol: element-type mismatch",
+          "recv<int> on tag 'kTagHalo'" in golden)
+
+    # 4. Clean tree: no output, exit 0 — the blessed counterparts
+    # (workspace pool, release-before-yield, wait-under-lock, named
+    # tags) must not trip the rules.
+    r = run("--mode=syntax", "--root", clean, clean)
+    check("clean: exit status 0", r.returncode == 0,
+          f"  got {r.returncode}: {r.stdout}{r.stderr}")
+    check("clean: no findings", r.stdout == "")
+
+    # 5. The real library is clean (same invocation CI uses).
+    r = run("--mode=syntax", "--root", REPO, os.path.join(REPO, "src"))
+    check("src/: exit status 0", r.returncode == 0,
+          f"  got {r.returncode}:\n{r.stdout}{r.stderr}")
+
+    # 6. Suppression mechanics: the reasoned allow in suppressed.cpp is
+    # silent, the bare allow is flagged.
+    check("suppression: reasoned allow silent",
+          "suppressed.cpp:21" not in golden)
+    check("suppression: bare allow flagged", "[bare-allow]" in golden)
+
+    # 7. Baseline file: listing a finding's key suppresses it from the
+    # exit status but keeps it visible as baseline-suppressed.
+    keyed = run("--mode=syntax", "--root", violations, "--explain-keys",
+                violations)
+    first_key = None
+    for line in keyed.stdout.splitlines():
+        if "[key: " in line and "[bare-allow]" not in line:
+            first_key = line.split("[key: ", 1)[1].rstrip("]")
+            break
+    check("baseline: --explain-keys prints keys", first_key is not None)
+    if first_key is not None:
+        with tempfile.NamedTemporaryFile("w", suffix=".baseline",
+                                         delete=False) as tf:
+            tf.write("# reviewed\n" + first_key + "\n")
+            baseline_path = tf.name
+        try:
+            r = run("--mode=syntax", "--root", violations,
+                    "--baseline", baseline_path, violations)
+            check("baseline: still exit 1 (others unsuppressed)",
+                  r.returncode == 1)
+            check("baseline: suppressed finding annotated",
+                  "(baseline-suppressed)" in r.stdout, r.stdout)
+            lines = [l for l in r.stdout.splitlines() if l.strip()]
+            golden_lines = [l for l in golden.splitlines() if l.strip()]
+            check("baseline: same finding count, one suppressed",
+                  len(lines) == len(golden_lines) and
+                  sum("(baseline-suppressed)" in l for l in lines) == 1)
+        finally:
+            os.unlink(baseline_path)
+
+    # 8. SARIF: structurally valid 2.1.0 with every finding as a result,
+    # rule metadata for each family, and region/artifact locations.
+    with tempfile.NamedTemporaryFile("r", suffix=".sarif",
+                                     delete=False) as tf:
+        sarif_path = tf.name
+    try:
+        r = run("--mode=syntax", "--root", violations,
+                "--sarif", sarif_path, violations)
+        with open(sarif_path, encoding="utf-8") as f:
+            sarif = json.load(f)
+        check("sarif: version 2.1.0", sarif.get("version") == "2.1.0")
+        runs = sarif.get("runs", [])
+        check("sarif: one run", len(runs) == 1)
+        driver = runs[0]["tool"]["driver"]
+        check("sarif: tool name", driver["name"] == "stnb-analyze")
+        ids = {rule["id"] for rule in driver["rules"]}
+        check("sarif: rule metadata complete",
+              {"fiber-tls", "lock-across-yield", "comm-protocol"} <= ids)
+        results = runs[0]["results"]
+        check("sarif: result per diagnostic",
+              len(results) == len(golden.splitlines()),
+              f"  {len(results)} results vs "
+              f"{len(golden.splitlines())} golden lines")
+        ok_shape = all(
+            res["ruleId"] in ids | {"bare-allow"} and
+            res["message"]["text"] and
+            res["locations"][0]["physicalLocation"]["artifactLocation"]
+               ["uri"].endswith(".cpp") and
+            res["locations"][0]["physicalLocation"]["region"]["startLine"]
+            > 0
+            for res in results)
+        check("sarif: every result fully located", ok_shape)
+        check("sarif: fingerprints present",
+              all("partialFingerprints" in res for res in results))
+    finally:
+        os.unlink(sarif_path)
+
+    # 9. libclang mode: if importable, it must agree with syntax mode on
+    # the violations tree (same findings, same order) and on the clean
+    # tree and src/.
+    probe = subprocess.run(
+        [sys.executable, "-c",
+         "import clang.cindex; clang.cindex.Index.create()"],
+        capture_output=True, check=False)
+    if probe.returncode == 0:
+        r = run("--mode=libclang", "--root", violations, violations)
+        check("libclang: agrees with golden", r.stdout == golden,
+              "  --- got ---\n" + r.stdout)
+        r = run("--mode=libclang", "--root", clean, clean)
+        check("libclang: clean tree stays clean", r.returncode == 0,
+              r.stdout + r.stderr)
+        r = run("--mode=libclang", "--root", REPO,
+                os.path.join(REPO, "src"))
+        check("libclang: src/ stays clean", r.returncode == 0,
+              r.stdout + r.stderr)
+    else:
+        print("[skip] libclang mode (python clang.cindex not importable)")
+
+    if failures:
+        print(f"\n{len(failures)} self-test(s) failed")
+        return 1
+    print("\nall stnb-analyze self-tests passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
