@@ -10,6 +10,7 @@
 
 #include "kernels/algebraic.hpp"
 #include "kernels/coulomb.hpp"
+#include "simd/dispatch.hpp"
 #include "support/rng.hpp"
 #include "tree/evaluate.hpp"
 #include "tree/interaction_list.hpp"
@@ -95,6 +96,12 @@ BENCHMARK(BM_MultipoleEvaluate);
 // cell-blocked engine's inner loop (tree/interaction_list), which must
 // sustain a multiple of the scalar throughput (CI's perf-smoke leg
 // enforces batched > scalar).
+//
+// The Batched benchmarks run once under the auto-detected SIMD backend
+// (the plain BM_*Batched names, preserving the Scalar->Batched pairing
+// CI keys on) and once per compiled-in-and-supported backend, registered
+// at runtime in main() as BM_*Batched/<backend>/... so one invocation
+// reports the whole scalar/sse2/avx2/avx512 throughput ladder.
 
 constexpr std::size_t kThroughputTargets = 64;
 constexpr std::size_t kThroughputSources = 512;
@@ -121,7 +128,8 @@ void BM_VortexPairsScalar(benchmark::State& state) {
 }
 BENCHMARK(BM_VortexPairsScalar)->Arg(2)->Arg(4)->Arg(6);
 
-void BM_VortexPairsBatched(benchmark::State& state) {
+void vortex_pairs_batched(benchmark::State& state, simd::Backend backend) {
+  const simd::ScopedBackend scoped(backend);
   const kernels::AlgebraicKernel kernel(
       static_cast<kernels::AlgebraicOrder>(state.range(0)), 0.05);
   const auto ps = cloud(kThroughputTargets + kThroughputSources);
@@ -155,6 +163,9 @@ void BM_VortexPairsBatched(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * kThroughputTargets *
                           kThroughputSources);
 }
+void BM_VortexPairsBatched(benchmark::State& state) {
+  vortex_pairs_batched(state, simd::active_backend());
+}
 BENCHMARK(BM_VortexPairsBatched)->Arg(2)->Arg(4)->Arg(6);
 
 void BM_CoulombPairsScalar(benchmark::State& state) {
@@ -177,7 +188,8 @@ void BM_CoulombPairsScalar(benchmark::State& state) {
 }
 BENCHMARK(BM_CoulombPairsScalar);
 
-void BM_CoulombPairsBatched(benchmark::State& state) {
+void coulomb_pairs_batched(benchmark::State& state, simd::Backend backend) {
+  const simd::ScopedBackend scoped(backend);
   const kernels::CoulombKernel kernel(1e-3);
   const auto ps = cloud(kThroughputTargets + kThroughputSources);
   kernels::CoulombBatch batch;
@@ -206,6 +218,9 @@ void BM_CoulombPairsBatched(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * kThroughputTargets *
                           kThroughputSources);
+}
+void BM_CoulombPairsBatched(benchmark::State& state) {
+  coulomb_pairs_batched(state, simd::active_backend());
 }
 BENCHMARK(BM_CoulombPairsBatched);
 
@@ -245,7 +260,8 @@ void BM_VortexFarPairsScalar(benchmark::State& state) {
 }
 BENCHMARK(BM_VortexFarPairsScalar)->Arg(2)->Arg(4)->Arg(6);
 
-void BM_VortexFarPairsBatched(benchmark::State& state) {
+void vortex_far_pairs_batched(benchmark::State& state, simd::Backend backend) {
+  const simd::ScopedBackend scoped(backend);
   const kernels::AlgebraicKernel kernel(
       static_cast<kernels::AlgebraicOrder>(state.range(0)), 0.05);
   const auto ps = cloud(kThroughputTargets);
@@ -264,6 +280,9 @@ void BM_VortexFarPairsBatched(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * kThroughputTargets * kFarNodes);
 }
+void BM_VortexFarPairsBatched(benchmark::State& state) {
+  vortex_far_pairs_batched(state, simd::active_backend());
+}
 BENCHMARK(BM_VortexFarPairsBatched)->Arg(2)->Arg(4)->Arg(6);
 
 void BM_CoulombFarPairsScalar(benchmark::State& state) {
@@ -281,7 +300,9 @@ void BM_CoulombFarPairsScalar(benchmark::State& state) {
 }
 BENCHMARK(BM_CoulombFarPairsScalar);
 
-void BM_CoulombFarPairsBatched(benchmark::State& state) {
+void coulomb_far_pairs_batched(benchmark::State& state,
+                               simd::Backend backend) {
+  const simd::ScopedBackend scoped(backend);
   const auto ps = cloud(kThroughputTargets);
   const auto mps = far_nodes();
   kernels::CoulombBatch batch;
@@ -297,6 +318,9 @@ void BM_CoulombFarPairsBatched(benchmark::State& state) {
     benchmark::DoNotOptimize(batch.phi.data());
   }
   state.SetItemsProcessed(state.iterations() * kThroughputTargets * kFarNodes);
+}
+void BM_CoulombFarPairsBatched(benchmark::State& state) {
+  coulomb_far_pairs_batched(state, simd::active_backend());
 }
 BENCHMARK(BM_CoulombFarPairsBatched);
 
@@ -345,6 +369,39 @@ void BM_MacTraversalPerParticle(benchmark::State& state) {
 }
 BENCHMARK(BM_MacTraversalPerParticle)->Arg(3)->Arg(6)->Arg(9);
 
+// Per-backend variants of the batched benchmarks: one registration per
+// SIMD backend this binary can actually run (compiled in + CPUID), named
+// BM_*Batched/<backend>/... so a single --json run carries the full
+// backend ladder. The lowercase backend segment keeps these disjoint
+// from the Scalar->Batched name pairing CI's perf-smoke gate computes.
+void register_backend_benchmarks() {
+  for (int i = 0; i < simd::kNumBackends; ++i) {
+    const auto backend = static_cast<simd::Backend>(i);
+    if (!simd::backend_available(backend)) continue;
+    const std::string tag(simd::backend_name(backend));
+    benchmark::RegisterBenchmark(
+        ("BM_VortexPairsBatched/" + tag).c_str(),
+        [backend](benchmark::State& s) { vortex_pairs_batched(s, backend); })
+        ->Arg(2)
+        ->Arg(4)
+        ->Arg(6);
+    benchmark::RegisterBenchmark(
+        ("BM_CoulombPairsBatched/" + tag).c_str(),
+        [backend](benchmark::State& s) { coulomb_pairs_batched(s, backend); });
+    benchmark::RegisterBenchmark(("BM_VortexFarPairsBatched/" + tag).c_str(),
+                                 [backend](benchmark::State& s) {
+                                   vortex_far_pairs_batched(s, backend);
+                                 })
+        ->Arg(2)
+        ->Arg(4)
+        ->Arg(6);
+    benchmark::RegisterBenchmark(("BM_CoulombFarPairsBatched/" + tag).c_str(),
+                                 [backend](benchmark::State& s) {
+                                   coulomb_far_pairs_batched(s, backend);
+                                 });
+  }
+}
+
 }  // namespace
 
 // Custom main: `--json[=]PATH` is translated into google-benchmark's
@@ -373,6 +430,7 @@ int main(int argc, char** argv) {
   int cargc = static_cast<int>(cargs.size());
   benchmark::Initialize(&cargc, cargs.data());
   if (benchmark::ReportUnrecognizedArguments(cargc, cargs.data())) return 1;
+  register_backend_benchmarks();
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   return 0;

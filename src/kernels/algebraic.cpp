@@ -5,6 +5,8 @@
 #include <numbers>
 #include <stdexcept>
 
+#include "simd/dispatch.hpp"
+
 namespace stnb::kernels {
 
 namespace {
@@ -66,13 +68,15 @@ inline void vortex_source_row(
 }  // namespace
 
 void VortexBatch::resize(std::size_t n) {
-  x.resize(n);
-  y.resize(n);
-  z.resize(n);
-  ux.resize(n);
-  uy.resize(n);
-  uz.resize(n);
-  for (auto& c : j) c.resize(n);
+  n_ = n;
+  const std::size_t cap = (n + kLanePad - 1) / kLanePad * kLanePad;
+  x.resize(cap);
+  y.resize(cap);
+  z.resize(cap);
+  ux.resize(cap);
+  uy.resize(cap);
+  uz.resize(cap);
+  for (auto& c : j) c.resize(cap);
 }
 
 void VortexBatch::zero() {
@@ -232,6 +236,19 @@ void AlgebraicKernel::accumulate_batch(const double* sx, const double* sy,
                                        std::size_t nsrc,
                                        std::int64_t self_shift,
                                        VortexBatch& tgt) const {
+  simd::active_table().vortex_near(*this, sx, sy, sz, sax, say, saz, nsrc,
+                                   self_shift, tgt);
+}
+
+void AlgebraicKernel::accumulate_batch_scalar(const double* sx,
+                                              const double* sy,
+                                              const double* sz,
+                                              const double* sax,
+                                              const double* say,
+                                              const double* saz,
+                                              std::size_t nsrc,
+                                              std::int64_t self_shift,
+                                              VortexBatch& tgt) const {
   switch (order_) {
     case AlgebraicOrder::k2:
       batch_impl<AlgebraicOrder::k2>(sx, sy, sz, sax, say, saz, nsrc,

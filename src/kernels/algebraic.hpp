@@ -93,15 +93,27 @@ inline double h2_rho(double rho) {
 /// (tree/interaction_list) evaluates interaction lists against — the
 /// batched counterpart of per-pair accumulate_velocity_and_gradient calls.
 struct VortexBatch {
+  /// Arrays are padded to a multiple of the widest SIMD lane count so the
+  /// explicit-SIMD backends (src/simd) can process full vectors with no
+  /// remainder branch; pad lanes hold garbage and are never read back.
+  static constexpr std::size_t kLanePad = 8;
+
   std::vector<double> x, y, z;           // target positions
   std::vector<double> ux, uy, uz;        // velocity accumulators
   std::array<std::vector<double>, 9> j;  // du_i/dx_j accumulators, row-major
 
-  std::size_t size() const { return x.size(); }
-  /// Resizes every array to n targets (contents unspecified; call zero()).
+  /// Logical target count (excludes pad lanes).
+  std::size_t size() const { return n_; }
+  /// Allocated lane count: size() rounded up to a multiple of kLanePad.
+  std::size_t padded_size() const { return x.size(); }
+  /// Resizes every array to n targets plus padding (contents unspecified;
+  /// call zero()).
   void resize(std::size_t n);
   /// Clears the accumulators only (positions are left untouched).
   void zero();
+
+ private:
+  std::size_t n_ = 0;
 };
 
 /// Regularized vortex interaction kernel of a given algebraic order and
@@ -139,19 +151,33 @@ class AlgebraicKernel {
                                         Vec3& u, Mat3& grad) const;
 
   /// Batched near field over SoA buffers: for every source s (ascending)
-  /// and every target t, accumulates velocity + gradient into `tgt`. The
-  /// arithmetic is bit-identical to per-pair
-  /// accumulate_velocity_and_gradient calls in the same source-major
-  /// order, but the inner loop over targets carries no callback and no
-  /// branch, so the compiler auto-vectorizes it. Self-exclusion is by
-  /// index: for source s the target s + self_shift is skipped when it
-  /// falls inside [0, tgt.size()) — pass the source range's offset
-  /// relative to the target block when both index the same particle
-  /// array, or tgt.size() to exclude nothing.
+  /// and every target t, accumulates velocity + gradient into `tgt`.
+  /// Routes through the runtime-dispatched SIMD backend (simd/dispatch):
+  /// under the scalar backend (STNB_SIMD=scalar) this is bit-identical to
+  /// per-pair accumulate_velocity_and_gradient calls in the same
+  /// source-major order; the explicit-SIMD backends differ by a few ulp
+  /// per interaction (FMA + Newton-refined rsqrt — see
+  /// tests/test_simd.cpp for the envelope). Self-exclusion is by index:
+  /// for source s the target s + self_shift is skipped when it falls
+  /// inside [0, tgt.size()) — pass the source range's offset relative to
+  /// the target block when both index the same particle array, or
+  /// tgt.size() to exclude nothing.
   void accumulate_batch(const double* sx, const double* sy, const double* sz,
                         const double* sax, const double* say,
                         const double* saz, std::size_t nsrc,
                         std::int64_t self_shift, VortexBatch& tgt) const;
+
+  /// The legacy auto-vectorized batch loop: the scalar dispatch backend
+  /// and the bit-exactness/error reference for the SIMD backends.
+  void accumulate_batch_scalar(const double* sx, const double* sy,
+                               const double* sz, const double* sax,
+                               const double* say, const double* saz,
+                               std::size_t nsrc, std::int64_t self_shift,
+                               VortexBatch& tgt) const;
+
+  /// Derived constants, exposed for the SIMD kernel bodies (src/simd).
+  double inv_sigma() const { return inv_sigma_; }
+  double inv_sigma3_over_4pi() const { return inv_sigma3_over_4pi_; }
 
  private:
   template <AlgebraicOrder O>

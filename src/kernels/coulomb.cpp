@@ -4,6 +4,8 @@
 #include <cmath>
 #include <cstddef>
 
+#include "simd/dispatch.hpp"
+
 namespace stnb::kernels {
 
 namespace {
@@ -36,13 +38,15 @@ inline void coulomb_source_row(double px, double py, double pz, double q,
 }  // namespace
 
 void CoulombBatch::resize(std::size_t n) {
-  x.resize(n);
-  y.resize(n);
-  z.resize(n);
-  phi.resize(n);
-  ex.resize(n);
-  ey.resize(n);
-  ez.resize(n);
+  n_ = n;
+  const std::size_t cap = (n + kLanePad - 1) / kLanePad * kLanePad;
+  x.resize(cap);
+  y.resize(cap);
+  z.resize(cap);
+  phi.resize(cap);
+  ex.resize(cap);
+  ey.resize(cap);
+  ez.resize(cap);
 }
 
 void CoulombBatch::zero() {
@@ -74,6 +78,15 @@ void CoulombKernel::accumulate_batch(const double* sx, const double* sy,
                                      std::size_t nsrc,
                                      std::int64_t self_shift,
                                      CoulombBatch& tgt) const {
+  simd::active_table().coulomb_near(*this, sx, sy, sz, sq, nsrc, self_shift,
+                                    tgt);
+}
+
+void CoulombKernel::accumulate_batch_scalar(const double* sx, const double* sy,
+                                            const double* sz, const double* sq,
+                                            std::size_t nsrc,
+                                            std::int64_t self_shift,
+                                            CoulombBatch& tgt) const {
   const std::size_t nt = tgt.size();
   const double* __restrict tx = tgt.x.data();
   const double* __restrict ty = tgt.y.data();

@@ -17,14 +17,24 @@ namespace stnb::kernels {
 /// gathered positions plus potential/field accumulators (the Coulomb
 /// counterpart of VortexBatch in kernels/algebraic.hpp).
 struct CoulombBatch {
+  /// Arrays are padded to a multiple of the widest SIMD lane count (see
+  /// kernels::VortexBatch::kLanePad); pad lanes are never read back.
+  static constexpr std::size_t kLanePad = 8;
+
   std::vector<double> x, y, z;        // target positions
   std::vector<double> phi;            // potential accumulator
   std::vector<double> ex, ey, ez;     // field accumulators
 
-  std::size_t size() const { return x.size(); }
+  /// Logical target count (excludes pad lanes).
+  std::size_t size() const { return n_; }
+  /// Allocated lane count: size() rounded up to a multiple of kLanePad.
+  std::size_t padded_size() const { return x.size(); }
   void resize(std::size_t n);
   /// Clears the accumulators only (positions are left untouched).
   void zero();
+
+ private:
+  std::size_t n_ = 0;
 };
 
 class CoulombKernel {
@@ -42,14 +52,23 @@ class CoulombKernel {
   void accumulate_field(const Vec3& r, double q, double& phi, Vec3& e) const;
 
   /// Batched near field over SoA buffers: for every source s (ascending)
-  /// and every target t, accumulates potential + field into `tgt` —
-  /// bit-identical to per-pair accumulate_field calls in the same
-  /// source-major order (coincident pairs contribute zero, like the
-  /// scalar d2 == 0 guard). Self-exclusion by index: for source s the
-  /// target s + self_shift is skipped when inside [0, tgt.size()).
+  /// and every target t, accumulates potential + field into `tgt`. Routes
+  /// through the runtime-dispatched SIMD backend (simd/dispatch): under
+  /// the scalar backend this is bit-identical to per-pair
+  /// accumulate_field calls in the same source-major order (coincident
+  /// pairs contribute zero, like the scalar d2 == 0 guard); SIMD
+  /// backends differ by a few ulp. Self-exclusion by index: for source s
+  /// the target s + self_shift is skipped when inside [0, tgt.size()).
   void accumulate_batch(const double* sx, const double* sy, const double* sz,
                         const double* sq, std::size_t nsrc,
                         std::int64_t self_shift, CoulombBatch& tgt) const;
+
+  /// The legacy auto-vectorized batch loop: the scalar dispatch backend
+  /// and the bit-exactness/error reference for the SIMD backends.
+  void accumulate_batch_scalar(const double* sx, const double* sy,
+                               const double* sz, const double* sq,
+                               std::size_t nsrc, std::int64_t self_shift,
+                               CoulombBatch& tgt) const;
 
  private:
   double eps2_;

@@ -21,20 +21,23 @@ struct CostModel {
   /// ~100 Mflop/s effective core).
   double t_near_interaction = 1.0e-6;
   /// One near-field evaluation through the cell-blocked SoA path
-  /// (tree/interaction_list): the branch-free batched inner loop
-  /// vectorizes and amortizes traversal per target block, so the
-  /// per-interaction cost drops well below t_near_interaction (calibrated
-  /// by bench/micro_benchmarks kernel-throughput runs).
-  double t_near_batched = 0.25e-6;
+  /// (tree/interaction_list) with the explicit-SIMD kernels (src/simd):
+  /// rsqrt+Newton replaces the div/sqrt chain, FMA contracts the
+  /// polynomial profiles, and 4-8 lanes run per instruction.
+  /// bench/micro_benchmarks Pairs runs measure ~10x the per-particle walk
+  /// for the order-6 vortex kernel under AVX2/AVX-512; 8x is the
+  /// conservative calibration against t_near_interaction.
+  double t_near_batched = 0.125e-6;
   /// One particle-multipole evaluation (quadrupole tensors, ~3x near).
   double t_far_interaction = 3.0e-6;
   /// One (node, target) far-field evaluation through the batched SoA
-  /// path (Multipole::evaluate_*_batch): node-major loops with the order
-  /// dispatch hoisted and the tensor construction shared between
-  /// velocity and gradient. bench/micro_benchmarks FarPairs runs measure
-  /// ~2.7x scalar throughput for the order-6 vortex kernel and ~1.8x for
-  /// Coulomb; 2x is the conservative calibration.
-  double t_far_batched = 1.5e-6;
+  /// path (Multipole::evaluate_*_batch on the SIMD backends): node-major
+  /// loops with the order dispatch hoisted, the tensor contraction
+  /// vectorized over targets, and the moment coefficients broadcast.
+  /// bench/micro_benchmarks FarPairs runs measure ~17x the per-target
+  /// loop for the order-6 vortex kernel; ~8x is the conservative
+  /// calibration against t_far_interaction.
+  double t_far_batched = 0.4e-6;
   /// Per-particle cost of key generation + one merge/sort pass level.
   double t_sort_per_particle = 0.2e-6;
   /// Per-node cost of building/aggregating one tree node (moments, M2M).

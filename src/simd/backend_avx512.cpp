@@ -1,0 +1,57 @@
+// AVX-512 backend registration (8-wide). Compiled with -mavx512f
+// -mavx512dq via set_source_files_properties (src/CMakeLists.txt); only
+// reachable through the dispatch table after the CPUID check.
+#include "simd/dispatch.hpp"
+
+#if defined(__AVX512F__)
+
+#include "simd/kernels_impl.hpp"
+#include "support/simd.hpp"
+
+namespace stnb::simd {
+namespace {
+
+using V = vec8d;
+
+void vortex_near(const kernels::AlgebraicKernel& k, const double* sx,
+                 const double* sy, const double* sz, const double* sax,
+                 const double* say, const double* saz, std::size_t nsrc,
+                 std::int64_t self_shift, kernels::VortexBatch& tgt) {
+  impl::vortex_near_dispatch<V>(k, sx, sy, sz, sax, say, saz, nsrc,
+                                self_shift, tgt);
+}
+
+void coulomb_near(const kernels::CoulombKernel& k, const double* sx,
+                  const double* sy, const double* sz, const double* sq,
+                  std::size_t nsrc, std::int64_t self_shift,
+                  kernels::CoulombBatch& tgt) {
+  impl::coulomb_near<V>(k, sx, sy, sz, sq, nsrc, self_shift, tgt);
+}
+
+void vortex_far(const tree::Multipole& mp,
+                const kernels::AlgebraicKernel* kernel,
+                kernels::VortexBatch& tgt) {
+  impl::vortex_far_dispatch<V>(mp, kernel, tgt);
+}
+
+void coulomb_far(const tree::Multipole& mp, kernels::CoulombBatch& tgt) {
+  impl::coulomb_far<V>(mp, tgt);
+}
+
+}  // namespace
+
+const KernelTable* detail::avx512_table() {
+  static const KernelTable table{Backend::kAvx512, &vortex_near,
+                                 &coulomb_near, &vortex_far, &coulomb_far};
+  return &table;
+}
+
+}  // namespace stnb::simd
+
+#else  // !__AVX512F__
+
+namespace stnb::simd {
+const KernelTable* detail::avx512_table() { return nullptr; }
+}  // namespace stnb::simd
+
+#endif

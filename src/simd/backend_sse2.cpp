@@ -1,0 +1,57 @@
+// SSE2 backend registration (2-wide). SSE2 is the x86-64 baseline, so
+// this TU needs no special flags; on non-x86 targets it compiles to a
+// null registration.
+#include "simd/dispatch.hpp"
+
+#if defined(__SSE2__)
+
+#include "simd/kernels_impl.hpp"
+#include "support/simd.hpp"
+
+namespace stnb::simd {
+namespace {
+
+using V = vec2d;
+
+void vortex_near(const kernels::AlgebraicKernel& k, const double* sx,
+                 const double* sy, const double* sz, const double* sax,
+                 const double* say, const double* saz, std::size_t nsrc,
+                 std::int64_t self_shift, kernels::VortexBatch& tgt) {
+  impl::vortex_near_dispatch<V>(k, sx, sy, sz, sax, say, saz, nsrc,
+                                self_shift, tgt);
+}
+
+void coulomb_near(const kernels::CoulombKernel& k, const double* sx,
+                  const double* sy, const double* sz, const double* sq,
+                  std::size_t nsrc, std::int64_t self_shift,
+                  kernels::CoulombBatch& tgt) {
+  impl::coulomb_near<V>(k, sx, sy, sz, sq, nsrc, self_shift, tgt);
+}
+
+void vortex_far(const tree::Multipole& mp,
+                const kernels::AlgebraicKernel* kernel,
+                kernels::VortexBatch& tgt) {
+  impl::vortex_far_dispatch<V>(mp, kernel, tgt);
+}
+
+void coulomb_far(const tree::Multipole& mp, kernels::CoulombBatch& tgt) {
+  impl::coulomb_far<V>(mp, tgt);
+}
+
+}  // namespace
+
+const KernelTable* detail::sse2_table() {
+  static const KernelTable table{Backend::kSse2, &vortex_near, &coulomb_near,
+                                 &vortex_far, &coulomb_far};
+  return &table;
+}
+
+}  // namespace stnb::simd
+
+#else  // !__SSE2__
+
+namespace stnb::simd {
+const KernelTable* detail::sse2_table() { return nullptr; }
+}  // namespace stnb::simd
+
+#endif

@@ -1,0 +1,182 @@
+#include "simd/dispatch.hpp"
+
+#include <array>
+#include <atomic>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+#include "kernels/algebraic.hpp"
+#include "kernels/coulomb.hpp"
+#include "tree/multipole.hpp"
+
+namespace stnb::simd {
+
+namespace {
+
+// Scalar backend: trampolines onto the legacy auto-vectorized loops, so
+// STNB_SIMD=scalar is bit-identical to the pre-dispatch kernels.
+void vortex_near_scalar(const kernels::AlgebraicKernel& k, const double* sx,
+                        const double* sy, const double* sz, const double* sax,
+                        const double* say, const double* saz,
+                        std::size_t nsrc, std::int64_t self_shift,
+                        kernels::VortexBatch& tgt) {
+  k.accumulate_batch_scalar(sx, sy, sz, sax, say, saz, nsrc, self_shift, tgt);
+}
+
+void coulomb_near_scalar(const kernels::CoulombKernel& k, const double* sx,
+                         const double* sy, const double* sz, const double* sq,
+                         std::size_t nsrc, std::int64_t self_shift,
+                         kernels::CoulombBatch& tgt) {
+  k.accumulate_batch_scalar(sx, sy, sz, sq, nsrc, self_shift, tgt);
+}
+
+void vortex_far_scalar(const tree::Multipole& mp,
+                       const kernels::AlgebraicKernel* kernel,
+                       kernels::VortexBatch& tgt) {
+  mp.evaluate_biot_savart_batch_scalar(tgt, kernel);
+}
+
+void coulomb_far_scalar(const tree::Multipole& mp,
+                        kernels::CoulombBatch& tgt) {
+  mp.evaluate_coulomb_batch_scalar(tgt);
+}
+
+const std::array<const KernelTable*, kNumBackends>& tables() {
+  static const std::array<const KernelTable*, kNumBackends> t = {
+      detail::scalar_table(), detail::sse2_table(), detail::avx2_table(),
+      detail::avx512_table()};
+  return t;
+}
+
+bool cpu_supports(Backend b) {
+#if defined(__x86_64__) || defined(__i386__)
+  switch (b) {
+    case Backend::kScalar:
+      return true;
+    case Backend::kSse2:
+      return __builtin_cpu_supports("sse2") != 0;
+    case Backend::kAvx2:
+      return __builtin_cpu_supports("avx2") != 0 &&
+             __builtin_cpu_supports("fma") != 0;
+    case Backend::kAvx512:
+      return __builtin_cpu_supports("avx512f") != 0 &&
+             __builtin_cpu_supports("avx512dq") != 0;
+  }
+  return false;
+#else
+  return b == Backend::kScalar;
+#endif
+}
+
+// Active backend index; -1 = not yet resolved. Relaxed is enough: the
+// value is write-once at startup (or explicitly flipped by set_backend,
+// which callers must not race with in-flight evaluations anyway).
+std::atomic<int> g_active{-1};
+
+int resolve_initial_backend() {
+  if (const char* env = std::getenv("STNB_SIMD");
+      env != nullptr && *env != '\0') {
+    const Backend requested = parse_backend(env);
+    if (!backend_available(requested)) {
+      throw std::invalid_argument(
+          std::string("STNB_SIMD=") + env +
+          " is not available on this CPU/build; compiled-in backends are "
+          "listed by bench/micro_benchmarks");
+    }
+    return static_cast<int>(requested);
+  }
+  return static_cast<int>(best_backend());
+}
+
+}  // namespace
+
+const char* backend_name(Backend b) {
+  switch (b) {
+    case Backend::kScalar:
+      return "scalar";
+    case Backend::kSse2:
+      return "sse2";
+    case Backend::kAvx2:
+      return "avx2";
+    case Backend::kAvx512:
+      return "avx512";
+  }
+  return "?";
+}
+
+Backend parse_backend(std::string_view name) {
+  for (int i = 0; i < kNumBackends; ++i) {
+    const Backend b = static_cast<Backend>(i);
+    if (name == backend_name(b)) return b;
+  }
+  throw std::invalid_argument("unknown SIMD backend name: " +
+                              std::string(name) +
+                              " (expected scalar|sse2|avx2|avx512)");
+}
+
+int backend_width(Backend b) {
+  switch (b) {
+    case Backend::kScalar:
+      return 1;
+    case Backend::kSse2:
+      return 2;
+    case Backend::kAvx2:
+      return 4;
+    case Backend::kAvx512:
+      return 8;
+  }
+  return 1;
+}
+
+bool backend_available(Backend b) {
+  const auto* table = tables()[static_cast<int>(b)];
+  return table != nullptr && cpu_supports(b);
+}
+
+Backend best_backend() {
+  for (int i = kNumBackends - 1; i > 0; --i) {
+    const Backend b = static_cast<Backend>(i);
+    if (backend_available(b)) return b;
+  }
+  return Backend::kScalar;
+}
+
+Backend active_backend() {
+  int idx = g_active.load(std::memory_order_relaxed);
+  if (idx < 0) {
+    idx = resolve_initial_backend();
+    int expected = -1;
+    // On a race the first resolver wins; both compute the same value
+    // anyway (env + CPUID are process-global).
+    if (!g_active.compare_exchange_strong(expected, idx,
+                                          std::memory_order_relaxed)) {
+      idx = expected;
+    }
+  }
+  return static_cast<Backend>(idx);
+}
+
+Backend set_backend(Backend b) {
+  if (!backend_available(b)) {
+    throw std::invalid_argument(std::string("SIMD backend ") +
+                                backend_name(b) +
+                                " is not available on this CPU/build");
+  }
+  const Backend prev = active_backend();
+  g_active.store(static_cast<int>(b), std::memory_order_relaxed);
+  return prev;
+}
+
+const KernelTable& active_table() {
+  return *tables()[static_cast<int>(active_backend())];
+}
+
+const KernelTable* detail::scalar_table() {
+  static const KernelTable table{Backend::kScalar, &vortex_near_scalar,
+                                 &coulomb_near_scalar, &vortex_far_scalar,
+                                 &coulomb_far_scalar};
+  return &table;
+}
+
+}  // namespace stnb::simd

@@ -1,0 +1,114 @@
+// Runtime SIMD backend selection for the batched kernel hot paths.
+//
+// The batched entry points (kernels::AlgebraicKernel::accumulate_batch,
+// kernels::CoulombKernel::accumulate_batch, and the node-major
+// tree::Multipole::evaluate_*_batch evaluators) dispatch through one
+// process-wide function-pointer table resolved once at first use:
+//
+//   backend := STNB_SIMD env override (scalar|sse2|avx2|avx512)
+//              else the widest backend both compiled in and supported by
+//              the CPU (CPUID via __builtin_cpu_supports)
+//
+// The scalar backend routes to the legacy auto-vectorized loops
+// (*_batch_scalar), so STNB_SIMD=scalar is bit-identical to the
+// pre-dispatch kernels by construction and serves as the error reference
+// for the explicit-SIMD backends (which differ by a few ulp: FMA
+// contraction plus Newton-refined rsqrt instead of div/sqrt — see
+// support/simd.hpp and tests/test_simd.cpp for the envelope).
+//
+// Each ISA backend lives in its own TU (src/simd/backend_*.cpp) compiled
+// with just that ISA's flags, so the library binary stays runnable on any
+// x86-64: wide instructions are only reached through the table after the
+// CPUID check. set_backend()/ScopedBackend exist for tests and benches;
+// flipping backends between evaluations is safe (the table pointer is a
+// single atomic), though results are only comparable within one backend.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace stnb::kernels {
+class AlgebraicKernel;
+class CoulombKernel;
+struct VortexBatch;
+struct CoulombBatch;
+}  // namespace stnb::kernels
+
+namespace stnb::tree {
+struct Multipole;
+}  // namespace stnb::tree
+
+namespace stnb::simd {
+
+enum class Backend : int { kScalar = 0, kSse2 = 1, kAvx2 = 2, kAvx512 = 3 };
+inline constexpr int kNumBackends = 4;
+
+/// Lowercase name as accepted by STNB_SIMD ("scalar", "sse2", ...).
+const char* backend_name(Backend b);
+/// Inverse of backend_name; throws std::invalid_argument on unknown names.
+Backend parse_backend(std::string_view name);
+/// Vector width in doubles (1 for scalar).
+int backend_width(Backend b);
+
+/// True when the backend is compiled into this binary *and* the CPU
+/// reports the required ISA. kScalar is always available.
+bool backend_available(Backend b);
+/// Widest available backend (what auto-detection picks).
+Backend best_backend();
+
+/// The backend every batched kernel call currently routes through.
+/// First call resolves STNB_SIMD / CPUID; later calls are one relaxed
+/// atomic load. Throws std::invalid_argument if STNB_SIMD names an
+/// unknown or unavailable backend (fail fast beats silently computing
+/// with different arithmetic than asked for).
+Backend active_backend();
+/// Overrides the active backend (tests/benches); returns the previous
+/// one. Throws std::invalid_argument if `b` is not available.
+Backend set_backend(Backend b);
+
+/// RAII backend override for test scopes.
+class ScopedBackend {
+ public:
+  explicit ScopedBackend(Backend b) : prev_(set_backend(b)) {}
+  ~ScopedBackend() { set_backend(prev_); }
+  ScopedBackend(const ScopedBackend&) = delete;
+  ScopedBackend& operator=(const ScopedBackend&) = delete;
+
+ private:
+  Backend prev_;
+};
+
+/// Function-pointer table of the batched kernel hot paths, one instance
+/// per backend. Signatures mirror the public batched entry points.
+struct KernelTable {
+  Backend backend = Backend::kScalar;
+  void (*vortex_near)(const kernels::AlgebraicKernel& k, const double* sx,
+                      const double* sy, const double* sz, const double* sax,
+                      const double* say, const double* saz, std::size_t nsrc,
+                      std::int64_t self_shift,
+                      kernels::VortexBatch& tgt) = nullptr;
+  void (*coulomb_near)(const kernels::CoulombKernel& k, const double* sx,
+                       const double* sy, const double* sz, const double* sq,
+                       std::size_t nsrc, std::int64_t self_shift,
+                       kernels::CoulombBatch& tgt) = nullptr;
+  void (*vortex_far)(const tree::Multipole& mp,
+                     const kernels::AlgebraicKernel* kernel,
+                     kernels::VortexBatch& tgt) = nullptr;
+  void (*coulomb_far)(const tree::Multipole& mp,
+                      kernels::CoulombBatch& tgt) = nullptr;
+};
+
+/// Table for the active backend (see active_backend() for resolution).
+const KernelTable& active_table();
+
+namespace detail {
+// One registration hook per backend TU; returns nullptr when that TU was
+// compiled without its ISA (non-x86 build or missing compiler support).
+const KernelTable* scalar_table();
+const KernelTable* sse2_table();
+const KernelTable* avx2_table();
+const KernelTable* avx512_table();
+}  // namespace detail
+
+}  // namespace stnb::simd

@@ -1,0 +1,513 @@
+// Explicit-SIMD bodies of the batched kernel hot paths, written once as
+// templates over a wrapper vector type V (support/simd.hpp contract) and
+// instantiated by each backend TU (src/simd/backend_*.cpp).
+//
+// Loop shape: targets are the vector dimension (W contiguous SoA lanes),
+// sources broadcast one at a time — the target accumulators stay in
+// registers across the whole source loop (the exafmm P2P idiom). Batches
+// are padded to a multiple of the widest lane count
+// (kernels::VortexBatch::kLanePad), so the remainder is handled by
+// processing full vectors into pad lanes whose results are never read
+// back; lanes are independent, so garbage pad positions cannot perturb
+// real lanes.
+//
+// Self-exclusion is branch-free: lane indices are compared (as doubles —
+// exact for any realistic batch size) against the skip index
+// s + self_shift and the interaction coefficients are zeroed in the
+// matching lane. Adding the resulting +0.0 leaves every accumulator
+// bit-unchanged, which mirrors the legacy split-loop exclusion exactly.
+//
+// Arithmetic differs from the scalar reference only by FMA contraction
+// and the Newton-refined rsqrt replacing div/sqrt chains (the speedup:
+// divider throughput does not scale with vector width). Both are a few
+// ulp per interaction; tests/test_simd.cpp pins the envelope.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "kernels/algebraic.hpp"
+#include "kernels/coulomb.hpp"
+#include "tree/multipole.hpp"
+
+namespace stnb::simd::impl {
+
+/// g(rho) and h(rho) of kernels/algebraic.hpp as lanewise functions of
+/// rho^2 (the profiles depend on rho only through rho^2, so the |r| sqrt
+/// of the scalar path disappears entirely): with d = rho^2 + 1 and
+/// s = d^-1/2,
+///   order 2: g = d^-3/2,                       h = -3 d^-5/2
+///   order 4: g = (rho^2+2.5) d^-5/2,           h = -(3rho^2+10.5) d^-7/2
+///   order 6: g = (rho^4+3.5rho^2+4.375) d^-7/2,
+///            h = -(3rho^4+13.5rho^2+23.625) d^-9/2
+template <class V, kernels::AlgebraicOrder O>
+inline void gh_from_rho2(const V& rho2, V& gv, V& hv) {
+  using kernels::AlgebraicOrder;
+  const V d = rho2 + V::broadcast(1.0);
+  const V s = rsqrt_nr(d);
+  const V p2 = s * s;  // d^-1
+  if constexpr (O == AlgebraicOrder::k2) {
+    gv = p2 * s;
+    hv = V::broadcast(-3.0) * (p2 * p2 * s);
+  } else if constexpr (O == AlgebraicOrder::k4) {
+    const V d25 = p2 * p2 * s;
+    gv = (rho2 + V::broadcast(2.5)) * d25;
+    hv = fma(rho2, V::broadcast(-3.0), V::broadcast(-10.5)) * (d25 * p2);
+  } else {
+    const V d35 = p2 * p2 * p2 * s;
+    gv = fma(rho2, rho2 + V::broadcast(3.5), V::broadcast(4.375)) * d35;
+    hv = fma(rho2, fma(rho2, V::broadcast(-3.0), V::broadcast(-13.5)),
+             V::broadcast(-23.625)) *
+         (d35 * p2);
+  }
+}
+
+/// h2(rho) companion for the far-field T tensor:
+///   order 2: h2 = 15 d^-7/2
+///   order 4: h2 = (15rho^2+67.5) d^-9/2
+///   order 6: h2 = (15rho^4+82.5rho^2+185.625) d^-11/2
+template <class V, kernels::AlgebraicOrder O>
+inline void ghh2_from_rho2(const V& rho2, V& gv, V& hv, V& h2v) {
+  using kernels::AlgebraicOrder;
+  gh_from_rho2<V, O>(rho2, gv, hv);
+  const V d = rho2 + V::broadcast(1.0);
+  const V s = rsqrt_nr(d);
+  const V p2 = s * s;
+  if constexpr (O == AlgebraicOrder::k2) {
+    h2v = V::broadcast(15.0) * (p2 * p2 * p2 * s);
+  } else if constexpr (O == AlgebraicOrder::k4) {
+    h2v = fma(rho2, V::broadcast(15.0), V::broadcast(67.5)) *
+          (p2 * p2 * p2 * p2 * s);
+  } else {
+    h2v = fma(rho2, fma(rho2, V::broadcast(15.0), V::broadcast(82.5)),
+              V::broadcast(185.625)) *
+          (p2 * p2 * p2 * p2 * p2 * s);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Near field: vortex velocity + gradient.
+
+template <class V, kernels::AlgebraicOrder O>
+void vortex_near(const kernels::AlgebraicKernel& k, const double* sx,
+                 const double* sy, const double* sz, const double* sax,
+                 const double* say, const double* saz, std::size_t nsrc,
+                 std::int64_t self_shift, kernels::VortexBatch& tgt) {
+  constexpr int W = V::width;
+  const std::size_t ntp = tgt.padded_size();
+  const double* tx = tgt.x.data();
+  const double* ty = tgt.y.data();
+  const double* tz = tgt.z.data();
+
+  const V inv_sigma2 = V::broadcast(k.inv_sigma() * k.inv_sigma());
+  const V c4pi = V::broadcast(k.inv_sigma3_over_4pi());
+  // c1 coefficient of the gradient outer product: c4pi * h / sigma^2.
+  const V c4pi_s2 =
+      V::broadcast(k.inv_sigma3_over_4pi() * k.inv_sigma() * k.inv_sigma());
+  const double shiftd = static_cast<double>(self_shift);
+
+  for (std::size_t t0 = 0; t0 < ntp; t0 += W) {
+    const V txv = V::load(tx + t0);
+    const V tyv = V::load(ty + t0);
+    const V tzv = V::load(tz + t0);
+    const V idx = V::iota(static_cast<double>(t0));
+    V ux = V::load(tgt.ux.data() + t0);
+    V uy = V::load(tgt.uy.data() + t0);
+    V uz = V::load(tgt.uz.data() + t0);
+    V j0 = V::load(tgt.j[0].data() + t0);
+    V j1 = V::load(tgt.j[1].data() + t0);
+    V j2 = V::load(tgt.j[2].data() + t0);
+    V j3 = V::load(tgt.j[3].data() + t0);
+    V j4 = V::load(tgt.j[4].data() + t0);
+    V j5 = V::load(tgt.j[5].data() + t0);
+    V j6 = V::load(tgt.j[6].data() + t0);
+    V j7 = V::load(tgt.j[7].data() + t0);
+    V j8 = V::load(tgt.j[8].data() + t0);
+
+    for (std::size_t s = 0; s < nsrc; ++s) {
+      const V rx = txv - V::broadcast(sx[s]);
+      const V ry = tyv - V::broadcast(sy[s]);
+      const V rz = tzv - V::broadcast(sz[s]);
+      const V r2 = fma(rz, rz, fma(ry, ry, rx * rx));
+      const V rho2 = r2 * inv_sigma2;
+      V gv, hv;
+      gh_from_rho2<V, O>(rho2, gv, hv);
+
+      // Zero the interaction coefficients in the self lane (every
+      // contribution below is proportional to cg or c1).
+      const V skip = V::broadcast(static_cast<double>(s) + shiftd);
+      const V cg = zero_where_eq(c4pi * gv, idx, skip);
+      const V c1 = zero_where_eq(c4pi_s2 * hv, idx, skip);
+
+      const V ax = V::broadcast(sax[s]);
+      const V ay = V::broadcast(say[s]);
+      const V az = V::broadcast(saz[s]);
+      const V cxv = fnma(az, ry, ay * rz);  // cross(alpha, r)
+      const V cyv = fnma(ax, rz, az * rx);
+      const V czv = fnma(ay, rx, ax * ry);
+
+      ux = fma(cg, cxv, ux);
+      uy = fma(cg, cyv, uy);
+      uz = fma(cg, czv, uz);
+
+      const V ccx = c1 * cxv;
+      const V ccy = c1 * cyv;
+      const V ccz = c1 * czv;
+      j0 = fma(ccx, rx, j0);
+      j1 = fma(ccx, ry, j1);
+      j2 = fma(ccx, rz, j2);
+      j3 = fma(ccy, rx, j3);
+      j4 = fma(ccy, ry, j4);
+      j5 = fma(ccy, rz, j5);
+      j6 = fma(ccz, rx, j6);
+      j7 = fma(ccz, ry, j7);
+      j8 = fma(ccz, rz, j8);
+      // g * [alpha]_x off-diagonals.
+      j1 = fnma(cg, az, j1);
+      j2 = fma(cg, ay, j2);
+      j3 = fma(cg, az, j3);
+      j5 = fnma(cg, ax, j5);
+      j6 = fnma(cg, ay, j6);
+      j7 = fma(cg, ax, j7);
+    }
+
+    ux.store(tgt.ux.data() + t0);
+    uy.store(tgt.uy.data() + t0);
+    uz.store(tgt.uz.data() + t0);
+    j0.store(tgt.j[0].data() + t0);
+    j1.store(tgt.j[1].data() + t0);
+    j2.store(tgt.j[2].data() + t0);
+    j3.store(tgt.j[3].data() + t0);
+    j4.store(tgt.j[4].data() + t0);
+    j5.store(tgt.j[5].data() + t0);
+    j6.store(tgt.j[6].data() + t0);
+    j7.store(tgt.j[7].data() + t0);
+    j8.store(tgt.j[8].data() + t0);
+  }
+}
+
+template <class V>
+void vortex_near_dispatch(const kernels::AlgebraicKernel& k, const double* sx,
+                          const double* sy, const double* sz,
+                          const double* sax, const double* say,
+                          const double* saz, std::size_t nsrc,
+                          std::int64_t self_shift, kernels::VortexBatch& tgt) {
+  using kernels::AlgebraicOrder;
+  switch (k.order()) {
+    case AlgebraicOrder::k2:
+      vortex_near<V, AlgebraicOrder::k2>(k, sx, sy, sz, sax, say, saz, nsrc,
+                                         self_shift, tgt);
+      break;
+    case AlgebraicOrder::k4:
+      vortex_near<V, AlgebraicOrder::k4>(k, sx, sy, sz, sax, say, saz, nsrc,
+                                         self_shift, tgt);
+      break;
+    case AlgebraicOrder::k6:
+      vortex_near<V, AlgebraicOrder::k6>(k, sx, sy, sz, sax, say, saz, nsrc,
+                                         self_shift, tgt);
+      break;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Near field: Coulomb potential + field.
+
+template <class V>
+void coulomb_near(const kernels::CoulombKernel& k, const double* sx,
+                  const double* sy, const double* sz, const double* sq,
+                  std::size_t nsrc, std::int64_t self_shift,
+                  kernels::CoulombBatch& tgt) {
+  constexpr int W = V::width;
+  const std::size_t ntp = tgt.padded_size();
+  const double* tx = tgt.x.data();
+  const double* ty = tgt.y.data();
+  const double* tz = tgt.z.data();
+
+  const V eps2 = V::broadcast(k.softening2());
+  const V vzero = V::zero();
+  const double shiftd = static_cast<double>(self_shift);
+
+  for (std::size_t t0 = 0; t0 < ntp; t0 += W) {
+    const V txv = V::load(tx + t0);
+    const V tyv = V::load(ty + t0);
+    const V tzv = V::load(tz + t0);
+    const V idx = V::iota(static_cast<double>(t0));
+    V phi = V::load(tgt.phi.data() + t0);
+    V ex = V::load(tgt.ex.data() + t0);
+    V ey = V::load(tgt.ey.data() + t0);
+    V ez = V::load(tgt.ez.data() + t0);
+
+    for (std::size_t s = 0; s < nsrc; ++s) {
+      const V rx = txv - V::broadcast(sx[s]);
+      const V ry = tyv - V::broadcast(sy[s]);
+      const V rz = tzv - V::broadcast(sz[s]);
+      const V d2 = fma(rz, rz, fma(ry, ry, rx * rx)) + eps2;
+      // Coincident unsoftened pairs contribute zero, like the scalar
+      // d2 == 0 guard (rsqrt_nr(0) is inf/NaN; masked here).
+      const V inv_d = zero_where_eq(rsqrt_nr(d2), d2, vzero);
+      // Self-exclusion by lane index: zero the charge, every term below
+      // is proportional to it.
+      const V skip = V::broadcast(static_cast<double>(s) + shiftd);
+      const V qv = zero_where_eq(V::broadcast(sq[s]), idx, skip);
+      phi = fma(qv, inv_d, phi);
+      const V c = qv * (inv_d * inv_d * inv_d);
+      ex = fma(c, rx, ex);
+      ey = fma(c, ry, ey);
+      ez = fma(c, rz, ez);
+    }
+
+    phi.store(tgt.phi.data() + t0);
+    ex.store(tgt.ex.data() + t0);
+    ey.store(tgt.ey.data() + t0);
+    ez.store(tgt.ez.data() + t0);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Far field: one multipole node against the whole target block. Mirrors
+// the scalar biot_savart_batch_rows / evaluate_coulomb_batch loops with
+// the radial coefficients computed through rsqrt_nr; trip counts are
+// compile-time constants so the contraction unrolls to straight-line
+// vector code.
+
+/// Radial tensor coefficients c_g, c_h, c_h2 (g/sigma^3, h/sigma^5,
+/// h2/sigma^7, or the singular limits for ORDER == 0) from r^2.
+template <class V, int ORDER>
+inline void far_coeffs(const V& r2, double sigma, V& c_g, V& c_h, V& c_h2) {
+  using kernels::AlgebraicOrder;
+  if constexpr (ORDER == 0) {
+    (void)sigma;
+    const V inv_r = rsqrt_nr(r2);
+    const V inv_r2 = inv_r * inv_r;
+    c_g = inv_r2 * inv_r;
+    c_h = V::broadcast(-3.0) * (c_g * inv_r2);
+    c_h2 = V::broadcast(15.0) * (c_g * inv_r2 * inv_r2);
+  } else {
+    constexpr AlgebraicOrder O = static_cast<AlgebraicOrder>(ORDER);
+    const double inv_sigma = 1.0 / sigma;
+    const double inv_s3 = 1.0 / (sigma * sigma * sigma);
+    const double inv_s5 = inv_s3 * (inv_sigma * inv_sigma);
+    const double inv_s7 = inv_s5 * (inv_sigma * inv_sigma);
+    const V rho2 = r2 * V::broadcast(inv_sigma * inv_sigma);
+    V gv, hv, h2v;
+    ghh2_from_rho2<V, O>(rho2, gv, hv, h2v);
+    c_g = gv * V::broadcast(inv_s3);
+    c_h = hv * V::broadcast(inv_s5);
+    c_h2 = h2v * V::broadcast(inv_s7);
+  }
+}
+
+template <class V, int ORDER>
+void vortex_far(const tree::Multipole& mp, double sigma,
+                kernels::VortexBatch& tgt) {
+  constexpr int W = V::width;
+  constexpr double kInvFourPi = 0.07957747154594767;  // 1/(4 pi)
+  const std::size_t ntp = tgt.padded_size();
+  const double* tx = tgt.x.data();
+  const double* ty = tgt.y.data();
+  const double* tz = tgt.z.data();
+
+  const double ma[3] = {mp.mono_a.x, mp.mono_a.y, mp.mono_a.z};
+  double da[3][3];
+  for (int l = 0; l < 3; ++l)
+    for (int j = 0; j < 3; ++j) da[l][j] = mp.dip_a(l, j);
+  const std::array<double, 18>& qa = mp.quad_a;
+
+  for (std::size_t t0 = 0; t0 < ntp; t0 += W) {
+    V d[3] = {V::load(tx + t0) - V::broadcast(mp.center.x),
+              V::load(ty + t0) - V::broadcast(mp.center.y),
+              V::load(tz + t0) - V::broadcast(mp.center.z)};
+    const V r2 = fma(d[2], d[2], fma(d[1], d[1], d[0] * d[0]));
+    V c_g, c_h, c_h2;
+    far_coeffs<V, ORDER>(r2, sigma, c_g, c_h, c_h2);
+
+    V kphi[3], kh[3][3], kt[18];
+#pragma GCC unroll 3
+    for (int i = 0; i < 3; ++i) kphi[i] = c_g * d[i];
+#pragma GCC unroll 3
+    for (int i = 0; i < 3; ++i)
+#pragma GCC unroll 3
+      for (int j = 0; j < 3; ++j) {
+        kh[i][j] = c_h * d[i] * d[j];
+        if (i == j) kh[i][j] = kh[i][j] + c_g;
+      }
+#pragma GCC unroll 3
+    for (int i = 0; i < 3; ++i)
+#pragma GCC unroll 3
+      for (int j = 0; j < 3; ++j)
+#pragma GCC unroll 3
+        for (int kk = j; kk < 3; ++kk) {
+          V v = c_h2 * d[i] * d[j] * d[kk];
+          if (i == j) v = fma(c_h, d[kk], v);
+          if (i == kk) v = fma(c_h, d[j], v);
+          if (j == kk) v = fma(c_h, d[i], v);
+          kt[i * 6 + tree::kSymIdx[j][kk]] = v;
+        }
+
+    V ux = V::load(tgt.ux.data() + t0);
+    V uy = V::load(tgt.uy.data() + t0);
+    V uz = V::load(tgt.uz.data() + t0);
+#pragma GCC unroll 3
+    for (int i = 0; i < 3; ++i) {
+      V ui = V::zero();
+#pragma GCC unroll 3
+      for (int l = 0; l < 3; ++l) {
+        if (l == i) continue;
+        const int m = 3 - i - l;
+        const double e =
+            static_cast<double>((i - l) * (l - m) * (m - i)) / 2.0;
+        ui = fma(V::broadcast(e * ma[l]), kphi[m], ui);
+#pragma GCC unroll 3
+        for (int j = 0; j < 3; ++j)
+          ui = fnma(V::broadcast(e * da[l][j]), kh[m][j], ui);
+        V quad = V::zero();
+#pragma GCC unroll 3
+        for (int j = 0; j < 3; ++j)
+#pragma GCC unroll 3
+          for (int kk = 0; kk < 3; ++kk)
+            quad = fma(V::broadcast(qa[l * 6 + tree::kSymIdx[j][kk]]),
+                       kt[m * 6 + tree::kSymIdx[j][kk]], quad);
+        ui = fma(V::broadcast(0.5 * e), quad, ui);
+      }
+      const V scaled = V::broadcast(kInvFourPi) * ui;
+      if (i == 0) ux = ux + scaled;
+      if (i == 1) uy = uy + scaled;
+      if (i == 2) uz = uz + scaled;
+    }
+    ux.store(tgt.ux.data() + t0);
+    uy.store(tgt.uy.data() + t0);
+    uz.store(tgt.uz.data() + t0);
+
+#pragma GCC unroll 3
+    for (int i = 0; i < 3; ++i)
+#pragma GCC unroll 3
+      for (int j = 0; j < 3; ++j) {
+        V jij = V::zero();
+#pragma GCC unroll 3
+        for (int l = 0; l < 3; ++l) {
+          if (l == i) continue;
+          const int m = 3 - i - l;
+          const double e =
+              static_cast<double>((i - l) * (l - m) * (m - i)) / 2.0;
+          jij = fma(V::broadcast(e * ma[l]), kh[m][j], jij);
+#pragma GCC unroll 3
+          for (int kk = 0; kk < 3; ++kk)
+            jij = fnma(V::broadcast(e * da[l][kk]),
+                       kt[m * 6 + tree::kSymIdx[kk][j]], jij);
+        }
+        double* jp = tgt.j[i * 3 + j].data() + t0;
+        fma(V::broadcast(kInvFourPi), jij, V::load(jp)).store(jp);
+      }
+  }
+}
+
+template <class V>
+void vortex_far_dispatch(const tree::Multipole& mp,
+                         const kernels::AlgebraicKernel* kernel,
+                         kernels::VortexBatch& tgt) {
+  if (kernel == nullptr) {
+    vortex_far<V, 0>(mp, 0.0, tgt);
+    return;
+  }
+  using kernels::AlgebraicOrder;
+  switch (kernel->order()) {
+    case AlgebraicOrder::k2:
+      vortex_far<V, 2>(mp, kernel->sigma(), tgt);
+      break;
+    case AlgebraicOrder::k4:
+      vortex_far<V, 4>(mp, kernel->sigma(), tgt);
+      break;
+    case AlgebraicOrder::k6:
+      vortex_far<V, 6>(mp, kernel->sigma(), tgt);
+      break;
+  }
+}
+
+template <class V>
+void coulomb_far(const tree::Multipole& mp, kernels::CoulombBatch& tgt) {
+  constexpr int W = V::width;
+  const std::size_t ntp = tgt.padded_size();
+  const double* tx = tgt.x.data();
+  const double* ty = tgt.y.data();
+  const double* tz = tgt.z.data();
+
+  const double mq = mp.mono_q;
+  const double dq[3] = {mp.dip_q.x, mp.dip_q.y, mp.dip_q.z};
+  const std::array<double, 6>& qq = mp.quad_q;
+
+  for (std::size_t t0 = 0; t0 < ntp; t0 += W) {
+    V d[3] = {V::load(tx + t0) - V::broadcast(mp.center.x),
+              V::load(ty + t0) - V::broadcast(mp.center.y),
+              V::load(tz + t0) - V::broadcast(mp.center.z)};
+    const V r2 = fma(d[2], d[2], fma(d[1], d[1], d[0] * d[0]));
+    const V inv_r = rsqrt_nr(r2);
+    const V inv_r2 = inv_r * inv_r;
+    const V inv_r3 = inv_r2 * inv_r;
+    const V inv_r5 = inv_r3 * inv_r2;
+    const V c_g = inv_r3;
+    const V c_h = V::broadcast(-3.0) * inv_r5;
+    const V c_h2 = V::broadcast(15.0) * (inv_r5 * inv_r2);
+
+    // phi = Q/r + D.d/r^3 + 1/2 quad_jk (3 d_j d_k - r^2 delta_jk)/r^5
+    V p = fma(V::broadcast(mq), inv_r,
+              fma(V::broadcast(dq[2]), d[2],
+                  fma(V::broadcast(dq[1]), d[1], V::broadcast(dq[0]) * d[0])) *
+                  inv_r3);
+    V quad_phi = V::zero();
+#pragma GCC unroll 3
+    for (int j = 0; j < 3; ++j)
+#pragma GCC unroll 3
+      for (int kk = 0; kk < 3; ++kk) {
+        const V m = V::broadcast(qq[tree::kSymIdx[j][kk]]);
+        V term = V::broadcast(3.0) * d[j] * d[kk] * inv_r5;
+        if (j == kk) term = term - inv_r3;
+        quad_phi = fma(m, term, quad_phi);
+      }
+    p = fma(V::broadcast(0.5), quad_phi, p);
+    (V::load(tgt.phi.data() + t0) + p).store(tgt.phi.data() + t0);
+
+    V kphi[3], kh[3][3], kt[18];
+#pragma GCC unroll 3
+    for (int i = 0; i < 3; ++i) kphi[i] = c_g * d[i];
+#pragma GCC unroll 3
+    for (int i = 0; i < 3; ++i)
+#pragma GCC unroll 3
+      for (int j = 0; j < 3; ++j) {
+        kh[i][j] = c_h * d[i] * d[j];
+        if (i == j) kh[i][j] = kh[i][j] + c_g;
+      }
+#pragma GCC unroll 3
+    for (int i = 0; i < 3; ++i)
+#pragma GCC unroll 3
+      for (int j = 0; j < 3; ++j)
+#pragma GCC unroll 3
+        for (int kk = j; kk < 3; ++kk) {
+          V v = c_h2 * d[i] * d[j] * d[kk];
+          if (i == j) v = fma(c_h, d[kk], v);
+          if (i == kk) v = fma(c_h, d[j], v);
+          if (j == kk) v = fma(c_h, d[i], v);
+          kt[i * 6 + tree::kSymIdx[j][kk]] = v;
+        }
+
+    // E_i = Q Phi_i - H_ij D_j + 1/2 T_ijk quad_jk
+    double* const ep[3] = {tgt.ex.data() + t0, tgt.ey.data() + t0,
+                           tgt.ez.data() + t0};
+#pragma GCC unroll 3
+    for (int i = 0; i < 3; ++i) {
+      V ei = V::broadcast(mq) * kphi[i];
+#pragma GCC unroll 3
+      for (int j = 0; j < 3; ++j)
+        ei = fnma(V::broadcast(dq[j]), kh[i][j], ei);
+      V quad_e = V::zero();
+#pragma GCC unroll 3
+      for (int j = 0; j < 3; ++j)
+#pragma GCC unroll 3
+        for (int kk = 0; kk < 3; ++kk)
+          quad_e = fma(V::broadcast(qq[tree::kSymIdx[j][kk]]),
+                       kt[i * 6 + tree::kSymIdx[j][kk]], quad_e);
+      (V::load(ep[i]) + fma(V::broadcast(0.5), quad_e, ei)).store(ep[i]);
+    }
+  }
+}
+
+}  // namespace stnb::simd::impl

@@ -1,0 +1,284 @@
+// Portable fixed-width SIMD wrapper: explicit vector types for the batched
+// kernel inner loops (kernels/accumulate_batch, tree/multipole batch
+// evaluators). Every type implements the same duck-typed contract
+//
+//   static V load(const double*);        unaligned load of W lanes
+//   static V broadcast(double);          all lanes = v
+//   static V zero();                     all lanes = 0.0
+//   static V iota(double first);         lanes = first, first+1, ...
+//   static V gather(const double*, const std::int32_t*);  base[idx[i]]
+//   void    store(double*) const;        unaligned store of W lanes
+//   V + V, V - V, V * V                  lanewise arithmetic
+//   fma(a, b, c)                         a*b + c (fused where the ISA has it)
+//   fnma(a, b, c)                        c - a*b (fused where the ISA has it)
+//   rsqrt_nr(x)                          ~1/sqrt(x), Newton-refined
+//   zero_where_eq(x, a, b)               lanes where a == b become 0.0
+//
+// so kernel bodies are written once as templates over the vector type
+// (src/simd/kernels_impl.hpp) and instantiated per backend TU.
+//
+// rsqrt_nr starts from the ISA's approximate reciprocal square root
+// (12-bit on SSE/AVX, 14-bit on AVX-512; a float-precision seed in the
+// generic type) and applies three Newton iterations
+//   y <- y * (1.5 - 0.5 * x * y * y),
+// which converges to within ~2 ulp of 1/sqrt(x) in double. Domain
+// contract: x must be 0 (the seed path yields inf/NaN, which the caller
+// masks with zero_where_eq) or inside the *float* normal range
+// [~1.2e-38, ~3.4e38] — the seed is computed through a float conversion,
+// so inputs outside it flush to inf/0. All kernel uses satisfy this:
+// the algebraic profiles evaluate rsqrt(rho^2 + 1) >= ... of 1, and
+// Coulomb distances are O(domain size).
+//
+// ODR note: the ISA-specific types are only *defined* when the matching
+// target macros are set, so a TU compiled with -mavx2 sees vec4d while
+// ordinary TUs do not. There is deliberately no `template vec<double,4>`
+// specialization per ISA — that would give one name two definitions
+// across TUs. The generic vec<double, W> below is scalar-backed
+// everywhere and serves as the portable reference implementation.
+//
+// This header is the only place in the tree allowed to use x86 vector
+// intrinsics (stnb-lint rule raw-simd); everything else goes through the
+// wrapper so the determinism story stays auditable in one file.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#endif
+
+namespace stnb::simd {
+
+/// Generic scalar-backed vector: the portable reference implementation of
+/// the wrapper contract, defined for any width. Also the fallback on
+/// targets without an ISA-specific type.
+template <typename T, int W>
+struct vec;
+
+template <int W>
+struct vec<double, W> {
+  static_assert(W > 0);
+  static constexpr int width = W;
+  double lane[W];
+
+  static vec load(const double* p) {
+    vec r;
+    for (int i = 0; i < W; ++i) r.lane[i] = p[i];
+    return r;
+  }
+  static vec broadcast(double v) {
+    vec r;
+    for (int i = 0; i < W; ++i) r.lane[i] = v;
+    return r;
+  }
+  static vec zero() { return broadcast(0.0); }
+  static vec iota(double first) {
+    vec r;
+    for (int i = 0; i < W; ++i) r.lane[i] = first + static_cast<double>(i);
+    return r;
+  }
+  static vec gather(const double* base, const std::int32_t* idx) {
+    vec r;
+    for (int i = 0; i < W; ++i) r.lane[i] = base[idx[i]];
+    return r;
+  }
+  void store(double* p) const {
+    for (int i = 0; i < W; ++i) p[i] = lane[i];
+  }
+
+  friend vec operator+(const vec& a, const vec& b) {
+    vec r;
+    for (int i = 0; i < W; ++i) r.lane[i] = a.lane[i] + b.lane[i];
+    return r;
+  }
+  friend vec operator-(const vec& a, const vec& b) {
+    vec r;
+    for (int i = 0; i < W; ++i) r.lane[i] = a.lane[i] - b.lane[i];
+    return r;
+  }
+  friend vec operator*(const vec& a, const vec& b) {
+    vec r;
+    for (int i = 0; i < W; ++i) r.lane[i] = a.lane[i] * b.lane[i];
+    return r;
+  }
+  friend vec fma(const vec& a, const vec& b, const vec& c) {
+    vec r;
+    for (int i = 0; i < W; ++i) r.lane[i] = a.lane[i] * b.lane[i] + c.lane[i];
+    return r;
+  }
+  friend vec fnma(const vec& a, const vec& b, const vec& c) {
+    vec r;
+    for (int i = 0; i < W; ++i) r.lane[i] = c.lane[i] - a.lane[i] * b.lane[i];
+    return r;
+  }
+  friend vec rsqrt_nr(const vec& x) {
+    vec r;
+    for (int i = 0; i < W; ++i) {
+      double y = static_cast<double>(
+          1.0f / std::sqrt(static_cast<float>(x.lane[i])));
+      for (int it = 0; it < 3; ++it)
+        y = y * (1.5 - 0.5 * x.lane[i] * y * y);
+      r.lane[i] = y;
+    }
+    return r;
+  }
+  friend vec zero_where_eq(const vec& x, const vec& a, const vec& b) {
+    vec r;
+    for (int i = 0; i < W; ++i)
+      r.lane[i] = a.lane[i] == b.lane[i] ? 0.0 : x.lane[i];
+    return r;
+  }
+};
+
+#if defined(__SSE2__)
+/// 2-wide SSE2 vector (baseline on x86-64, so visible in every TU there).
+struct vec2d {
+  static constexpr int width = 2;
+  __m128d v;
+
+  static vec2d load(const double* p) { return {_mm_loadu_pd(p)}; }
+  static vec2d broadcast(double x) { return {_mm_set1_pd(x)}; }
+  static vec2d zero() { return {_mm_setzero_pd()}; }
+  static vec2d iota(double first) {
+    return {_mm_add_pd(_mm_set1_pd(first), _mm_setr_pd(0.0, 1.0))};
+  }
+  static vec2d gather(const double* base, const std::int32_t* idx) {
+    return {_mm_setr_pd(base[idx[0]], base[idx[1]])};
+  }
+  void store(double* p) const { _mm_storeu_pd(p, v); }
+
+  friend vec2d operator+(vec2d a, vec2d b) { return {_mm_add_pd(a.v, b.v)}; }
+  friend vec2d operator-(vec2d a, vec2d b) { return {_mm_sub_pd(a.v, b.v)}; }
+  friend vec2d operator*(vec2d a, vec2d b) { return {_mm_mul_pd(a.v, b.v)}; }
+  // SSE2 has no fused multiply-add; mul+add matches the contract's value
+  // up to the usual one extra rounding.
+  friend vec2d fma(vec2d a, vec2d b, vec2d c) {
+    return {_mm_add_pd(_mm_mul_pd(a.v, b.v), c.v)};
+  }
+  friend vec2d fnma(vec2d a, vec2d b, vec2d c) {
+    return {_mm_sub_pd(c.v, _mm_mul_pd(a.v, b.v))};
+  }
+  friend vec2d rsqrt_nr(vec2d x) {
+    __m128d y = _mm_cvtps_pd(_mm_rsqrt_ps(_mm_cvtpd_ps(x.v)));
+    const __m128d half = _mm_set1_pd(0.5);
+    const __m128d three_half = _mm_set1_pd(1.5);
+    for (int it = 0; it < 3; ++it) {
+      const __m128d t = _mm_mul_pd(_mm_mul_pd(x.v, y), y);
+      y = _mm_mul_pd(y, _mm_sub_pd(three_half, _mm_mul_pd(half, t)));
+    }
+    return {y};
+  }
+  friend vec2d zero_where_eq(vec2d x, vec2d a, vec2d b) {
+    return {_mm_andnot_pd(_mm_cmpeq_pd(a.v, b.v), x.v)};
+  }
+};
+#endif  // __SSE2__
+
+#if defined(__AVX2__) && defined(__FMA__)
+/// 4-wide AVX2+FMA vector (only defined in TUs compiled with -mavx2 -mfma).
+struct vec4d {
+  static constexpr int width = 4;
+  __m256d v;
+
+  static vec4d load(const double* p) { return {_mm256_loadu_pd(p)}; }
+  static vec4d broadcast(double x) { return {_mm256_set1_pd(x)}; }
+  static vec4d zero() { return {_mm256_setzero_pd()}; }
+  static vec4d iota(double first) {
+    return {_mm256_add_pd(_mm256_set1_pd(first),
+                          _mm256_setr_pd(0.0, 1.0, 2.0, 3.0))};
+  }
+  static vec4d gather(const double* base, const std::int32_t* idx) {
+    return {_mm256_i32gather_pd(
+        base, _mm_loadu_si128(reinterpret_cast<const __m128i*>(idx)), 8)};
+  }
+  void store(double* p) const { _mm256_storeu_pd(p, v); }
+
+  friend vec4d operator+(vec4d a, vec4d b) {
+    return {_mm256_add_pd(a.v, b.v)};
+  }
+  friend vec4d operator-(vec4d a, vec4d b) {
+    return {_mm256_sub_pd(a.v, b.v)};
+  }
+  friend vec4d operator*(vec4d a, vec4d b) {
+    return {_mm256_mul_pd(a.v, b.v)};
+  }
+  friend vec4d fma(vec4d a, vec4d b, vec4d c) {
+    return {_mm256_fmadd_pd(a.v, b.v, c.v)};
+  }
+  friend vec4d fnma(vec4d a, vec4d b, vec4d c) {
+    return {_mm256_fnmadd_pd(a.v, b.v, c.v)};
+  }
+  friend vec4d rsqrt_nr(vec4d x) {
+    __m256d y = _mm256_cvtps_pd(_mm_rsqrt_ps(_mm256_cvtpd_ps(x.v)));
+    const __m256d half = _mm256_set1_pd(0.5);
+    const __m256d three_half = _mm256_set1_pd(1.5);
+    for (int it = 0; it < 3; ++it) {
+      const __m256d t = _mm256_mul_pd(_mm256_mul_pd(x.v, y), y);
+      y = _mm256_mul_pd(y, _mm256_fnmadd_pd(half, t, three_half));
+    }
+    return {y};
+  }
+  friend vec4d zero_where_eq(vec4d x, vec4d a, vec4d b) {
+    return {_mm256_andnot_pd(_mm256_cmp_pd(a.v, b.v, _CMP_EQ_OQ), x.v)};
+  }
+};
+#endif  // __AVX2__ && __FMA__
+
+#if defined(__AVX512F__)
+/// 8-wide AVX-512 vector (only defined in TUs compiled with -mavx512f).
+struct vec8d {
+  static constexpr int width = 8;
+  __m512d v;
+
+  static vec8d load(const double* p) { return {_mm512_loadu_pd(p)}; }
+  static vec8d broadcast(double x) { return {_mm512_set1_pd(x)}; }
+  static vec8d zero() { return {_mm512_setzero_pd()}; }
+  static vec8d iota(double first) {
+    return {_mm512_add_pd(
+        _mm512_set1_pd(first),
+        _mm512_setr_pd(0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0))};
+  }
+  static vec8d gather(const double* base, const std::int32_t* idx) {
+    return {_mm512_i32gather_pd(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(idx)), base, 8)};
+  }
+  void store(double* p) const { _mm512_storeu_pd(p, v); }
+
+  friend vec8d operator+(vec8d a, vec8d b) {
+    return {_mm512_add_pd(a.v, b.v)};
+  }
+  friend vec8d operator-(vec8d a, vec8d b) {
+    return {_mm512_sub_pd(a.v, b.v)};
+  }
+  friend vec8d operator*(vec8d a, vec8d b) {
+    return {_mm512_mul_pd(a.v, b.v)};
+  }
+  friend vec8d fma(vec8d a, vec8d b, vec8d c) {
+    return {_mm512_fmadd_pd(a.v, b.v, c.v)};
+  }
+  friend vec8d fnma(vec8d a, vec8d b, vec8d c) {
+    return {_mm512_fnmadd_pd(a.v, b.v, c.v)};
+  }
+  friend vec8d rsqrt_nr(vec8d x) {
+    // rsqrt14 is a native double-precision 14-bit seed; three Newton
+    // iterations still cost little and keep the accuracy contract uniform
+    // across backends.
+    __m512d y = _mm512_rsqrt14_pd(x.v);
+    const __m512d half = _mm512_set1_pd(0.5);
+    const __m512d three_half = _mm512_set1_pd(1.5);
+    for (int it = 0; it < 3; ++it) {
+      const __m512d t = _mm512_mul_pd(_mm512_mul_pd(x.v, y), y);
+      y = _mm512_mul_pd(y, _mm512_fnmadd_pd(half, t, three_half));
+    }
+    return {y};
+  }
+  friend vec8d zero_where_eq(vec8d x, vec8d a, vec8d b) {
+    const __mmask8 eq = _mm512_cmp_pd_mask(a.v, b.v, _CMP_EQ_OQ);
+    return {_mm512_maskz_mov_pd(static_cast<__mmask8>(~eq), x.v)};
+  }
+};
+#endif  // __AVX512F__
+
+}  // namespace stnb::simd

@@ -166,19 +166,23 @@ VortexField BlockedEvaluator::evaluate_vortex(
     const kernels::AlgebraicKernel& kernel, FarFieldMode mode,
     std::span<const Multipole> import_mp,
     std::span<const TreeParticle> import_p) const {
-  const auto& ps = tree_.particles();
-  const auto& nodes = tree_.nodes();
-  const std::size_t n = ps.size();
-  VortexField out;
-  out.u.assign(n, Vec3{});
-  out.grad.assign(n, Mat3{});
-  if (mode == FarFieldMode::kSeparate) {
-    out.far_u.assign(n, Vec3{});
-    out.far_grad.assign(n, Mat3{});
-  }
-  if (n == 0) return out;
+  return finish_vortex(kernel, begin_vortex(kernel, mode), import_mp,
+                       import_p);
+}
 
-  const ImportSoA imp(import_p, ps);
+VortexPartial BlockedEvaluator::begin_vortex(
+    const kernels::AlgebraicKernel& kernel, FarFieldMode mode) const {
+  const std::size_t n = tree_.particles().size();
+  const auto& nodes = tree_.nodes();
+  VortexPartial partial;
+  partial.mode = mode;
+  partial.near_u.assign(n, Vec3{});
+  partial.near_grad.assign(n, Mat3{});
+  partial.far_u.assign(n, Vec3{});
+  partial.far_grad.assign(n, Mat3{});
+  partial.group_far.assign(groups_.size(), 0);
+  if (n == 0) return partial;
+
   std::atomic<std::uint64_t> near{0}, far{0};
 
   auto body = [&](std::size_t gi) {
@@ -214,21 +218,10 @@ VortexField BlockedEvaluator::evaluate_vortex(
                  range_overlap(r.first, r.first + r.count, g.first,
                                g.first + nt);
     }
-    my_near += run_import_batches(
-        imp, g.first, nt,
-        [&](std::size_t first, std::size_t count, std::int64_t self_shift) {
-          kernel.accumulate_batch(imp.x.data() + first, imp.y.data() + first,
-                                  imp.z.data() + first, imp.ax.data() + first,
-                                  imp.ay.data() + first, imp.az.data() + first,
-                                  count, self_shift, batch);
-        });
 
-    // Far field, node-major into a separate SoA accumulator block: each
-    // target still sums its far nodes in list order and receives the far
-    // subtotal in one add, so kCombined / kSeparate+kSkip compose exactly
-    // as the per-target loop did.
+    // Local far field, node-major into a separate SoA accumulator block.
     const std::size_t n_far =
-        mode == FarFieldMode::kSkip ? 0 : il.far.size() + import_mp.size();
+        mode == FarFieldMode::kSkip ? 0 : il.far.size();
     kernels::VortexBatch& far_batch = ws->far_batch;
     if (n_far > 0) {
       far_batch.resize(static_cast<std::size_t>(nt));
@@ -238,6 +231,107 @@ VortexField BlockedEvaluator::evaluate_vortex(
       far_batch.zero();
       for (const std::int32_t node_idx : il.far)
         nodes[node_idx].mp.evaluate_biot_savart_batch(far_batch, &kernel);
+    }
+
+    // Snapshot the accumulators (lossless double copies; finish_vortex
+    // reloads them and continues accumulating in the same order).
+    for (std::int32_t t = 0; t < nt; ++t) {
+      const std::int32_t idx = g.first + t;
+      partial.near_u[idx] = {batch.ux[t], batch.uy[t], batch.uz[t]};
+      for (int c = 0; c < 9; ++c) partial.near_grad[idx].m[c] = batch.j[c][t];
+      if (n_far > 0) {
+        partial.far_u[idx] = {far_batch.ux[t], far_batch.uy[t],
+                              far_batch.uz[t]};
+        for (int c = 0; c < 9; ++c)
+          partial.far_grad[idx].m[c] = far_batch.j[c][t];
+      }
+    }
+    partial.group_far[gi] = static_cast<std::int32_t>(n_far);
+    near.fetch_add(my_near, std::memory_order_relaxed);
+    far.fetch_add(static_cast<std::uint64_t>(n_far) * nt,
+                  std::memory_order_relaxed);
+  };
+
+  if (config_.pool != nullptr) {
+    config_.pool->parallel_for(0, groups_.size(), body);
+  } else {
+    for (std::size_t gi = 0; gi < groups_.size(); ++gi) body(gi);
+  }
+  partial.near = near.load();
+  partial.far = far.load();
+  return partial;
+}
+
+VortexField BlockedEvaluator::finish_vortex(
+    const kernels::AlgebraicKernel& kernel, VortexPartial partial,
+    std::span<const Multipole> import_mp,
+    std::span<const TreeParticle> import_p) const {
+  const auto& ps = tree_.particles();
+  const std::size_t n = ps.size();
+  const FarFieldMode mode = partial.mode;
+  VortexField out;
+  out.u.assign(n, Vec3{});
+  out.grad.assign(n, Mat3{});
+  if (mode == FarFieldMode::kSeparate) {
+    out.far_u.assign(n, Vec3{});
+    out.far_grad.assign(n, Mat3{});
+  }
+  if (n == 0) return out;
+
+  const ImportSoA imp(import_p, ps);
+  std::atomic<std::uint64_t> near{0}, far{0};
+
+  auto body = [&](std::size_t gi) {
+    const LeafGroup& g = groups_[gi];
+    const std::int32_t nt = g.count;
+    auto ws = vortex_ws_.acquire();
+    kernels::VortexBatch& batch = ws->batch;
+    batch.resize(static_cast<std::size_t>(nt));
+    std::copy_n(sx_.data() + g.first, nt, batch.x.data());
+    std::copy_n(sy_.data() + g.first, nt, batch.y.data());
+    std::copy_n(sz_.data() + g.first, nt, batch.z.data());
+    batch.zero();
+    // Reload the local near-field accumulators and continue with the
+    // imports on top: the same accumulation order as the one-shot path.
+    for (std::int32_t t = 0; t < nt; ++t) {
+      const std::int32_t idx = g.first + t;
+      batch.ux[t] = partial.near_u[idx].x;
+      batch.uy[t] = partial.near_u[idx].y;
+      batch.uz[t] = partial.near_u[idx].z;
+      for (int c = 0; c < 9; ++c) batch.j[c][t] = partial.near_grad[idx].m[c];
+    }
+
+    std::uint64_t my_near = run_import_batches(
+        imp, g.first, nt,
+        [&](std::size_t first, std::size_t count, std::int64_t self_shift) {
+          kernel.accumulate_batch(imp.x.data() + first, imp.y.data() + first,
+                                  imp.z.data() + first, imp.ax.data() + first,
+                                  imp.ay.data() + first, imp.az.data() + first,
+                                  count, self_shift, batch);
+        });
+
+    // Far field: local node subtotals (already accumulated by
+    // begin_vortex) plus the imported multipoles, in that order.
+    const std::size_t n_far =
+        mode == FarFieldMode::kSkip
+            ? 0
+            : static_cast<std::size_t>(partial.group_far[gi]) +
+                  import_mp.size();
+    kernels::VortexBatch& far_batch = ws->far_batch;
+    if (n_far > 0) {
+      far_batch.resize(static_cast<std::size_t>(nt));
+      std::copy_n(sx_.data() + g.first, nt, far_batch.x.data());
+      std::copy_n(sy_.data() + g.first, nt, far_batch.y.data());
+      std::copy_n(sz_.data() + g.first, nt, far_batch.z.data());
+      far_batch.zero();
+      for (std::int32_t t = 0; t < nt; ++t) {
+        const std::int32_t idx = g.first + t;
+        far_batch.ux[t] = partial.far_u[idx].x;
+        far_batch.uy[t] = partial.far_u[idx].y;
+        far_batch.uz[t] = partial.far_u[idx].z;
+        for (int c = 0; c < 9; ++c)
+          far_batch.j[c][t] = partial.far_grad[idx].m[c];
+      }
       for (const Multipole& mp : import_mp)
         mp.evaluate_biot_savart_batch(far_batch, &kernel);
     }
@@ -264,8 +358,9 @@ VortexField BlockedEvaluator::evaluate_vortex(
       out.grad[idx] = grad;
     }
     near.fetch_add(my_near, std::memory_order_relaxed);
-    far.fetch_add(static_cast<std::uint64_t>(n_far) * nt,
-                  std::memory_order_relaxed);
+    if (mode != FarFieldMode::kSkip)
+      far.fetch_add(static_cast<std::uint64_t>(import_mp.size()) * nt,
+                    std::memory_order_relaxed);
   };
 
   if (config_.pool != nullptr) {
@@ -273,23 +368,29 @@ VortexField BlockedEvaluator::evaluate_vortex(
   } else {
     for (std::size_t gi = 0; gi < groups_.size(); ++gi) body(gi);
   }
-  out.near = near.load();
-  out.far = far.load();
+  out.near = partial.near + near.load();
+  out.far = partial.far + far.load();
   return out;
 }
 
 CoulombField BlockedEvaluator::evaluate_coulomb(
     const kernels::CoulombKernel& kernel, std::span<const Multipole> import_mp,
     std::span<const TreeParticle> import_p) const {
-  const auto& ps = tree_.particles();
-  const auto& nodes = tree_.nodes();
-  const std::size_t n = ps.size();
-  CoulombField out;
-  out.phi.assign(n, 0.0);
-  out.e.assign(n, Vec3{});
-  if (n == 0) return out;
+  return finish_coulomb(kernel, begin_coulomb(kernel), import_mp, import_p);
+}
 
-  const ImportSoA imp(import_p, ps);
+CoulombPartial BlockedEvaluator::begin_coulomb(
+    const kernels::CoulombKernel& kernel) const {
+  const std::size_t n = tree_.particles().size();
+  const auto& nodes = tree_.nodes();
+  CoulombPartial partial;
+  partial.phi.assign(n, 0.0);
+  partial.e.assign(n, Vec3{});
+  partial.far_phi.assign(n, 0.0);
+  partial.far_e.assign(n, Vec3{});
+  partial.group_far.assign(groups_.size(), 0);
+  if (n == 0) return partial;
+
   std::atomic<std::uint64_t> near{0}, far{0};
 
   auto body = [&](std::size_t gi) {
@@ -318,15 +419,8 @@ CoulombField BlockedEvaluator::evaluate_coulomb(
                  range_overlap(r.first, r.first + r.count, g.first,
                                g.first + nt);
     }
-    my_near += run_import_batches(
-        imp, g.first, nt,
-        [&](std::size_t first, std::size_t count, std::int64_t self_shift) {
-          kernel.accumulate_batch(imp.x.data() + first, imp.y.data() + first,
-                                  imp.z.data() + first, imp.q.data() + first,
-                                  count, self_shift, batch);
-        });
 
-    const std::size_t n_far = il.far.size() + import_mp.size();
+    const std::size_t n_far = il.far.size();
     kernels::CoulombBatch& far_batch = ws->far_batch;
     if (n_far > 0) {
       far_batch.resize(static_cast<std::size_t>(nt));
@@ -336,6 +430,89 @@ CoulombField BlockedEvaluator::evaluate_coulomb(
       far_batch.zero();
       for (const std::int32_t node_idx : il.far)
         nodes[node_idx].mp.evaluate_coulomb_batch(far_batch);
+    }
+    for (std::int32_t t = 0; t < nt; ++t) {
+      const std::int32_t idx = g.first + t;
+      partial.phi[idx] = batch.phi[t];
+      partial.e[idx] = {batch.ex[t], batch.ey[t], batch.ez[t]};
+      if (n_far > 0) {
+        partial.far_phi[idx] = far_batch.phi[t];
+        partial.far_e[idx] = {far_batch.ex[t], far_batch.ey[t],
+                              far_batch.ez[t]};
+      }
+    }
+    partial.group_far[gi] = static_cast<std::int32_t>(n_far);
+    near.fetch_add(my_near, std::memory_order_relaxed);
+    far.fetch_add(static_cast<std::uint64_t>(n_far) * nt,
+                  std::memory_order_relaxed);
+  };
+
+  if (config_.pool != nullptr) {
+    config_.pool->parallel_for(0, groups_.size(), body);
+  } else {
+    for (std::size_t gi = 0; gi < groups_.size(); ++gi) body(gi);
+  }
+  partial.near = near.load();
+  partial.far = far.load();
+  return partial;
+}
+
+CoulombField BlockedEvaluator::finish_coulomb(
+    const kernels::CoulombKernel& kernel, CoulombPartial partial,
+    std::span<const Multipole> import_mp,
+    std::span<const TreeParticle> import_p) const {
+  const auto& ps = tree_.particles();
+  const std::size_t n = ps.size();
+  CoulombField out;
+  out.phi.assign(n, 0.0);
+  out.e.assign(n, Vec3{});
+  if (n == 0) return out;
+
+  const ImportSoA imp(import_p, ps);
+  std::atomic<std::uint64_t> near{0}, far{0};
+
+  auto body = [&](std::size_t gi) {
+    const LeafGroup& g = groups_[gi];
+    const std::int32_t nt = g.count;
+    auto ws = coulomb_ws_.acquire();
+    kernels::CoulombBatch& batch = ws->batch;
+    batch.resize(static_cast<std::size_t>(nt));
+    std::copy_n(sx_.data() + g.first, nt, batch.x.data());
+    std::copy_n(sy_.data() + g.first, nt, batch.y.data());
+    std::copy_n(sz_.data() + g.first, nt, batch.z.data());
+    batch.zero();
+    for (std::int32_t t = 0; t < nt; ++t) {
+      const std::int32_t idx = g.first + t;
+      batch.phi[t] = partial.phi[idx];
+      batch.ex[t] = partial.e[idx].x;
+      batch.ey[t] = partial.e[idx].y;
+      batch.ez[t] = partial.e[idx].z;
+    }
+
+    std::uint64_t my_near = run_import_batches(
+        imp, g.first, nt,
+        [&](std::size_t first, std::size_t count, std::int64_t self_shift) {
+          kernel.accumulate_batch(imp.x.data() + first, imp.y.data() + first,
+                                  imp.z.data() + first, imp.q.data() + first,
+                                  count, self_shift, batch);
+        });
+
+    const std::size_t n_far =
+        static_cast<std::size_t>(partial.group_far[gi]) + import_mp.size();
+    kernels::CoulombBatch& far_batch = ws->far_batch;
+    if (n_far > 0) {
+      far_batch.resize(static_cast<std::size_t>(nt));
+      std::copy_n(sx_.data() + g.first, nt, far_batch.x.data());
+      std::copy_n(sy_.data() + g.first, nt, far_batch.y.data());
+      std::copy_n(sz_.data() + g.first, nt, far_batch.z.data());
+      far_batch.zero();
+      for (std::int32_t t = 0; t < nt; ++t) {
+        const std::int32_t idx = g.first + t;
+        far_batch.phi[t] = partial.far_phi[idx];
+        far_batch.ex[t] = partial.far_e[idx].x;
+        far_batch.ey[t] = partial.far_e[idx].y;
+        far_batch.ez[t] = partial.far_e[idx].z;
+      }
       for (const Multipole& mp : import_mp) mp.evaluate_coulomb_batch(far_batch);
     }
     for (std::int32_t t = 0; t < nt; ++t) {
@@ -350,7 +527,7 @@ CoulombField BlockedEvaluator::evaluate_coulomb(
       out.e[idx] = e;
     }
     near.fetch_add(my_near, std::memory_order_relaxed);
-    far.fetch_add(static_cast<std::uint64_t>(n_far) * nt,
+    far.fetch_add(static_cast<std::uint64_t>(import_mp.size()) * nt,
                   std::memory_order_relaxed);
   };
 
@@ -359,8 +536,8 @@ CoulombField BlockedEvaluator::evaluate_coulomb(
   } else {
     for (std::size_t gi = 0; gi < groups_.size(); ++gi) body(gi);
   }
-  out.near = near.load();
-  out.far = far.load();
+  out.near = partial.near + near.load();
+  out.far = partial.far + far.load();
   return out;
 }
 

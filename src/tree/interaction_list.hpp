@@ -90,6 +90,37 @@ struct CoulombField {
   std::uint64_t far = 0;
 };
 
+/// Snapshot of a half-finished evaluation: the *local* contributions
+/// (near-field source ranges + local far nodes) accumulated per sorted
+/// particle, with the import work still outstanding. Produced by
+/// BlockedEvaluator::begin_*, consumed by finish_*. The split exists so a
+/// distributed caller (tree/parallel) can evaluate the local tree while
+/// the LET import data is still in flight and apply the imports when they
+/// arrive; the composition finish(begin()) is bit-identical to the
+/// one-shot evaluate_* because the accumulators are stored and reloaded
+/// losslessly and the accumulation order is unchanged (local near, then
+/// import near; local far nodes, then import multipoles).
+struct VortexPartial {
+  FarFieldMode mode = FarFieldMode::kCombined;
+  std::vector<Vec3> near_u;    // near-field batch accumulators
+  std::vector<Mat3> near_grad;
+  std::vector<Vec3> far_u;     // far-field batch accumulators
+  std::vector<Mat3> far_grad;
+  std::vector<std::int32_t> group_far;  // local far nodes per leaf group
+  std::uint64_t near = 0;  // local particle-particle evaluations
+  std::uint64_t far = 0;   // local particle-multipole evaluations
+};
+
+struct CoulombPartial {
+  std::vector<double> phi;
+  std::vector<Vec3> e;
+  std::vector<double> far_phi;
+  std::vector<Vec3> far_e;
+  std::vector<std::int32_t> group_far;
+  std::uint64_t near = 0;
+  std::uint64_t far = 0;
+};
+
 /// Evaluates all tree particles as targets, one blocked traversal per leaf
 /// group. Holds an SoA mirror of the sorted particle array so near-field
 /// source ranges are addressed in place (no per-call gather of sources).
@@ -124,6 +155,24 @@ class BlockedEvaluator {
   CoulombField evaluate_coulomb(const kernels::CoulombKernel& kernel,
                                 std::span<const Multipole> import_mp = {},
                                 std::span<const TreeParticle> import_p = {}) const;
+
+  /// Two-phase evaluation for communication overlap: begin_* runs the
+  /// interaction-list walks plus all *local* work (near source ranges,
+  /// local far nodes) and snapshots the accumulators; finish_* applies
+  /// the imports (no tree walk needed) and produces the final field.
+  /// `evaluate_*` is exactly `finish_*(kernel, begin_*(kernel), ...)`, and
+  /// the two-phase path is bit-identical to the one-shot path.
+  VortexPartial begin_vortex(const kernels::AlgebraicKernel& kernel,
+                             FarFieldMode mode = FarFieldMode::kCombined) const;
+  VortexField finish_vortex(const kernels::AlgebraicKernel& kernel,
+                            VortexPartial partial,
+                            std::span<const Multipole> import_mp = {},
+                            std::span<const TreeParticle> import_p = {}) const;
+  CoulombPartial begin_coulomb(const kernels::CoulombKernel& kernel) const;
+  CoulombField finish_coulomb(const kernels::CoulombKernel& kernel,
+                              CoulombPartial partial,
+                              std::span<const Multipole> import_mp = {},
+                              std::span<const TreeParticle> import_p = {}) const;
 
  private:
   // Per-work-item scratch. Pool-owned (not thread_local) so a leaf-group

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <numbers>
 
+#include "simd/dispatch.hpp"
+
 namespace stnb::tree {
 
 namespace {
@@ -301,6 +303,10 @@ void Multipole::evaluate_biot_savart(
 }
 
 void Multipole::evaluate_coulomb_batch(kernels::CoulombBatch& tgt) const {
+  simd::active_table().coulomb_far(*this, tgt);
+}
+
+void Multipole::evaluate_coulomb_batch_scalar(kernels::CoulombBatch& tgt) const {
   const std::size_t nt = tgt.size();
   const double* __restrict tx = tgt.x.data();
   const double* __restrict ty = tgt.y.data();
@@ -378,6 +384,11 @@ void Multipole::evaluate_coulomb_batch(kernels::CoulombBatch& tgt) const {
 }
 
 void Multipole::evaluate_biot_savart_batch(
+    kernels::VortexBatch& tgt, const kernels::AlgebraicKernel* kernel) const {
+  simd::active_table().vortex_far(*this, kernel, tgt);
+}
+
+void Multipole::evaluate_biot_savart_batch_scalar(
     kernels::VortexBatch& tgt, const kernels::AlgebraicKernel* kernel) const {
   using kernels::AlgebraicOrder;
   if (kernel == nullptr) {

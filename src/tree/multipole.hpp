@@ -77,14 +77,20 @@ struct Multipole {
 
   /// Batched far-field evaluation against an SoA target block: one node
   /// against every target position in `tgt`, accumulating into the
-  /// block's accumulators (potential/field resp. velocity/gradient). The
-  /// kernel-order dispatch happens once per call, so the per-target loop
-  /// is branch-free and auto-vectorizes — the far-field counterpart of
-  /// the kernels' accumulate_batch. Used by tree/interaction_list; the
-  /// per-target overloads above remain the reference implementation.
+  /// block's accumulators (potential/field resp. velocity/gradient).
+  /// Routes through the runtime-dispatched SIMD backend (simd/dispatch);
+  /// the `_scalar` variants are the legacy auto-vectorized loops, which
+  /// the scalar backend uses and which stay bit-identical to the
+  /// per-target overloads above. The kernel-order dispatch happens once
+  /// per call, so the per-target loop is branch-free — the far-field
+  /// counterpart of the kernels' accumulate_batch. Used by
+  /// tree/interaction_list.
   void evaluate_coulomb_batch(kernels::CoulombBatch& tgt) const;
   void evaluate_biot_savart_batch(kernels::VortexBatch& tgt,
                                   const kernels::AlgebraicKernel* kernel) const;
+  void evaluate_coulomb_batch_scalar(kernels::CoulombBatch& tgt) const;
+  void evaluate_biot_savart_batch_scalar(
+      kernels::VortexBatch& tgt, const kernels::AlgebraicKernel* kernel) const;
 };
 
 /// Weighted centroid of a particle set (used to pick expansion centers).

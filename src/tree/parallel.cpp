@@ -36,6 +36,11 @@ struct RankBox {
   Vec3 lo, hi;
 };
 
+// LET payload tags (one per payload kind; sources are distinguished by the
+// sender rank, so a fixed tag pair suffices).
+constexpr int kTagLetMp = 41000;
+constexpr int kTagLetP = 41001;
+
 double min_distance_to_box(const Vec3& x, const RankBox& box) {
   double d2 = 0.0;
   for (int c = 0; c < 3; ++c) {
@@ -77,6 +82,14 @@ struct ParallelTree::Exchanged {
   // global id), where the result must be sent back to.
   std::unordered_map<std::uint32_t, std::pair<std::int32_t, std::int32_t>>
       route;
+  // Posted-but-unreceived LET state: expected element counts per source
+  // rank (from the counts allgather; zero-count sources post no message).
+  // The payloads themselves are in flight until receive_let drains them —
+  // the caller evaluates local work in between (near/far-communication
+  // overlap). let_span stays open from post to drain so traces show the
+  // traversal span overlapping it.
+  std::vector<std::size_t> let_mp_counts, let_p_counts;
+  obs::Span let_span;
 };
 
 ParallelTree::ParallelTree(mpsim::Comm space_comm, ParallelConfig config)
@@ -211,8 +224,12 @@ ParallelTree::Exchanged ParallelTree::exchange(
   branch_span.end();
   scope.add("tree.branches", timings.branch_count);
 
-  // ---- phase 5: locally-essential-tree exchange ---------------------------
-  obs::Span let_span = scope.span("tree.let_exchange");
+  // ---- phase 5: locally-essential-tree exchange, post half ----------------
+  // The LET walk and the sends happen here; the matching receives are
+  // deferred to receive_let so the caller can evaluate the local tree
+  // while the payloads are in flight (near/far-communication overlap).
+  ex.let_span = scope.span("tree.let_exchange");
+  obs::Span post_span = scope.span("tree.let_post");
   const double t3 = comm_.clock().now();
   std::vector<RankBox> boxes(p_ranks);
   {
@@ -251,22 +268,57 @@ ParallelTree::Exchanged ParallelTree::exchange(
     }
     comm_.compute(static_cast<double>(timings.let_sent) * cost.t_tree_node);
 
-    // Ship multipoles and particles in two alltoallv rounds.
-    std::vector<std::vector<std::byte>> mp_payloads(p_ranks),
-        p_payloads(p_ranks);
+    // Counts allgather: every rank learns which sources will post a
+    // payload (empty ones don't, so the drain loop must not wait on them).
+    std::vector<std::uint64_t> my_counts(2 * p_ranks, 0);
     for (int r = 0; r < p_ranks; ++r) {
-      mp_payloads[r] = pack(mp_for[r]);
-      p_payloads[r] = pack(p_for[r]);
+      my_counts[2 * r] = mp_for[r].size();
+      my_counts[2 * r + 1] = p_for[r].size();
     }
-    for (const auto& payload : comm_.alltoallv_bytes(mp_payloads))
-      unpack_into(payload, ex.import_mp);
-    for (const auto& payload : comm_.alltoallv_bytes(p_payloads))
-      unpack_into(payload, ex.import_p);
+    const auto all_counts = comm_.allgatherv(my_counts);
+    ex.let_mp_counts.assign(p_ranks, 0);
+    ex.let_p_counts.assign(p_ranks, 0);
+    for (int src = 0; src < p_ranks; ++src) {
+      ex.let_mp_counts[src] = all_counts[2 * p_ranks * src + 2 * rank];
+      ex.let_p_counts[src] = all_counts[2 * p_ranks * src + 2 * rank + 1];
+    }
+
+    // Post the non-empty payloads point-to-point and return without
+    // waiting; they ride the network while the caller computes.
+    for (int r = 0; r < p_ranks; ++r) {
+      if (r == rank) continue;
+      if (!mp_for[r].empty()) comm_.send(r, kTagLetMp, mp_for[r]);
+      if (!p_for[r].empty()) comm_.send(r, kTagLetP, p_for[r]);
+    }
   }
-  timings.let_exchange = comm_.clock().now() - t3;
-  let_span.end();
+  timings.let_exchange += comm_.clock().now() - t3;
+  post_span.end();
   scope.add("tree.let.sent", timings.let_sent);
   return ex;
+}
+
+void ParallelTree::receive_let(Exchanged& ex, SolveTimings& timings) {
+  const obs::Scope scope = comm_.obs_scope();
+  obs::Span wait_span = scope.span("tree.let_wait");
+  const double t0 = comm_.clock().now();
+  // Drain ascending by source rank: deterministic import order, so the
+  // overlapped path accumulates imports in exactly the order the old
+  // alltoallv produced.
+  for (int src = 0; src < comm_.size(); ++src) {
+    if (src < static_cast<int>(ex.let_mp_counts.size()) &&
+        ex.let_mp_counts[src] > 0) {
+      const auto v = comm_.recv<Multipole>(src, kTagLetMp);
+      ex.import_mp.insert(ex.import_mp.end(), v.begin(), v.end());
+    }
+    if (src < static_cast<int>(ex.let_p_counts.size()) &&
+        ex.let_p_counts[src] > 0) {
+      const auto v = comm_.recv<TreeParticle>(src, kTagLetP);
+      ex.import_p.insert(ex.import_p.end(), v.begin(), v.end());
+    }
+  }
+  timings.let_exchange += comm_.clock().now() - t0;
+  wait_span.end();
+  ex.let_span.end();
 }
 
 VortexForces ParallelTree::solve_vortex(
@@ -277,20 +329,34 @@ VortexForces ParallelTree::solve_vortex(
   const auto& cost = comm_.cost();
   const int p_ranks = comm_.size();
 
-  // ---- traversal -----------------------------------------------------------
+  // ---- traversal, overlapped with the LET exchange -------------------------
   // Cell-blocked engine: one MAC walk per Morton-contiguous leaf group
   // (against the group's bounding box), batched SoA evaluation of the
-  // interaction lists. Covers the local tree and the imported LET data in
-  // the same pass; groups are the thread-pool work items.
+  // interaction lists. The local half (near source ranges + local far
+  // nodes) runs while the LET payloads posted by exchange() are still in
+  // flight; the imports are applied after the drain. The traversal span
+  // therefore overlaps the still-open tree.let_exchange span in traces.
   const obs::Scope scope = comm_.obs_scope();
   obs::Span traversal_span = scope.span("tree.traversal");
   const double t4 = comm_.clock().now();
   const auto& targets = ex.tree->particles();
   const BlockedEvaluator evaluator(
       *ex.tree, {config_.theta, config_.group_size, config_.pool});
-  const VortexField field = evaluator.evaluate_vortex(
-      kernel, FarFieldMode::kCombined, std::span(ex.import_mp),
-      std::span(ex.import_p));
+  VortexPartial partial =
+      evaluator.begin_vortex(kernel, FarFieldMode::kCombined);
+  comm_.compute((partial.near * cost.t_near_batched +
+                 partial.far * cost.t_far_batched) /
+                std::max(1, config_.model_threads));
+  const double t5 = comm_.clock().now();
+  out.timings.traversal += t5 - t4;
+
+  receive_let(ex, out.timings);
+
+  const double t6 = comm_.clock().now();
+  const std::uint64_t local_near = partial.near, local_far = partial.far;
+  const VortexField field =
+      evaluator.finish_vortex(kernel, std::move(partial),
+                              std::span(ex.import_mp), std::span(ex.import_p));
   std::vector<VortexWire> results(targets.size());
   for (std::size_t i = 0; i < targets.size(); ++i)
     results[i] = {static_cast<std::int32_t>(0), field.u[i], field.grad[i]};
@@ -298,10 +364,10 @@ VortexForces ParallelTree::solve_vortex(
   out.timings.far = field.far;
   scope.add("tree.eval.near", out.timings.near);
   scope.add("tree.eval.far", out.timings.far);
-  comm_.compute((field.near * cost.t_near_batched +
-                 field.far * cost.t_far_batched) /
+  comm_.compute(((field.near - local_near) * cost.t_near_batched +
+                 (field.far - local_far) * cost.t_far_batched) /
                 std::max(1, config_.model_threads));
-  out.timings.traversal = comm_.clock().now() - t4;
+  out.timings.traversal += comm_.clock().now() - t6;
   traversal_span.end();
 
   // ---- route results back to the callers' layout ---------------------------
@@ -334,14 +400,27 @@ CoulombForces ParallelTree::solve_coulomb(
   const auto& cost = comm_.cost();
   const int p_ranks = comm_.size();
 
+  // Same overlapped structure as solve_vortex: local half, drain, imports.
   const obs::Scope scope = comm_.obs_scope();
   obs::Span traversal_span = scope.span("tree.traversal");
   const double t4 = comm_.clock().now();
   const auto& targets = ex.tree->particles();
   const BlockedEvaluator evaluator(
       *ex.tree, {config_.theta, config_.group_size, config_.pool});
-  const CoulombField field = evaluator.evaluate_coulomb(
-      kernel, std::span(ex.import_mp), std::span(ex.import_p));
+  CoulombPartial partial = evaluator.begin_coulomb(kernel);
+  comm_.compute((partial.near * cost.t_near_batched +
+                 partial.far * cost.t_far_batched) /
+                std::max(1, config_.model_threads));
+  const double t5 = comm_.clock().now();
+  out.timings.traversal += t5 - t4;
+
+  receive_let(ex, out.timings);
+
+  const double t6 = comm_.clock().now();
+  const std::uint64_t local_near = partial.near, local_far = partial.far;
+  const CoulombField field =
+      evaluator.finish_coulomb(kernel, std::move(partial),
+                               std::span(ex.import_mp), std::span(ex.import_p));
   std::vector<CoulombWire> results(targets.size());
   for (std::size_t i = 0; i < targets.size(); ++i)
     results[i] = {0, field.phi[i], field.e[i]};
@@ -349,10 +428,10 @@ CoulombForces ParallelTree::solve_coulomb(
   out.timings.far = field.far;
   scope.add("tree.eval.near", out.timings.near);
   scope.add("tree.eval.far", out.timings.far);
-  comm_.compute((field.near * cost.t_near_batched +
-                 field.far * cost.t_far_batched) /
+  comm_.compute(((field.near - local_near) * cost.t_near_batched +
+                 (field.far - local_far) * cost.t_far_batched) /
                 std::max(1, config_.model_threads));
-  out.timings.traversal = comm_.clock().now() - t4;
+  out.timings.traversal += comm_.clock().now() - t6;
   traversal_span.end();
 
   std::vector<std::vector<CoulombWire>> back(p_ranks);

@@ -11,9 +11,15 @@
 //      tree against every remote rank's bounding box with the MAC and
 //      ships accepted multipoles / unresolved leaf particles (this
 //      replaces PEPC's asynchronous request-driven node fetching with a
-//      deterministic pre-exchange; see DESIGN.md substitutions)
-//   6. force evaluation: local MAC traversal + imported interaction lists,
-//      parallelized over the per-rank thread pool (PEPC's hybrid
+//      deterministic pre-exchange; see DESIGN.md substitutions). The
+//      payloads are *posted* point-to-point and drained later, so the
+//      transfer overlaps the local half of phase 6
+//   6. force evaluation, split for communication overlap: the local near
+//      and far field are evaluated while the LET payloads are in flight
+//      (BlockedEvaluator::begin_*), the payloads are then drained, and
+//      the imports applied on top (finish_*) — bit-identical to a
+//      synchronous exchange followed by a one-shot evaluation.
+//      Parallelized over the per-rank thread pool (PEPC's hybrid
 //      MPI/Pthreads layer)
 //   7. routing of results back to the callers' particle layout.
 //
@@ -93,10 +99,16 @@ class ParallelTree {
 
  private:
   struct Exchanged;
-  /// Phases 1-5, shared by both kernels. Returns the partitioned local
-  /// tree plus imported interaction lists and routing info.
+  /// Phases 1-5 (LET sends posted, not yet received), shared by both
+  /// kernels. Returns the partitioned local tree plus routing info; the
+  /// imported interaction lists arrive via receive_let.
   Exchanged exchange(const std::vector<TreeParticle>& local,
                      SolveTimings& timings);
+  /// Drains the LET payloads posted by exchange() into ex.import_mp /
+  /// ex.import_p (ascending source rank, so the import order matches the
+  /// old synchronous exchange). Called after the local evaluation half so
+  /// the transfers overlap compute.
+  void receive_let(Exchanged& ex, SolveTimings& timings);
 
   mpsim::Comm comm_;
   ParallelConfig config_;

@@ -1,0 +1,15 @@
+// Seeded violation: tree code reaching for raw x86 intrinsics. Vector
+// code lives in src/support/simd.hpp only (the vec<double, W> wrapper);
+// anywhere else it forks the kernel per ISA and escapes the scalar
+// bit-exactness reference the dispatch layer audits.
+#include <immintrin.h>
+
+namespace stnb::tree {
+
+double sum4(const double* p) {
+  __m256d v = _mm256_loadu_pd(p);
+  __m128d lo = _mm256_castpd256_pd128(v);
+  return _mm_cvtsd_f64(lo);
+}
+
+}  // namespace stnb::tree

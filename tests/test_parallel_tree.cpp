@@ -4,7 +4,10 @@
 // space-parallel RHS wrapper.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
+
+#include "obs/obs.hpp"
 
 #include "mpsim/comm.hpp"
 #include "support/rng.hpp"
@@ -144,6 +147,95 @@ TEST(ParallelTree, TimingsArePopulatedAndCausal) {
     EXPECT_GT(t.near + t.far, 0u);
     EXPECT_LE(t.total(), comm.clock().now() + 1e-12);
   });
+}
+
+TEST(ParallelTree, SolveIsDeterministicAcrossRuns) {
+  // The LET travels point-to-point and is drained in ascending source-rank
+  // order, so two identical runs must produce bitwise-identical forces and
+  // identical interaction tallies regardless of message arrival order.
+  const std::size_t n = 500;
+  double sigma;
+  const auto all = sheet_particles(n, &sigma);
+  const kernels::AlgebraicKernel kernel(kernels::AlgebraicOrder::k6, sigma);
+  const int p_ranks = 4;
+
+  auto run_once = [&](std::vector<Vec3>& u, std::uint64_t& near,
+                      std::uint64_t& far) {
+    u.assign(n, Vec3{});
+    std::atomic<std::uint64_t> near_sum{0}, far_sum{0};
+    mpsim::Runtime rt;
+    rt.run(p_ranks, [&](mpsim::Comm& comm) {
+      const std::size_t begin = n * comm.rank() / p_ranks;
+      const std::size_t end = n * (comm.rank() + 1) / p_ranks;
+      std::vector<TreeParticle> local(all.begin() + begin, all.begin() + end);
+      ParallelConfig config;
+      config.theta = 0.4;
+      ParallelTree solver(comm, config);
+      const auto forces = solver.solve_vortex(local, kernel);
+      for (std::size_t i = 0; i < local.size(); ++i) u[begin + i] = forces.u[i];
+      near_sum.fetch_add(forces.timings.near);
+      far_sum.fetch_add(forces.timings.far);
+    });
+    near = near_sum.load();
+    far = far_sum.load();
+  };
+
+  std::vector<Vec3> u1, u2;
+  std::uint64_t near1, far1, near2, far2;
+  run_once(u1, near1, far1);
+  run_once(u2, near2, far2);
+  EXPECT_EQ(near1, near2);
+  EXPECT_EQ(far1, far2);
+  EXPECT_GT(near1, 0u);
+  EXPECT_GT(far1, 0u);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(u1[i].x, u2[i].x) << i;
+    EXPECT_EQ(u1[i].y, u2[i].y) << i;
+    EXPECT_EQ(u1[i].z, u2[i].z) << i;
+  }
+}
+
+TEST(ParallelTree, TraversalOverlapsLetExchangeInTrace) {
+  // The point of the posted-LET restructure: every rank's traversal span
+  // must open while its tree.let_exchange span is still open (local near
+  // and far field evaluated with the payloads in flight), and the LET
+  // window must decompose into the post and wait sub-spans.
+  const std::size_t n = 500;
+  double sigma;
+  const auto all = sheet_particles(n, &sigma);
+  const kernels::AlgebraicKernel kernel(kernels::AlgebraicOrder::k6, sigma);
+  const int p_ranks = 4;
+
+  obs::Registry registry;
+  mpsim::Runtime rt;
+  rt.set_registry(&registry);
+  rt.run(p_ranks, [&](mpsim::Comm& comm) {
+    const std::size_t begin = n * comm.rank() / p_ranks;
+    const std::size_t end = n * (comm.rank() + 1) / p_ranks;
+    std::vector<TreeParticle> local(all.begin() + begin, all.begin() + end);
+    ParallelConfig config;
+    config.theta = 0.4;
+    ParallelTree solver(comm, config);
+    (void)solver.solve_vortex(local, kernel);
+  });
+
+  for (const int rank : registry.ranks()) {
+    EXPECT_EQ(registry.span_stat(rank, "tree.let_exchange").count, 1u);
+    EXPECT_EQ(registry.span_stat(rank, "tree.let_post").count, 1u);
+    EXPECT_EQ(registry.span_stat(rank, "tree.let_wait").count, 1u);
+    EXPECT_EQ(registry.span_stat(rank, "tree.traversal").count, 1u);
+
+    obs::TraceEvent let{}, traversal{};
+    for (const auto& ev : registry.scope(rank).recorder()->events()) {
+      if (ev.name == "tree.let_exchange") let = ev;
+      if (ev.name == "tree.traversal") traversal = ev;
+    }
+    // Traversal starts inside the open LET window and outlives it: the
+    // two spans overlap, which is exactly what the fig8 trace shows.
+    EXPECT_GT(traversal.begin, let.begin) << "rank " << rank;
+    EXPECT_LT(traversal.begin, let.end) << "rank " << rank;
+    EXPECT_GE(traversal.end, let.end) << "rank " << rank;
+  }
 }
 
 TEST(ParallelTree, CoulombSolveMatchesDirectSum) {

@@ -1,0 +1,389 @@
+// SIMD backend equivalence suite: every compiled-in wide backend
+// (sse2/avx2/avx512) is checked against the scalar dispatch backend — which
+// is the legacy auto-vectorized loop verbatim — for the near-field
+// accumulate_batch (vortex orders 2/4/6 + Coulomb) and the node-major
+// far-field batch evaluators.
+//
+// Accuracy contract (documented here, asserted below):
+//   - scalar backend: bit-identical to the legacy kernels by construction
+//     (it *is* the legacy code behind a function pointer) — EXPECT_EQ.
+//   - wide backends: the only deliberate numeric deviations are
+//     rsqrt_nr(x) (hardware reciprocal-sqrt seed + 3 Newton steps, ~2 ulp
+//     on 1/sqrt(x)) replacing 1/sqrt(x), fma contraction, and a different
+//     (vector-lane) association of the source-loop additions. Each per-pair
+//     contribution is computed to a few ulp; summed over nsrc sources the
+//     envelope is bounded by ~64 ulp relative to the magnitude scale of
+//     the accumulated sums, asserted as a relative error of 1e-12 against
+//     the scalar result (double ulp = 2.2e-16; 1e-12 leaves ~4500 ulp of
+//     headroom for cancellation-amplified cases in the random batches
+//     used here while still catching any wrong-formula bug, which shows
+//     up at 1e-2..1e0).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "kernels/algebraic.hpp"
+#include "kernels/coulomb.hpp"
+#include "simd/dispatch.hpp"
+#include "support/rng.hpp"
+#include "support/vec3.hpp"
+#include "tree/multipole.hpp"
+
+namespace {
+
+using stnb::Vec3;
+namespace kernels = stnb::kernels;
+namespace simd = stnb::simd;
+namespace tree = stnb::tree;
+
+// Batch sizes straddling every remainder-lane case for W in {2, 4, 8}:
+// below one vector, exact multiples, one over/under a multiple.
+const std::size_t kBatchSizes[] = {1, 2, 3, 5, 8, 9, 16, 31, 33};
+
+std::vector<simd::Backend> wide_backends() {
+  std::vector<simd::Backend> out;
+  for (const simd::Backend b :
+       {simd::Backend::kSse2, simd::Backend::kAvx2, simd::Backend::kAvx512}) {
+    if (simd::backend_available(b)) out.push_back(b);
+  }
+  return out;
+}
+
+struct Cloud {
+  std::vector<double> x, y, z;     // positions (sources == targets)
+  std::vector<double> ax, ay, az;  // vortex strengths
+  std::vector<double> q;           // Coulomb charges
+};
+
+Cloud make_cloud(std::size_t n, std::uint64_t seed) {
+  stnb::Rng rng(seed);
+  Cloud c;
+  for (std::size_t i = 0; i < n; ++i) {
+    c.x.push_back(rng.uniform(-1.0, 1.0));
+    c.y.push_back(rng.uniform(-1.0, 1.0));
+    c.z.push_back(rng.uniform(-1.0, 1.0));
+    c.ax.push_back(rng.uniform(-1.0, 1.0));
+    c.ay.push_back(rng.uniform(-1.0, 1.0));
+    c.az.push_back(rng.uniform(-1.0, 1.0));
+    c.q.push_back(rng.uniform(-1.0, 1.0));
+  }
+  return c;
+}
+
+void fill_vortex_targets(const Cloud& c, kernels::VortexBatch& b) {
+  b.resize(c.x.size());
+  std::copy(c.x.begin(), c.x.end(), b.x.begin());
+  std::copy(c.y.begin(), c.y.end(), b.y.begin());
+  std::copy(c.z.begin(), c.z.end(), b.z.begin());
+  b.zero();
+}
+
+void fill_coulomb_targets(const Cloud& c, kernels::CoulombBatch& b) {
+  b.resize(c.x.size());
+  std::copy(c.x.begin(), c.x.end(), b.x.begin());
+  std::copy(c.y.begin(), c.y.end(), b.y.begin());
+  std::copy(c.z.begin(), c.z.end(), b.z.begin());
+  b.zero();
+}
+
+double rel_err(double got, double want, double scale) {
+  return std::abs(got - want) / std::max(scale, 1e-300);
+}
+
+constexpr double kRelTol = 1e-12;
+
+// Magnitude scale of a vortex batch result (max |component|), used to make
+// the relative check meaningful when individual components cancel to near
+// zero.
+double vortex_scale(const kernels::VortexBatch& b) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    s = std::max({s, std::abs(b.ux[i]), std::abs(b.uy[i]), std::abs(b.uz[i])});
+    for (int c = 0; c < 9; ++c) s = std::max(s, std::abs(b.j[c][i]));
+  }
+  return s;
+}
+
+double coulomb_scale(const kernels::CoulombBatch& b) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < b.size(); ++i)
+    s = std::max({s, std::abs(b.phi[i]), std::abs(b.ex[i]), std::abs(b.ey[i]),
+                  std::abs(b.ez[i])});
+  return s;
+}
+
+void expect_vortex_close(const kernels::VortexBatch& got,
+                         const kernels::VortexBatch& want,
+                         const std::string& what) {
+  ASSERT_EQ(got.size(), want.size());
+  const double s = vortex_scale(want);
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    EXPECT_LE(rel_err(got.ux[i], want.ux[i], s), kRelTol) << what << " ux " << i;
+    EXPECT_LE(rel_err(got.uy[i], want.uy[i], s), kRelTol) << what << " uy " << i;
+    EXPECT_LE(rel_err(got.uz[i], want.uz[i], s), kRelTol) << what << " uz " << i;
+    for (int c = 0; c < 9; ++c)
+      EXPECT_LE(rel_err(got.j[c][i], want.j[c][i], s), kRelTol)
+          << what << " grad " << c << " tgt " << i;
+  }
+}
+
+void expect_coulomb_close(const kernels::CoulombBatch& got,
+                          const kernels::CoulombBatch& want,
+                          const std::string& what) {
+  ASSERT_EQ(got.size(), want.size());
+  const double s = coulomb_scale(want);
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    EXPECT_LE(rel_err(got.phi[i], want.phi[i], s), kRelTol) << what << " phi " << i;
+    EXPECT_LE(rel_err(got.ex[i], want.ex[i], s), kRelTol) << what << " ex " << i;
+    EXPECT_LE(rel_err(got.ey[i], want.ey[i], s), kRelTol) << what << " ey " << i;
+    EXPECT_LE(rel_err(got.ez[i], want.ez[i], s), kRelTol) << what << " ez " << i;
+  }
+}
+
+TEST(SimdDispatch, BackendQueries) {
+  EXPECT_TRUE(simd::backend_available(simd::Backend::kScalar));
+  EXPECT_EQ(simd::backend_width(simd::Backend::kScalar), 1);
+  EXPECT_EQ(simd::backend_width(simd::Backend::kSse2), 2);
+  EXPECT_EQ(simd::backend_width(simd::Backend::kAvx2), 4);
+  EXPECT_EQ(simd::backend_width(simd::Backend::kAvx512), 8);
+  EXPECT_EQ(simd::parse_backend(simd::backend_name(simd::best_backend())),
+            simd::best_backend());
+  EXPECT_THROW((void)simd::parse_backend("sse9"), std::invalid_argument);
+  // The active table always matches the active backend.
+  const simd::ScopedBackend scoped(simd::Backend::kScalar);
+  EXPECT_EQ(simd::active_table().backend, simd::Backend::kScalar);
+}
+
+TEST(SimdDispatch, ScopedBackendRestores) {
+  const simd::Backend before = simd::active_backend();
+  {
+    const simd::ScopedBackend scoped(simd::Backend::kScalar);
+    EXPECT_EQ(simd::active_backend(), simd::Backend::kScalar);
+  }
+  EXPECT_EQ(simd::active_backend(), before);
+}
+
+// The scalar dispatch backend must be bit-identical to calling the legacy
+// loops directly — it is the same code behind a function pointer.
+TEST(SimdScalar, BitIdenticalToLegacyKernels) {
+  const kernels::AlgebraicKernel kernel(kernels::AlgebraicOrder::k6, 0.07);
+  const Cloud c = make_cloud(33, 991);
+  kernels::VortexBatch via_dispatch, via_legacy;
+  fill_vortex_targets(c, via_dispatch);
+  fill_vortex_targets(c, via_legacy);
+  {
+    const simd::ScopedBackend scoped(simd::Backend::kScalar);
+    kernel.accumulate_batch(c.x.data(), c.y.data(), c.z.data(), c.ax.data(),
+                            c.ay.data(), c.az.data(), c.x.size(), 0,
+                            via_dispatch);
+  }
+  kernel.accumulate_batch_scalar(c.x.data(), c.y.data(), c.z.data(),
+                                 c.ax.data(), c.ay.data(), c.az.data(),
+                                 c.x.size(), 0, via_legacy);
+  for (std::size_t i = 0; i < via_legacy.size(); ++i) {
+    EXPECT_EQ(via_dispatch.ux[i], via_legacy.ux[i]) << i;
+    EXPECT_EQ(via_dispatch.j[7][i], via_legacy.j[7][i]) << i;
+  }
+}
+
+class SimdVortexNear
+    : public ::testing::TestWithParam<kernels::AlgebraicOrder> {};
+
+TEST_P(SimdVortexNear, MatchesScalarAcrossBatchSizesAndBackends) {
+  const kernels::AlgebraicKernel kernel(GetParam(), 0.05);
+  for (const simd::Backend backend : wide_backends()) {
+    for (const std::size_t n : kBatchSizes) {
+      // self_shift 0 exercises the masked self-lane on every target;
+      // a large shift keeps every lane live (disjoint source/target sets).
+      for (const std::int64_t shift : {std::int64_t{0}, std::int64_t{1000}}) {
+        const Cloud c = make_cloud(n, 7 * n + 13);
+        kernels::VortexBatch ref, got;
+        fill_vortex_targets(c, ref);
+        fill_vortex_targets(c, got);
+        {
+          const simd::ScopedBackend scoped(simd::Backend::kScalar);
+          kernel.accumulate_batch(c.x.data(), c.y.data(), c.z.data(),
+                                  c.ax.data(), c.ay.data(), c.az.data(), n,
+                                  shift, ref);
+        }
+        {
+          const simd::ScopedBackend scoped(backend);
+          kernel.accumulate_batch(c.x.data(), c.y.data(), c.z.data(),
+                                  c.ax.data(), c.ay.data(), c.az.data(), n,
+                                  shift, got);
+        }
+        expect_vortex_close(got, ref,
+                            std::string(simd::backend_name(backend)) + " n=" +
+                                std::to_string(n) + " shift=" +
+                                std::to_string(shift));
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, SimdVortexNear,
+                         ::testing::Values(kernels::AlgebraicOrder::k2,
+                                           kernels::AlgebraicOrder::k4,
+                                           kernels::AlgebraicOrder::k6),
+                         [](const auto& info) {
+                           return "order" +
+                                  std::to_string(static_cast<int>(info.param));
+                         });
+
+TEST(SimdCoulombNear, MatchesScalarAcrossBatchSizesAndBackends) {
+  for (const double softening : {0.0, 0.02}) {
+    const kernels::CoulombKernel kernel(softening);
+    for (const simd::Backend backend : wide_backends()) {
+      for (const std::size_t n : kBatchSizes) {
+        for (const std::int64_t shift : {std::int64_t{0}, std::int64_t{1000}}) {
+          const Cloud c = make_cloud(n, 11 * n + 5);
+          kernels::CoulombBatch ref, got;
+          fill_coulomb_targets(c, ref);
+          fill_coulomb_targets(c, got);
+          {
+            const simd::ScopedBackend scoped(simd::Backend::kScalar);
+            kernel.accumulate_batch(c.x.data(), c.y.data(), c.z.data(),
+                                    c.q.data(), n, shift, ref);
+          }
+          {
+            const simd::ScopedBackend scoped(backend);
+            kernel.accumulate_batch(c.x.data(), c.y.data(), c.z.data(),
+                                    c.q.data(), n, shift, got);
+          }
+          expect_coulomb_close(got, ref,
+                               std::string(simd::backend_name(backend)) +
+                                   " eps=" + std::to_string(softening) +
+                                   " n=" + std::to_string(n));
+        }
+      }
+    }
+  }
+}
+
+// Coincident source/target with zero softening: the scalar path's d2 == 0
+// guard must be reproduced exactly (contribution zero, not NaN).
+TEST(SimdCoulombNear, CoincidentPairYieldsZeroNotNaN) {
+  const kernels::CoulombKernel kernel(0.0);
+  for (const simd::Backend backend : wide_backends()) {
+    Cloud c = make_cloud(9, 17);
+    c.x[4] = c.x[2];
+    c.y[4] = c.y[2];
+    c.z[4] = c.z[2];  // coincident pair NOT excluded by self_shift
+    kernels::CoulombBatch got;
+    fill_coulomb_targets(c, got);
+    const simd::ScopedBackend scoped(backend);
+    kernel.accumulate_batch(c.x.data(), c.y.data(), c.z.data(), c.q.data(),
+                            c.x.size(), 0, got);
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      EXPECT_TRUE(std::isfinite(got.phi[i])) << simd::backend_name(backend);
+      EXPECT_TRUE(std::isfinite(got.ex[i])) << simd::backend_name(backend);
+    }
+  }
+}
+
+tree::Multipole make_multipole(std::uint64_t seed) {
+  stnb::Rng rng(seed);
+  tree::Multipole mp;
+  mp.center = {0.1, -0.2, 0.15};
+  for (int i = 0; i < 16; ++i) {
+    const Vec3 x{rng.uniform(-0.2, 0.2), rng.uniform(-0.2, 0.2),
+                 rng.uniform(-0.2, 0.2)};
+    const Vec3 a{rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0),
+                 rng.uniform(-1.0, 1.0)};
+    mp.add_particle(mp.center + x, rng.uniform(-1.0, 1.0), a);
+  }
+  return mp;
+}
+
+// Targets well separated from the expansion center (far field only).
+Cloud make_far_targets(std::size_t n, std::uint64_t seed) {
+  stnb::Rng rng(seed);
+  Cloud c;
+  for (std::size_t i = 0; i < n; ++i) {
+    c.x.push_back(2.0 + rng.uniform(0.0, 1.0));
+    c.y.push_back(1.5 + rng.uniform(0.0, 1.0));
+    c.z.push_back(-2.0 - rng.uniform(0.0, 1.0));
+  }
+  return c;
+}
+
+TEST(SimdVortexFar, MatchesScalarForAllOrdersAndSingular) {
+  const tree::Multipole mp = make_multipole(311);
+  const kernels::AlgebraicKernel k2(kernels::AlgebraicOrder::k2, 0.1);
+  const kernels::AlgebraicKernel k4(kernels::AlgebraicOrder::k4, 0.1);
+  const kernels::AlgebraicKernel k6(kernels::AlgebraicOrder::k6, 0.1);
+  const kernels::AlgebraicKernel* profiles[] = {nullptr, &k2, &k4, &k6};
+  for (const simd::Backend backend : wide_backends()) {
+    for (const auto* kernel : profiles) {
+      for (const std::size_t n : kBatchSizes) {
+        const Cloud c = make_far_targets(n, 41 * n + 3);
+        kernels::VortexBatch ref, got;
+        fill_vortex_targets(c, ref);
+        fill_vortex_targets(c, got);
+        mp.evaluate_biot_savart_batch_scalar(ref, kernel);
+        {
+          const simd::ScopedBackend scoped(backend);
+          mp.evaluate_biot_savart_batch(got, kernel);
+        }
+        expect_vortex_close(got, ref,
+                            std::string(simd::backend_name(backend)) +
+                                " far n=" + std::to_string(n));
+      }
+    }
+  }
+}
+
+TEST(SimdCoulombFar, MatchesScalarAcrossBackends) {
+  const tree::Multipole mp = make_multipole(427);
+  for (const simd::Backend backend : wide_backends()) {
+    for (const std::size_t n : kBatchSizes) {
+      const Cloud c = make_far_targets(n, 19 * n + 7);
+      kernels::CoulombBatch ref, got;
+      fill_coulomb_targets(c, ref);
+      fill_coulomb_targets(c, got);
+      mp.evaluate_coulomb_batch_scalar(ref);
+      {
+        const simd::ScopedBackend scoped(backend);
+        mp.evaluate_coulomb_batch(got);
+      }
+      expect_coulomb_close(got, ref, std::string(simd::backend_name(backend)) +
+                                         " far n=" + std::to_string(n));
+    }
+  }
+}
+
+// Pad lanes must never leak into results: two batches with the same logical
+// contents but different histories (fresh vs reused-larger-then-shrunk)
+// produce identical output.
+TEST(SimdPadding, PadLanesDoNotAffectResults) {
+  const kernels::AlgebraicKernel kernel(kernels::AlgebraicOrder::k4, 0.05);
+  const Cloud c = make_cloud(5, 53);
+  kernels::VortexBatch fresh, reused;
+  fill_vortex_targets(c, fresh);
+  reused.resize(64);  // leave stale garbage beyond lane 5
+  for (std::size_t i = 0; i < 64; ++i) {
+    reused.x[i] = 7e30;
+    reused.y[i] = -7e30;
+    reused.z[i] = 7e30;
+  }
+  fill_vortex_targets(c, reused);
+  for (const simd::Backend backend : wide_backends()) {
+    fresh.zero();
+    reused.zero();
+    const simd::ScopedBackend scoped(backend);
+    kernel.accumulate_batch(c.x.data(), c.y.data(), c.z.data(), c.ax.data(),
+                            c.ay.data(), c.az.data(), c.x.size(), 0, fresh);
+    kernel.accumulate_batch(c.x.data(), c.y.data(), c.z.data(), c.ax.data(),
+                            c.ay.data(), c.az.data(), c.x.size(), 0, reused);
+    for (std::size_t i = 0; i < fresh.size(); ++i) {
+      EXPECT_EQ(fresh.ux[i], reused.ux[i]) << simd::backend_name(backend);
+      EXPECT_EQ(fresh.j[5][i], reused.j[5][i]) << simd::backend_name(backend);
+    }
+  }
+}
+
+}  // namespace
