@@ -45,6 +45,9 @@ struct ImportSoA {
       az[j] = import_p[j].a.z;
     }
     if (m == 0) return;
+    // stnb-analyze: allow(det-unordered-iter) lookup-only: populated by
+    // keyed emplace, read back via find() below; never iterated, so the
+    // bucket order cannot reach matches/forces.
     std::unordered_map<std::uint32_t, std::int32_t> id_to_sorted;
     id_to_sorted.reserve(local.size());
     for (std::size_t i = 0; i < local.size(); ++i)

@@ -80,6 +80,9 @@ struct ParallelTree::Exchanged {
   std::vector<TreeParticle> import_p;    // unresolved remote particles
   // Routing: per partitioned particle (matching tree->particles() via the
   // global id), where the result must be sent back to.
+  // stnb-analyze: allow(det-unordered-iter) lookup-only: written by keyed
+  // insert (lines ~170/176), read via at() in deterministic targets[]
+  // order when routing results back; never iterated.
   std::unordered_map<std::uint32_t, std::pair<std::int32_t, std::int32_t>>
       route;
   // Posted-but-unreceived LET state: expected element counts per source

@@ -1,0 +1,106 @@
+// stnb-analyze fixture: determinism patterns that must stay clean.
+// Every shape here is the blessed counterpart of a det-* violation:
+// sorted-copy iteration before a send, order-independent integer folds
+// over unordered containers, lookup-only access, per-slot parallel_for
+// accumulation, simulation-state payloads, and a properly scoped
+// workspace lease with a same-scope derived reference.
+#include <algorithm>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace stnb {
+
+class Comm {
+ public:
+  template <typename T>
+  void send(int dest, int tag, const std::vector<T>& data);
+};
+
+class ThreadPool {
+ public:
+  template <typename F>
+  void parallel_for(std::size_t begin, std::size_t end, F&& body);
+};
+
+struct Batch {
+  double ax[64];
+};
+
+template <typename T>
+class WorkspacePool {
+ public:
+  struct Lease {
+    T* ws;
+    T* operator->() { return ws; }
+  };
+  Lease acquire();
+};
+
+inline constexpr int kTagIds = 800;
+inline constexpr int kTagStep = 801;
+
+// Hash-order iteration is fine when the buffer is sorted before any
+// order-sensitive use: the sort launders the bucket layout.
+void ship_sorted(Comm& comm,
+                 const std::unordered_map<std::uint32_t, double>& mass) {
+  std::vector<std::uint32_t> ids;
+  for (const auto& kv : mass) {
+    ids.push_back(kv.first);
+  }
+  std::sort(ids.begin(), ids.end());
+  comm.send(1, kTagIds, ids);
+}
+
+// Integer folds are associative and commutative: hash order cannot
+// change the result.
+int count_heavy(const std::unordered_map<std::uint32_t, double>& mass) {
+  int count = 0;
+  for (const auto& kv : mass) {
+    if (kv.second > 1.0) {
+      count += 1;
+    }
+  }
+  return count;
+}
+
+// Lookup-only access never observes iteration order at all.
+double mass_of(const std::unordered_map<std::uint32_t, double>& mass,
+               std::uint32_t id) {
+  auto it = mass.find(id);
+  return it == mass.end() ? 0.0 : it->second;
+}
+
+// The parallel_for invariant: each chunk accumulates privately and
+// writes to its own slot; the combine happens in index order outside.
+double reduce_per_slot(ThreadPool& pool, const std::vector<double>& w,
+                       std::vector<double>& partial) {
+  pool.parallel_for(0, partial.size(), [&](std::size_t slot) {
+    double acc = 0.0;
+    acc += w[slot];
+    partial[slot] = acc;
+  });
+  double total = 0.0;
+  for (std::size_t i = 0; i < partial.size(); ++i) {
+    total += partial[i];
+  }
+  return total;
+}
+
+// Simulation state (ranks, virtual step counters) in payloads is the
+// deterministic alternative to host state.
+void send_step(Comm& comm, int rank, std::uint64_t virtual_step) {
+  std::vector<std::uint64_t> payload(1, virtual_step + rank);
+  comm.send(1, kTagStep, payload);
+}
+
+// The blessed lease pattern: acquire, derive references in the same
+// scope, let the lease die with the scope.
+double use_workspace(WorkspacePool<Batch>& pool) {
+  auto ws = pool.acquire();
+  double* row = ws->ax;
+  row[0] = 2.0;
+  return row[0];
+}
+
+}  // namespace stnb

@@ -1,0 +1,52 @@
+// stnb-analyze fixture: det-host-state violations. Host-side values —
+// thread ids, pointer bits, wall-clock — differ across runs, ranks and
+// machines, so they must never reach a message payload. Covers the
+// direct case (a this_thread-derived cookie in a send), the laundered
+// local, and the interprocedural case: a helper whose *return value* is
+// host-tainted feeding a payload at the caller.
+#include <cstdint>
+#include <vector>
+
+namespace stnb {
+
+class Comm {
+ public:
+  template <typename T>
+  void send(int dest, int tag, const std::vector<T>& data);
+};
+
+namespace this_thread {
+std::uint64_t get_id();
+}
+
+inline constexpr int kTagDebug = 700;
+inline constexpr int kTagSeed = 701;
+
+// Helper with a host-tainted return: every caller inherits the taint.
+std::uint64_t host_cookie() {
+  std::uint64_t tid = this_thread::get_id();
+  return tid * 2654435761u;
+}
+
+// Direct: the thread id goes straight onto the wire.
+void send_thread_id(Comm& comm) {
+  std::vector<std::uint64_t> payload(1, this_thread::get_id());
+  comm.send(1, kTagDebug, payload);
+}
+
+// Laundered through a local, shipped via the tainted helper's return.
+void send_cookie(Comm& comm) {
+  std::uint64_t seed = host_cookie();
+  std::vector<std::uint64_t> payload(1, seed);
+  comm.send(1, kTagSeed, payload);
+}
+
+// Address bits as payload: reinterpret_cast to uintptr_t launders a
+// host pointer into an integer.
+void send_address(Comm& comm, const double* buf) {
+  std::uintptr_t bits = reinterpret_cast<std::uintptr_t>(buf);
+  std::vector<std::uint64_t> payload(1, bits);
+  comm.send(1, kTagDebug, payload);
+}
+
+}  // namespace stnb

@@ -1,0 +1,42 @@
+// stnb-analyze fixture: det-fp-reduce violations. Floating-point
+// accumulation into captured state from a parallel_for body: the
+// completion order of the chunks depends on work stealing, so the fold
+// is not bit-reproducible. Both the direct capture and the
+// reference-laundered capture (a local reference bound to shared
+// state inside the lambda) must be caught.
+#include <cstddef>
+#include <vector>
+
+namespace stnb {
+
+class ThreadPool {
+ public:
+  template <typename F>
+  void parallel_for(std::size_t begin, std::size_t end, F&& body);
+};
+
+struct Accum {
+  double energy = 0.0;
+};
+
+// Direct capture: every worker folds into the same double.
+double reduce_energy(ThreadPool& pool, const std::vector<double>& w) {
+  double total = 0.0;
+  pool.parallel_for(0, w.size(), [&](std::size_t i) {
+    total += w[i];
+  });
+  return total;
+}
+
+// Laundered capture: the lambda binds a local reference to captured
+// shared state and accumulates through it.
+double reduce_through_ref(ThreadPool& pool, Accum& shared,
+                          const std::vector<double>& w) {
+  pool.parallel_for(0, w.size(), [&](std::size_t i) {
+    double& sink = shared.energy;
+    sink -= w[i];
+  });
+  return shared.energy;
+}
+
+}  // namespace stnb

@@ -1,0 +1,57 @@
+// stnb-analyze fixture: det-unordered-iter violations. Three ways a
+// range-for over an unordered container leaks hash order into
+// observable state: (i) a floating-point fold of the elements, (ii) a
+// per-element Comm send, and (iii) appending elements to a buffer whose
+// contents a helper later forwards to a send — the interprocedural
+// order-sink case (the helper itself looks innocent).
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace stnb {
+
+class Comm {
+ public:
+  template <typename T>
+  void send(int dest, int tag, const std::vector<T>& data);
+};
+
+inline constexpr int kTagMass = 500;
+inline constexpr int kTagIds = 501;
+
+// (i) FP accumulation in hash order: the fold result depends on the
+// bucket layout, which varies across runs and standard libraries.
+double total_mass(const std::unordered_map<std::uint32_t, double>& mass) {
+  double sum = 0.0;
+  for (const auto& kv : mass) {
+    sum += kv.second;
+  }
+  return sum;
+}
+
+// (ii) one message per element: the wire order is the hash order.
+void send_per_node(Comm& comm,
+                   const std::unordered_map<std::uint32_t, double>& mass) {
+  for (const auto& kv : mass) {
+    std::vector<double> row(1, kv.second);
+    comm.send(1, kTagMass, row);
+  }
+}
+
+// The helper a hash-order loop must not feed: its parameter lands in a
+// Comm send, so it is an order sink for every caller.
+void ship_ids(Comm& comm, const std::vector<std::uint32_t>& ids) {
+  comm.send(1, kTagIds, ids);
+}
+
+// (iii) append in hash order, then hand the buffer to the order sink.
+void collect_and_ship(
+    Comm& comm, const std::unordered_map<std::uint32_t, double>& mass) {
+  std::vector<std::uint32_t> ids;
+  for (const auto& kv : mass) {
+    ids.push_back(kv.first);
+  }
+  ship_ids(comm, ids);
+}
+
+}  // namespace stnb

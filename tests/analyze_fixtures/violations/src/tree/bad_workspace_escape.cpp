@@ -1,0 +1,55 @@
+// stnb-analyze fixture: workspace-escape violations. A WorkspacePool
+// lease is scoped to one evaluation; the pooled buffer goes back to the
+// free list when the lease dies. Three escapes: (a) a static lease that
+// pins a pool slot across calls, (b) the lease target cached into
+// namespace-scope storage, and (c) an inner-block lease leaking its
+// buffer address into an outer-scope pointer that survives the lease —
+// in a may-yield function, where another fiber can recycle the slot.
+#include <cstddef>
+
+namespace stnb {
+
+struct Batch {
+  double ax[64];
+};
+
+template <typename T>
+class WorkspacePool {
+ public:
+  struct Lease {
+    T* ws;
+    T* operator->() { return ws; }
+  };
+  Lease acquire();
+};
+
+void yield();
+
+Batch* g_cached_batch = nullptr;
+
+// (a) static lease: one pool slot is held for the program lifetime.
+void static_lease(WorkspacePool<Batch>& pool) {
+  static auto ws = pool.acquire();
+  ws->ax[0] = 1.0;
+}
+
+// (b) lease target cached into namespace-scope storage: the pointer
+// outlives the lease and aliases whoever leases the slot next.
+void cache_globally(WorkspacePool<Batch>& pool) {
+  auto ws = pool.acquire();
+  g_cached_batch = ws.ws;
+}
+
+// (c) inner-block lease escaping into an outer pointer, across a yield:
+// by the time the pointer is read the slot may belong to another fiber.
+double escape_inner_block(WorkspacePool<Batch>& pool) {
+  double* row = nullptr;
+  {
+    auto ws = pool.acquire();
+    row = ws->ax;
+    yield();
+  }
+  return row[0];
+}
+
+}  // namespace stnb

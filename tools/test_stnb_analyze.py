@@ -10,6 +10,7 @@ host; the final check exercises libclang mode when it is available.
 
 import json
 import os
+import shutil
 import subprocess
 import sys
 import tempfile
@@ -57,9 +58,10 @@ def main():
     rule_names = [line.split()[0] for line in rules.stdout.splitlines()
                   if line and not line.startswith(" ")]
     check("list-rules: exit status 0", rules.returncode == 0)
-    check("list-rules: all three families listed",
+    check("list-rules: all rule families listed",
           {"fiber-tls", "lock-across-yield", "comm-protocol",
-           "bare-allow"} <= set(rule_names))
+           "bare-allow", "det-unordered-iter", "det-fp-reduce",
+           "det-host-state", "workspace-escape"} <= set(rule_names))
     for name in rule_names:
         check(f"rule fires on fixtures: {name}", f"[{name}]" in golden)
 
@@ -79,6 +81,33 @@ def main():
           "initialized from literals only" in golden)
     check("comm-protocol: element-type mismatch",
           "recv<int> on tag 'kTagHalo'" in golden)
+
+    # 3b. The determinism dataflow layer fires through its intended
+    # mechanisms: direct FP fold, per-element emission, the
+    # interprocedural append→order-sink chain, parallel_for capture
+    # (direct and reference-laundered), host taint through a helper's
+    # return value, and the three lease-escape shapes.
+    check("det-unordered-iter: FP fold in hash order",
+          "accumulates floating-point state" in golden)
+    check("det-unordered-iter: per-element emission",
+          "emits 'comm.send' per element" in golden)
+    check("det-unordered-iter: interprocedural append→sink",
+          "which later feeds an order-sensitive sink" in golden)
+    check("det-fp-reduce: direct capture",
+          "floating accumulation 'total +=" in golden)
+    check("det-fp-reduce: reference-laundered capture",
+          "floating accumulation 'sink -=" in golden)
+    check("det-host-state: fires on payload",
+          "host-side state reaches the payload" in golden)
+    check("det-host-state: interprocedural return taint",
+          "bad_host_state.cpp:41" in golden)
+    check("workspace-escape: static lease",
+          "static workspace lease" in golden)
+    check("workspace-escape: non-local storage",
+          "escapes into non-local storage" in golden)
+    check("workspace-escape: outer scope across yield",
+          "escapes into outer-scope 'row'" in golden and
+          "another fiber can recycle the slot" in golden)
 
     # 4. Clean tree: no output, exit 0 — the blessed counterparts
     # (workspace pool, release-before-yield, wait-under-lock, named
@@ -166,7 +195,88 @@ def main():
     finally:
         os.unlink(sarif_path)
 
-    # 9. libclang mode: if importable, it must agree with syntax mode on
+    # 9. Incremental cache: a cold run parses every TU, a warm run parses
+    # none and reproduces the identical diagnostics; editing one file
+    # re-parses exactly that file; bumping the tool version (via the
+    # STNB_ANALYZE_TOOL_VERSION hook) invalidates everything.
+    def cache_stats(result):
+        for line in result.stderr.splitlines():
+            if "cache" in line and "hit" in line:
+                parts = line.split()
+                return int(parts[2]), int(parts[4])
+        return None, None
+
+    with tempfile.TemporaryDirectory() as tmp:
+        tree = os.path.join(tmp, "violations")
+        shutil.copytree(violations, tree)
+        cdir = os.path.join(tmp, "cache")
+        cold = run("--mode=syntax", "--cache-dir", cdir, "--root", tree,
+                   tree)
+        hits, misses = cache_stats(cold)
+        n_files = misses
+        check("cache: cold run misses every TU",
+              hits == 0 and misses is not None and misses > 0,
+              cold.stderr)
+        warm = run("--mode=syntax", "--cache-dir", cdir, "--root", tree,
+                   tree)
+        hits, misses = cache_stats(warm)
+        check("cache: warm run re-parses nothing",
+              hits == n_files and misses == 0, warm.stderr)
+        check("cache: warm diagnostics identical",
+              warm.stdout == cold.stdout)
+        edited = os.path.join(tree, "src", "tree", "bad_fiber_tls.cpp")
+        with open(edited, "a", encoding="utf-8") as f:
+            f.write("// touched\n")
+        third = run("--mode=syntax", "--cache-dir", cdir, "--root", tree,
+                    tree)
+        hits, misses = cache_stats(third)
+        check("cache: content change re-parses exactly that TU",
+              hits == n_files - 1 and misses == 1, third.stderr)
+        env = dict(os.environ, STNB_ANALYZE_TOOL_VERSION="self-test-bump")
+        fourth = subprocess.run(
+            [sys.executable, ANALYZE, "--mode=syntax", "--cache-dir",
+             cdir, "--root", tree, tree],
+            capture_output=True, text=True, check=False, env=env)
+        hits, misses = cache_stats(fourth)
+        check("cache: tool-version change invalidates everything",
+              hits == 0 and misses == n_files, fourth.stderr)
+
+    # 10. Suppression debt: --debt-update records the per-rule budget,
+    # --debt passes against it, and a new reasoned allow makes --debt
+    # fail until the budget is re-reviewed.
+    with tempfile.TemporaryDirectory() as tmp:
+        tree = os.path.join(tmp, "clean")
+        shutil.copytree(clean, tree)
+        budget = os.path.join(tmp, "debt.json")
+        r = run("--mode=syntax", "--root", tree, "--debt-update", budget,
+                tree)
+        check("debt: --debt-update writes the budget",
+              r.returncode == 0 and os.path.exists(budget), r.stderr)
+        with open(budget, encoding="utf-8") as f:
+            data = json.load(f)
+        check("debt: every rule budgeted",
+              set(rule_names) <= set(data.get("rules", {})))
+        r = run("--mode=syntax", "--root", tree, "--debt", budget, tree)
+        check("debt: gate passes at recorded level", r.returncode == 0,
+              r.stderr)
+        check("debt: per-rule summary printed",
+              "rule" in r.stderr and "inline" in r.stderr, r.stderr)
+        good = os.path.join(tree, "src", "solver", "good_det.cpp")
+        with open(good, "a", encoding="utf-8") as f:
+            f.write("// stnb-analyze: allow(det-unordered-iter) "
+                    "new unreviewed debt\n")
+        r = run("--mode=syntax", "--root", tree, "--debt", budget, tree)
+        check("debt: gate fails when debt grows", r.returncode == 1,
+              f"  got {r.returncode}: {r.stderr}")
+        check("debt: regression names the rule",
+              "det-unordered-iter" in r.stderr, r.stderr)
+        r = run("--mode=syntax", "--root", tree, "--debt-update", budget,
+                tree)
+        r = run("--mode=syntax", "--root", tree, "--debt", budget, tree)
+        check("debt: gate passes again after budget review",
+              r.returncode == 0, r.stderr)
+
+    # 11. libclang mode: if importable, it must agree with syntax mode on
     # the violations tree (same findings, same order) and on the clean
     # tree and src/.
     probe = subprocess.run(

@@ -72,7 +72,34 @@ def main():
           "bad_misc.cpp:32" not in golden)
     check("suppression: bare allow flagged", "[bare-allow]" in golden)
 
-    # 6. libclang mode: if importable, it must agree with regex mode on
+    # 6. SARIF: structurally valid 2.1.0 with one result per golden
+    # diagnostic (same layout stnb-analyze emits, so CI uploads both
+    # from one code-scanning step).
+    import json
+    import tempfile
+    with tempfile.NamedTemporaryFile("r", suffix=".sarif",
+                                     delete=False) as tf:
+        sarif_path = tf.name
+    try:
+        r = run("--mode=regex", "--root", violations,
+                "--sarif", sarif_path, violations)
+        with open(sarif_path, encoding="utf-8") as f:
+            sarif = json.load(f)
+        check("sarif: version 2.1.0", sarif.get("version") == "2.1.0")
+        driver = sarif["runs"][0]["tool"]["driver"]
+        check("sarif: tool name", driver["name"] == "stnb-lint")
+        results = sarif["runs"][0]["results"]
+        check("sarif: result per diagnostic",
+              len(results) == len(golden.splitlines()),
+              f"  {len(results)} results vs "
+              f"{len(golden.splitlines())} golden lines")
+        check("sarif: every result located",
+              all(res["locations"][0]["physicalLocation"]["region"]
+                  ["startLine"] > 0 for res in results))
+    finally:
+        os.unlink(sarif_path)
+
+    # 7. libclang mode: if importable, it must agree with regex mode on
     # the violations tree (same findings, same order).
     probe = subprocess.run(
         [sys.executable, "-c", "import clang.cindex"],
